@@ -1,0 +1,96 @@
+//! One benchmark group per paper figure: each group drives the simulation
+//! path whose virtual-time output regenerates that figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cor_bench::full_trial;
+use cor_migrate::Strategy;
+use cor_sim::{LedgerCategory, SimDuration};
+
+/// Figure 4-1: remote execution across the prefetch sweep (the trial runs
+/// migration + remote execution; prefetch changes the fault batching).
+fn fig4_1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_1_remote_execution");
+    g.sample_size(10);
+    let w = cor_workloads::pasmac::pm_end();
+    for pf in [0u64, 1, 15] {
+        g.bench_function(format!("pm_end_pf{pf}"), |b| {
+            b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: pf })))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 4-2: end-to-end comparison needs both extremes; bench the copy
+/// and IOU trials of the crossover workload.
+fn fig4_2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_2_end_to_end");
+    g.sample_size(10);
+    let w = cor_workloads::pasmac::pm_start();
+    g.bench_function("pm_start_copy", |b| {
+        b.iter(|| black_box(full_trial(&w, Strategy::PureCopy)))
+    });
+    g.bench_function("pm_start_iou1", |b| {
+        b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: 1 })))
+    });
+    g.finish();
+}
+
+/// Figures 4-3 & 4-4: byte and message accounting ride along with every
+/// trial; bench the biggest accounting load (Lisp-Del pure-IOU: ~700
+/// fault round trips).
+fn fig4_3_and_4_4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_3_4_4_accounting");
+    g.sample_size(10);
+    let w = cor_workloads::lisp::lisp_del();
+    g.bench_function("lisp_del_iou0", |b| {
+        b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: 0 })))
+    });
+    g.finish();
+}
+
+/// Figure 4-5: the time-series view — run the trial once, bench the
+/// ledger binning.
+fn fig4_5(c: &mut Criterion) {
+    use cor_kernel::World;
+    use cor_migrate::MigrationManager;
+    let (mut world, a, b) = World::testbed();
+    let src = MigrationManager::new(&mut world, a);
+    let dst = MigrationManager::new(&mut world, b);
+    let w = cor_workloads::lisp::lisp_del();
+    let pid = w.build(&mut world, a).expect("build");
+    src.migrate_to(&mut world, &dst, pid, Strategy::PureIou { prefetch: 0 })
+        .expect("migrate");
+    world.run(b, pid).expect("run");
+    let ledger = world.fabric.ledger.clone();
+    let end = world.clock.now();
+    c.bench_function("fig4_5_ledger_binning", |bch| {
+        bch.iter(|| {
+            let bins = ledger.binned(SimDuration::from_secs(5), end, LedgerCategory::FaultSupport);
+            black_box(bins.len())
+        })
+    });
+}
+
+/// The pre-copy ablation path.
+fn ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_precopy");
+    g.sample_size(10);
+    let w = cor_workloads::chess::workload();
+    g.bench_function("chess_precopy", |b| {
+        b.iter(|| {
+            black_box(full_trial(
+                &w,
+                Strategy::PreCopy {
+                    max_rounds: 5,
+                    stop_pages: 8,
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(figures, fig4_1, fig4_2, fig4_3_and_4_4, fig4_5, ablation);
+criterion_main!(figures);

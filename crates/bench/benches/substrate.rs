@@ -1,0 +1,164 @@
+//! Substrate microbenchmarks: the primitive operations every experiment
+//! rests on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cor_ipc::protocol;
+use cor_ipc::{Message, MsgItem, MsgKind, NodeId, PortId, PortRegistry};
+use cor_mem::page::{page_from_bytes, Frame};
+use cor_mem::resident::ResidentTracker;
+use cor_mem::{AddressSpace, Disk, PageNum, VAddr, PAGE_SIZE};
+use cor_sim::{EventQueue, Pcg32, SimTime};
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("pcg32_next_u32", |b| {
+        let mut rng = Pcg32::new(42);
+        b.iter(|| black_box(rng.next_u32()));
+    });
+    c.bench_function("pcg32_shuffle_1k", |b| {
+        let mut rng = Pcg32::new(42);
+        let mut v: Vec<u32> = (0..1024).collect();
+        b.iter(|| {
+            rng.shuffle(&mut v);
+            black_box(v[0])
+        });
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..1024u64 {
+                    q.schedule(SimTime::from_micros(i * 37 % 509), i);
+                }
+                let mut acc = 0;
+                while let Some(e) = q.pop() {
+                    acc ^= e.event;
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn lisp_sized_space() -> (AddressSpace, Disk) {
+    // ~4300 materialized pages scattered like the Lisp heap, 4 GB validated.
+    let mut space = AddressSpace::new();
+    let mut disk = Disk::new();
+    space.validate(VAddr(0), 4_228_129_280).unwrap();
+    let mut rng = Pcg32::new(7);
+    let mut page = 10_000u64;
+    for _ in 0..600 {
+        page += rng.range(3, 40);
+        for i in 0..7 {
+            space.install_page(PageNum(page + i), Frame::zeroed(), &mut disk);
+        }
+        page += 7;
+    }
+    (space, disk)
+}
+
+fn bench_amap(c: &mut Criterion) {
+    let (space, _disk) = lisp_sized_space();
+    c.bench_function("amap_construction_lisp_sized", |b| {
+        b.iter(|| black_box(space.amap().len()));
+    });
+    let amap = space.amap();
+    c.bench_function("amap_lookup", |b| {
+        let mut rng = Pcg32::new(9);
+        b.iter(|| {
+            let p = PageNum(rng.range(0, 2_000_000));
+            black_box(amap.lookup(p))
+        });
+    });
+}
+
+fn bench_space_ops(c: &mut Criterion) {
+    c.bench_function("fill_zero_fault_service", |b| {
+        b.iter_batched(
+            || {
+                let mut s = AddressSpace::new();
+                s.validate(VAddr(0), 4096 * PAGE_SIZE).unwrap();
+                (s, Disk::new(), 0u64)
+            },
+            |(mut s, mut d, _)| {
+                for i in 0..256 {
+                    s.fill_zero(PageNum(i), &mut d).unwrap();
+                }
+                black_box(s.stats().real_bytes)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("cow_write_after_share", |b| {
+        b.iter_batched(
+            || {
+                let mut s = AddressSpace::new();
+                let mut d = Disk::new();
+                let frames: Vec<Frame> = (0..64)
+                    .map(|i| Frame::new(page_from_bytes(&[i as u8])))
+                    .collect();
+                let aliases = frames.clone();
+                for (i, f) in frames.into_iter().enumerate() {
+                    s.install_page(PageNum(i as u64), f, &mut d);
+                }
+                (s, aliases)
+            },
+            |(mut s, _aliases)| {
+                for i in 0..64u64 {
+                    s.check_write(PageNum(i)).unwrap();
+                    s.write(PageNum(i).base(), b"dirty").unwrap();
+                }
+                black_box(s.cow_copies())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("lru_tracker_touch", |b| {
+        let mut rs = ResidentTracker::with_capacity(256);
+        let mut rng = Pcg32::new(3);
+        b.iter(|| {
+            let victim = rs.touch(PageNum(rng.range(0, 4096)));
+            black_box(victim)
+        });
+    });
+}
+
+fn bench_ipc(c: &mut Criterion) {
+    c.bench_function("port_enqueue_dequeue", |b| {
+        let mut ports = PortRegistry::new();
+        let p = ports.allocate(NodeId(0));
+        b.iter(|| {
+            ports.enqueue(p, Message::new(MsgKind::User(1), p)).unwrap();
+            black_box(ports.dequeue(p).unwrap().is_some())
+        });
+    });
+    c.bench_function("protocol_roundtrip", |b| {
+        b.iter(|| {
+            let m = protocol::imag_read_request(PortId(1), PortId(2), cor_mem::SegmentId(7), 99, 4);
+            black_box(protocol::parse(&m).is_some())
+        });
+    });
+    c.bench_function("rimas_message_wire_size_877_pages", |b| {
+        let frames: Vec<Frame> = (0..877).map(|_| Frame::zeroed()).collect();
+        let msg = Message::new(MsgKind::Rimas, PortId(0)).push(MsgItem::Pages {
+            base_page: 0,
+            frames,
+        });
+        b.iter(|| black_box(msg.wire_size()));
+    });
+}
+
+criterion_group!(
+    substrate,
+    bench_rng,
+    bench_event_queue,
+    bench_amap,
+    bench_space_ops,
+    bench_ipc
+);
+criterion_main!(substrate);

@@ -1,0 +1,77 @@
+//! One benchmark group per paper table: each group exercises exactly the
+//! simulation path that regenerates that table (see the `experiments`
+//! binary for the rendered rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cor_bench::{build_only, full_trial};
+use cor_kernel::World;
+use cor_migrate::{excise_process, insert_process, Strategy};
+
+/// Tables 4-1 & 4-2: building each representative's address space and
+/// resident set.
+fn table4_1_and_4_2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_1_composition");
+    g.sample_size(10);
+    for w in cor_workloads::all() {
+        g.bench_function(w.name(), |b| b.iter(|| black_box(build_only(&w))));
+    }
+    g.finish();
+}
+
+/// Table 4-3: utilization comes from full IOU trials; bench the two
+/// extremes of locality.
+fn table4_3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_3_utilization");
+    g.sample_size(10);
+    for w in [
+        cor_workloads::minprog::workload(),
+        cor_workloads::pasmac::pm_start(),
+    ] {
+        g.bench_function(w.name(), |b| {
+            b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: 0 })))
+        });
+    }
+    g.finish();
+}
+
+/// Table 4-4: the ExciseProcess / InsertProcess primitives themselves.
+fn table4_4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_4_excise_insert");
+    g.sample_size(10);
+    for w in [
+        cor_workloads::minprog::workload(),
+        cor_workloads::lisp::lisp_t(),
+    ] {
+        g.bench_function(w.name(), |b| {
+            b.iter(|| {
+                let (mut world, a, bnode) = World::testbed();
+                let pid = w.build(&mut world, a).expect("build");
+                let dest = world.ports.allocate(bnode);
+                let (excised, report) = excise_process(&mut world, a, pid, dest).expect("excise");
+                let (_, ins) = insert_process(&mut world, bnode, excised).expect("insert");
+                black_box((report.real_pages, ins.carried_pages))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 4-5: address-space transfer under the three strategies.
+fn table4_5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_5_transfer");
+    g.sample_size(10);
+    let w = cor_workloads::chess::workload();
+    for (name, s) in [
+        ("pure_iou", Strategy::PureIou { prefetch: 0 }),
+        ("resident_set", Strategy::ResidentSet { prefetch: 0 }),
+        ("pure_copy", Strategy::PureCopy),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(full_trial(&w, s))));
+    }
+    g.finish();
+}
+
+criterion_group!(tables, table4_1_and_4_2, table4_3, table4_4, table4_5);
+criterion_main!(tables);

@@ -1,0 +1,304 @@
+//! The `InsertProcess` primitive (paper §3.1).
+//!
+//! "Using the AMap for guidance and the RIMAS data for ammunition, the
+//! process address space mappings are restored." The two context messages
+//! are self-contained: the Core message's inline blob rebuilds the PCB,
+//! microstate and kernel stack; its rights are relocated to the new host;
+//! and the address space is reconstructed by replaying the AMap walk that
+//! `ExciseProcess` performed, consuming collapsed RIMAS slots in order —
+//! physically carried slots install real pages, owed slots map imaginary
+//! ranges (typically the stand-ins the receiving NetMsgServer created).
+
+use cor_ipc::message::{Message, MsgItem};
+use cor_ipc::port::Right;
+use cor_ipc::NodeId;
+use cor_kernel::process::{Process, ProcessId};
+use cor_kernel::{KernelError, World};
+use cor_mem::amap::Access;
+use cor_mem::page::Frame;
+use cor_mem::space::SegmentId;
+use cor_mem::{AddressSpace, PageNum, PageRange};
+use cor_sim::SimDuration;
+
+use crate::context::{CoreBlob, ExcisedProcess};
+
+/// Measurements of one insertion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InsertReport {
+    /// Total elapsed insertion time.
+    pub total: SimDuration,
+    /// Pages installed from physically carried data.
+    pub carried_pages: u64,
+    /// Pages mapped as owed (imaginary).
+    pub owed_pages: u64,
+    /// Address-space runs re-mapped.
+    pub runs: u64,
+}
+
+enum SlotSrc<'a> {
+    Frames(&'a [Frame]),
+    Iou { seg: SegmentId, seg_offset: u64 },
+}
+
+struct SlotIndex<'a> {
+    /// (base_slot, len, source), sorted by base.
+    entries: Vec<(u64, u64, SlotSrc<'a>)>,
+}
+
+impl<'a> SlotIndex<'a> {
+    fn build(rimas: &'a Message) -> Self {
+        let mut entries: Vec<(u64, u64, SlotSrc<'a>)> = rimas
+            .items
+            .iter()
+            .filter_map(|item| match item {
+                MsgItem::Pages { base_page, frames } => {
+                    Some((*base_page, frames.len() as u64, SlotSrc::Frames(frames)))
+                }
+                MsgItem::Iou {
+                    base_page,
+                    seg,
+                    seg_offset,
+                    pages,
+                } => Some((
+                    *base_page,
+                    *pages,
+                    SlotSrc::Iou {
+                        seg: *seg,
+                        seg_offset: *seg_offset,
+                    },
+                )),
+                _ => None,
+            })
+            .collect();
+        entries.sort_by_key(|&(base, _, _)| base);
+        SlotIndex { entries }
+    }
+
+    fn resolve(&self, slot: u64) -> Option<(&SlotSrc<'a>, u64)> {
+        let idx = self
+            .entries
+            .partition_point(|&(base, len, _)| base + len <= slot);
+        let (base, len, src) = self.entries.get(idx)?;
+        if slot >= *base && slot < base + len {
+            Some((src, slot - base))
+        } else {
+            None
+        }
+    }
+}
+
+/// Recreates a process on `node` from its two context messages.
+///
+/// # Errors
+///
+/// Malformed context messages, unknown node, or port failures while
+/// relocating rights.
+pub fn insert_process(
+    world: &mut World,
+    node: NodeId,
+    excised: ExcisedProcess,
+) -> Result<(ProcessId, InsertReport), KernelError> {
+    let start = world.clock.now();
+    let malformed =
+        || KernelError::Mem(cor_mem::MemError::BadState(PageNum(0), "malformed context"));
+
+    // -- Decode the Core message. --
+    let MsgItem::Inline(blob_bytes) = excised.core.items.first().ok_or_else(malformed)? else {
+        return Err(malformed());
+    };
+    let blob = CoreBlob::decode(blob_bytes).ok_or_else(malformed)?;
+    let rights = excised.core.rights();
+    let amap = excised.core.amap().ok_or_else(malformed)?.clone();
+
+    // -- Rebuild the address space by replaying the collapse walk. The
+    // frame budget applies during installation: physically carried pages
+    // beyond the destination's physical memory overflow to its disk, just
+    // as a bulk-copied context would on the real testbed. --
+    let index = SlotIndex::build(&excised.rimas);
+    let mut space = AddressSpace::new();
+    space.set_frame_budget(blob.budget());
+    let mut cursor = 0u64;
+    let mut carried_pages = 0u64;
+    let mut owed_pages = 0u64;
+    let mut runs = 0u64;
+    {
+        let disk = &mut world.node_mut(node)?.disk;
+        for entry in amap.entries() {
+            match entry.access {
+                Access::RealZero => space.validate_pages(entry.range),
+                Access::Real | Access::Imag => {
+                    runs += 1;
+                    for page in entry.range.iter() {
+                        let (src, off) = index.resolve(cursor).ok_or_else(malformed)?;
+                        match src {
+                            SlotSrc::Frames(frames) => {
+                                space.install_page(page, frames[off as usize].clone(), disk);
+                                carried_pages += 1;
+                            }
+                            SlotSrc::Iou { seg, seg_offset } => {
+                                space.map_imaginary(
+                                    PageRange::new(page, PageNum(page.0 + 1)),
+                                    *seg,
+                                    seg_offset + off,
+                                );
+                                owed_pages += 1;
+                            }
+                        }
+                        cursor += 1;
+                    }
+                }
+                Access::Bad => unreachable!("AMaps never contain BadMem entries"),
+            }
+        }
+    }
+    // -- Relocate the receive and ownership rights to the new host. --
+    for right in &rights {
+        if matches!(right.right, Right::Receive | Right::Ownership) {
+            world.ports.relocate(right.port, node)?;
+        }
+    }
+
+    // -- Reassemble the process. --
+    let mut process = Process::new(excised.pid, blob.name.clone(), space, excised.program);
+    process.pcb.trace_pos = blob.trace_pos as usize;
+    process.pcb.priority = blob.priority;
+    process.pcb.status = blob.status;
+    process.microstate = blob.microstate;
+    process.kernel_stack = blob.kernel_stack;
+    process.rights = rights;
+    process.stats = excised.stats;
+    world.install_process(node, process)?;
+
+    world
+        .clock
+        .advance(world.costs.insert_cost(runs, carried_pages));
+    world.note("migrate", || {
+        format!(
+            "inserted pid{} on {node}: {carried_pages} carried, {owed_pages} owed",
+            excised.pid.0
+        )
+    });
+    let report = InsertReport {
+        total: world.clock.now().since(start),
+        carried_pages,
+        owed_pages,
+        runs,
+    };
+    Ok((excised.pid, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::excise::excise_process;
+    use cor_kernel::program::Trace;
+    use cor_mem::{VAddr, PAGE_SIZE};
+
+    /// Excise on node a, insert on node b, entirely locally (no wire):
+    /// the context messages are consumed as built.
+    #[test]
+    fn excise_insert_roundtrip_preserves_everything() {
+        let (mut world, a, b) = World::testbed();
+        let mut space = AddressSpace::with_frame_budget(6);
+        space.validate(VAddr(0), 32 * PAGE_SIZE).unwrap();
+        let mut tb = Trace::builder();
+        for i in 0..10u64 {
+            tb.write(PageNum(i).base(), 32);
+        }
+        for i in 0..10u64 {
+            tb.read(PageNum(i).base(), 32);
+        }
+        let trace = tb.terminate();
+        let pid = world.create_process(a, "roundtrip", space, trace).unwrap();
+        // Give it some port rights, including a receive right.
+        let owned = world.ports.allocate(a);
+        world.process_mut(a, pid).unwrap().rights = vec![
+            cor_ipc::PortRight {
+                port: owned,
+                right: Right::Receive,
+            },
+            cor_ipc::PortRight {
+                port: owned,
+                right: Right::Ownership,
+            },
+        ];
+        // Run half the trace, then checksum.
+        world.run_for(a, pid, 10).unwrap();
+        let micro_before = world.process(a, pid).unwrap().microstate.clone();
+
+        let dest = world.ports.allocate(b);
+        let (excised, _) = excise_process(&mut world, a, pid, dest).unwrap();
+        let (pid2, report) = insert_process(&mut world, b, excised).unwrap();
+        assert_eq!(pid2, pid, "identity preserved");
+        assert_eq!(report.carried_pages, 10);
+        assert_eq!(report.owed_pages, 0);
+
+        // Port right relocated with the process.
+        assert_eq!(world.ports.home(owned).unwrap(), b);
+        // Context pieces intact.
+        let process = world.process(b, pid).unwrap();
+        assert_eq!(process.pcb.name, "roundtrip");
+        assert_eq!(process.pcb.trace_pos, 10);
+        assert_eq!(process.microstate, micro_before);
+        assert_eq!(process.space.frame_budget(), Some(6));
+        // The space classifies like the original.
+        let st = process.space.stats();
+        assert_eq!(st.real_bytes, 10 * PAGE_SIZE);
+        assert_eq!(st.total_bytes(), 32 * PAGE_SIZE);
+        // Resuming execution reads back exactly what was written.
+        let r = world.run(b, pid).unwrap();
+        assert!(r.finished);
+    }
+
+    #[test]
+    fn final_memory_matches_unmigrated_run() {
+        // Reference: run to completion without migration.
+        let build = |world: &mut World, node| {
+            let mut space = AddressSpace::new();
+            space.validate(VAddr(0), 16 * PAGE_SIZE).unwrap();
+            let mut tb = Trace::builder();
+            for i in 0..12u64 {
+                tb.write(VAddr(i * 700), 100);
+            }
+            world
+                .create_process(node, "check", space, tb.terminate())
+                .unwrap()
+        };
+        let reference = {
+            let (mut world, a, _) = World::testbed();
+            let pid = build(&mut world, a);
+            world.run(a, pid).unwrap();
+            world.touched_checksum(a, pid).unwrap()
+        };
+        let migrated = {
+            let (mut world, a, b) = World::testbed();
+            let pid = build(&mut world, a);
+            world.run_for(a, pid, 5).unwrap();
+            let dest = world.ports.allocate(b);
+            let (excised, _) = excise_process(&mut world, a, pid, dest).unwrap();
+            let (pid, _) = insert_process(&mut world, b, excised).unwrap();
+            world.run(b, pid).unwrap();
+            world.touched_checksum(b, pid).unwrap()
+        };
+        assert_eq!(reference, migrated);
+    }
+
+    #[test]
+    fn malformed_context_is_rejected() {
+        let (mut world, a, b) = World::testbed();
+        let mut space = AddressSpace::new();
+        space.validate(VAddr(0), PAGE_SIZE).unwrap();
+        let pid = world
+            .create_process(
+                a,
+                "x",
+                space,
+                Trace::new(vec![cor_kernel::program::Op::Terminate]),
+            )
+            .unwrap();
+        let dest = world.ports.allocate(b);
+        let (mut excised, _) = excise_process(&mut world, a, pid, dest).unwrap();
+        excised.core.items.clear();
+        assert!(insert_process(&mut world, b, excised).is_err());
+    }
+}

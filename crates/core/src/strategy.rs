@@ -1,0 +1,86 @@
+//! Context transfer strategies.
+
+use std::fmt;
+
+/// How a process's address space travels to the new execution site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Brute force: every RealMem page crosses the wire at migration time
+    /// (the RIMAS message is sent with `NoIOUs` set).
+    PureCopy,
+    /// Copy-on-reference: the source NetMsgServer caches the pages and
+    /// forwards IOUs; each page crosses only when referenced, with
+    /// `prefetch` extra contiguous pages per fault.
+    PureIou {
+        /// Pages prefetched per imaginary fault (paper: 0, 1, 3, 7, 15).
+        prefetch: u64,
+    },
+    /// Middle ground: the resident set (an approximation of the working
+    /// set) ships physically; the MigrationManager actively backs the rest
+    /// with its own imaginary segment.
+    ResidentSet {
+        /// Pages prefetched per imaginary fault.
+        prefetch: u64,
+    },
+    /// V-system style iterative pre-copy (Theimer et al., paper §5):
+    /// the full copy plus modeled dirty-page retransmission rounds. Our
+    /// ablation baseline — not part of the paper's own evaluation.
+    PreCopy {
+        /// Maximum retransmission rounds after the full copy.
+        max_rounds: u32,
+        /// Stop when a round would ship at most this many pages.
+        stop_pages: u64,
+    },
+}
+
+impl Strategy {
+    /// The prefetch amount this strategy runs remote execution with.
+    pub fn prefetch(&self) -> u64 {
+        match self {
+            Strategy::PureIou { prefetch } | Strategy::ResidentSet { prefetch } => *prefetch,
+            Strategy::PureCopy | Strategy::PreCopy { .. } => 0,
+        }
+    }
+
+    /// Short family name without parameters.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Strategy::PureCopy => "pure-copy",
+            Strategy::PureIou { .. } => "pure-iou",
+            Strategy::ResidentSet { .. } => "resident-set",
+            Strategy::PreCopy { .. } => "pre-copy",
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::PureCopy => write!(f, "pure-copy"),
+            Strategy::PureIou { prefetch } => write!(f, "pure-iou(pf={prefetch})"),
+            Strategy::ResidentSet { prefetch } => write!(f, "resident-set(pf={prefetch})"),
+            Strategy::PreCopy { max_rounds, .. } => write!(f, "pre-copy(rounds<={max_rounds})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_extraction() {
+        assert_eq!(Strategy::PureCopy.prefetch(), 0);
+        assert_eq!(Strategy::PureIou { prefetch: 7 }.prefetch(), 7);
+        assert_eq!(Strategy::ResidentSet { prefetch: 3 }.prefetch(), 3);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            Strategy::PureIou { prefetch: 1 }.to_string(),
+            "pure-iou(pf=1)"
+        );
+        assert_eq!(Strategy::PureCopy.family(), "pure-copy");
+    }
+}

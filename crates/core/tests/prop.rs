@@ -1,0 +1,133 @@
+//! Property tests for the migration machinery: context codec fidelity and
+//! collapse/reconstruction bijectivity.
+
+use proptest::prelude::*;
+
+use cor_kernel::process::RunStatus;
+use cor_kernel::program::Trace;
+use cor_kernel::World;
+use cor_mem::{AddressSpace, Fault, PageNum, PageRange, VAddr, PAGE_SIZE};
+use cor_migrate::context::CoreBlob;
+use cor_migrate::{excise_process, insert_process};
+
+fn blob_strategy() -> impl proptest::strategy::Strategy<Value = CoreBlob> {
+    (
+        "[a-zA-Z0-9 _-]{0,40}",
+        any::<u64>(),
+        any::<u8>(),
+        0u8..4,
+        prop::collection::vec(any::<u8>(), 0..600),
+        prop::collection::vec(any::<u8>(), 0..100),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(name, trace_pos, priority, status, microstate, kernel_stack, frame_budget)| {
+                CoreBlob {
+                    name,
+                    trace_pos,
+                    priority,
+                    status: match status {
+                        0 => RunStatus::Ready,
+                        1 => RunStatus::Running,
+                        2 => RunStatus::Blocked,
+                        _ => RunStatus::Terminated,
+                    },
+                    microstate,
+                    kernel_stack,
+                    frame_budget,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// The Core-message codec is the identity.
+    #[test]
+    fn core_blob_roundtrips(blob in blob_strategy()) {
+        let bytes = blob.encode();
+        prop_assert_eq!(CoreBlob::decode(&bytes), Some(blob));
+    }
+
+    /// Any truncation of a valid encoding is rejected.
+    #[test]
+    fn core_blob_rejects_truncation(blob in blob_strategy(), cut in 1usize..64) {
+        let bytes = blob.encode();
+        let cut = cut.min(bytes.len());
+        prop_assert!(CoreBlob::decode(&bytes[..bytes.len() - cut]).is_none());
+    }
+
+    /// Excise→insert reproduces the address-space composition exactly, for
+    /// arbitrary sparse layouts: every page keeps its class, every real
+    /// page keeps its bytes.
+    #[test]
+    fn collapse_reconstruction_is_bijective(
+        regions in prop::collection::vec((0u64..200, 1u64..24), 1..6),
+        touched in prop::collection::vec(0u64..220, 0..60),
+        budget in 2usize..12,
+    ) {
+        let (mut world, a, b) = World::testbed();
+        let mut space = AddressSpace::with_frame_budget(budget);
+        for &(start, len) in &regions {
+            space.validate_pages(PageRange::new(PageNum(start), PageNum(start + len)));
+        }
+        let disk_scope = |world: &mut World, space: &mut AddressSpace, page: PageNum| {
+            let n = world.node_mut(a).unwrap();
+            loop {
+                match space.check_write(page) {
+                    Ok(()) => break,
+                    Err(Fault::FillZero { page }) => space.fill_zero(page, &mut n.disk).unwrap(),
+                    Err(Fault::DiskIn { page, .. }) => space.page_in(page, &mut n.disk).unwrap(),
+                    Err(Fault::Addressing { .. }) => return false,
+                    Err(f) => panic!("unexpected {f:?}"),
+                }
+            }
+            true
+        };
+        let mut materialized = Vec::new();
+        for &p in &touched {
+            let page = PageNum(p);
+            if disk_scope(&mut world, &mut space, page) {
+                space.write(page.base(), &[p as u8 ^ 0xA5; 16]).unwrap();
+                materialized.push(page);
+            }
+        }
+        let before = space.stats();
+        let classes: Vec<_> = (0..240u64).map(|p| space.classify(PageNum(p))).collect();
+        let pid = world
+            .create_process(a, "prop", space, Trace::new(vec![cor_kernel::program::Op::Terminate]))
+            .unwrap();
+        let dest = world.ports.allocate(b);
+        let (excised, _) = excise_process(&mut world, a, pid, dest).unwrap();
+        let (pid, _) = insert_process(&mut world, b, excised).unwrap();
+        let process = world.node_mut(b).unwrap();
+        let proc_ref = process.processes.get_mut(&pid).unwrap();
+        let after = proc_ref.space.stats();
+        prop_assert_eq!(before.real_bytes, after.real_bytes);
+        prop_assert_eq!(before.realzero_bytes, after.realzero_bytes);
+        prop_assert_eq!(before.total_bytes(), after.total_bytes());
+        for (p, &class) in classes.iter().enumerate() {
+            prop_assert_eq!(proc_ref.space.classify(PageNum(p as u64)), class, "page {}", p);
+        }
+        // Contents survived, wherever they now live (resident or disk).
+        for page in materialized {
+            let n = world.node_mut(b).unwrap();
+            let pr = n.processes.get_mut(&pid).unwrap();
+            let data = pr.space.peek_page(page, &mut n.disk).unwrap();
+            prop_assert_eq!(data[0], page.0 as u8 ^ 0xA5, "page {} contents", page.0);
+        }
+    }
+
+    /// Validation byte-accounting is exact for arbitrary page ranges.
+    #[test]
+    fn validation_accounting(regions in prop::collection::vec((0u64..10_000, 1u64..500), 1..12)) {
+        let mut space = AddressSpace::new();
+        let mut covered = std::collections::HashSet::new();
+        for &(start, len) in &regions {
+            space.validate(VAddr(start * PAGE_SIZE), len * PAGE_SIZE).unwrap();
+            for p in start..start + len {
+                covered.insert(p);
+            }
+        }
+        prop_assert_eq!(space.stats().total_bytes(), covered.len() as u64 * PAGE_SIZE);
+    }
+}

@@ -1,0 +1,300 @@
+//! The reproduction gate: programmatic paper-vs-measured checks.
+//!
+//! `experiments check` runs the full matrix and asserts every reproduced
+//! quantity against the paper with explicit tolerances, printing a
+//! PASS/FAIL line per check and failing the process if anything drifted.
+//! This is the regression suite for the *reproduction itself* — the unit
+//! tests guard the code; this guards the science.
+
+use cor_migrate::Strategy;
+use cor_workloads::Workload;
+
+use crate::runner::Matrix;
+
+/// One verified claim.
+#[derive(Debug)]
+pub struct Check {
+    /// What was checked.
+    pub label: String,
+    /// The measured value.
+    pub measured: f64,
+    /// The paper's value (or bound).
+    pub expected: f64,
+    /// Allowed relative deviation (fraction), or absolute when
+    /// `expected == 0`.
+    pub tolerance: f64,
+    /// Whether it passed.
+    pub pass: bool,
+}
+
+fn rel(label: impl Into<String>, measured: f64, expected: f64, tolerance: f64) -> Check {
+    let pass = if expected == 0.0 {
+        measured.abs() <= tolerance
+    } else {
+        ((measured - expected) / expected).abs() <= tolerance
+    };
+    Check {
+        label: label.into(),
+        measured,
+        expected,
+        tolerance,
+        pass,
+    }
+}
+
+fn bound(label: impl Into<String>, measured: f64, lo: f64, hi: f64) -> Check {
+    Check {
+        label: label.into(),
+        measured,
+        expected: (lo + hi) / 2.0,
+        tolerance: (hi - lo) / (lo + hi),
+        pass: (lo..=hi).contains(&measured),
+    }
+}
+
+/// Runs every reproduction check. Table 4-1/4-2 quantities are exact by
+/// construction (asserted in unit tests), so the gate focuses on the
+/// *measured* dynamics: utilizations, timings, savings, and the claims of
+/// §4.3–§4.5.
+pub fn run_checks(matrix: &mut Matrix, workloads: &[Workload]) -> Vec<Check> {
+    let mut checks = Vec::new();
+
+    // Table 4-3: remote utilization, per representative (±2% of Real).
+    for w in workloads {
+        if let Some(paper) = w.paper.iou_pct_real {
+            let t = matrix.trial(w, Strategy::PureIou { prefetch: 0 });
+            let measured = 100.0 * t.touched_real_pages as f64 / t.real_pages as f64;
+            checks.push(rel(
+                format!("table4-3 {} IOU %Real", w.name()),
+                measured,
+                paper,
+                0.02,
+            ));
+        }
+    }
+
+    // Table 4-4: excision totals within 35%; the spread within a factor.
+    let mut excises = Vec::new();
+    for w in workloads {
+        let t = matrix.trial(w, Strategy::PureIou { prefetch: 0 });
+        let measured = t.migration.timings.excise_total.as_secs_f64();
+        excises.push(measured);
+        checks.push(rel(
+            format!("table4-4 {} excise overall (s)", w.name()),
+            measured,
+            w.paper.excise_total_s,
+            0.35,
+        ));
+    }
+    let spread = excises.iter().cloned().fold(0.0f64, f64::max)
+        / excises.iter().cloned().fold(f64::MAX, f64::min);
+    checks.push(bound(
+        "table4-4 excise spread (paper: ~4x)",
+        spread,
+        2.0,
+        6.0,
+    ));
+
+    // Table 4-5: RS and Copy transfers within 25%; IOU stays sub-second.
+    for w in workloads {
+        let copy = matrix
+            .trial(w, Strategy::PureCopy)
+            .migration
+            .timings
+            .rimas_transfer
+            .as_secs_f64();
+        checks.push(rel(
+            format!("table4-5 {} copy transfer (s)", w.name()),
+            copy,
+            w.paper.xfer_copy_s,
+            0.25,
+        ));
+        let rs = matrix
+            .trial(w, Strategy::ResidentSet { prefetch: 0 })
+            .migration
+            .timings
+            .rimas_transfer
+            .as_secs_f64();
+        checks.push(rel(
+            format!("table4-5 {} RS transfer (s)", w.name()),
+            rs,
+            w.paper.xfer_rs_s,
+            0.25,
+        ));
+        let iou = matrix
+            .trial(w, Strategy::PureIou { prefetch: 0 })
+            .migration
+            .timings
+            .rimas_transfer
+            .as_secs_f64();
+        checks.push(bound(
+            format!("table4-5 {} IOU transfer sub-second", w.name()),
+            iou,
+            0.0,
+            0.5,
+        ));
+    }
+
+    // §4.3.2 headline: the extreme copy/IOU ratio is ~1000x.
+    if let Some(w) = workloads.iter().find(|w| w.name() == "Lisp-Del") {
+        let copy = matrix
+            .trial(w, Strategy::PureCopy)
+            .migration
+            .timings
+            .rimas_transfer
+            .as_secs_f64();
+        let iou = matrix
+            .trial(w, Strategy::PureIou { prefetch: 0 })
+            .migration
+            .timings
+            .rimas_transfer
+            .as_secs_f64();
+        checks.push(bound(
+            "§4.3.2 Lisp-Del copy/IOU ratio (~1000x)",
+            copy / iou,
+            500.0,
+            1500.0,
+        ));
+    }
+
+    // §4.3.3: Chess penalty ~3%; Minprog slowdown ~44x (same order).
+    if let Some(chess) = workloads.iter().find(|w| w.name() == "Chess") {
+        let copy = matrix
+            .trial(chess, Strategy::PureCopy)
+            .exec_elapsed
+            .as_secs_f64();
+        let iou = matrix
+            .trial(chess, Strategy::PureIou { prefetch: 0 })
+            .exec_elapsed
+            .as_secs_f64();
+        checks.push(bound(
+            "§4.3.3 Chess IOU exec penalty %",
+            100.0 * (iou - copy) / copy,
+            0.0,
+            8.0,
+        ));
+    }
+    if let Some(minprog) = workloads.iter().find(|w| w.name() == "Minprog") {
+        let copy = matrix
+            .trial(minprog, Strategy::PureCopy)
+            .exec_elapsed
+            .as_secs_f64();
+        let iou = matrix
+            .trial(minprog, Strategy::PureIou { prefetch: 0 })
+            .exec_elapsed
+            .as_secs_f64();
+        checks.push(bound(
+            "§4.3.3 Minprog IOU slowdown factor (~44x)",
+            iou / copy,
+            20.0,
+            100.0,
+        ));
+    }
+
+    // §4.3.4: one page of prefetch never hurts end-to-end.
+    for w in workloads {
+        let pf0 = matrix
+            .trial(w, Strategy::PureIou { prefetch: 0 })
+            .end_to_end()
+            .as_secs_f64();
+        let pf1 = matrix
+            .trial(w, Strategy::PureIou { prefetch: 1 })
+            .end_to_end()
+            .as_secs_f64();
+        checks.push(bound(
+            format!("§4.3.4 {} prefetch-1 never hurts (ratio)", w.name()),
+            pf1 / pf0,
+            0.0,
+            1.005,
+        ));
+    }
+
+    // §4.4 aggregates.
+    let mut byte_savings = Vec::new();
+    let mut msg_savings = Vec::new();
+    for w in workloads {
+        let copy = matrix.trial(w, Strategy::PureCopy).clone();
+        let iou = matrix.trial(w, Strategy::PureIou { prefetch: 0 }).clone();
+        byte_savings.push(100.0 * (1.0 - iou.total_bytes as f64 / copy.total_bytes as f64));
+        msg_savings.push(100.0 * (1.0 - iou.msg_cpu.as_secs_f64() / copy.msg_cpu.as_secs_f64()));
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    checks.push(bound(
+        "§4.4.1 average byte savings % (paper 58.2)",
+        avg(&byte_savings),
+        45.0,
+        70.0,
+    ));
+    checks.push(bound(
+        "§4.4.2 average message savings % (paper 47.8)",
+        avg(&msg_savings),
+        40.0,
+        65.0,
+    ));
+    checks.push(bound(
+        "§4.4 IOU saves bytes in every case (min %)",
+        byte_savings.iter().cloned().fold(f64::MAX, f64::min),
+        0.0,
+        100.0,
+    ));
+
+    checks
+}
+
+/// Renders checks and returns `true` when everything passed.
+pub fn render(checks: &[Check]) -> (String, bool) {
+    let mut out = String::from("Reproduction gate: paper-vs-measured checks\n\n");
+    let mut all_pass = true;
+    for c in checks {
+        all_pass &= c.pass;
+        out.push_str(&format!(
+            "  [{}] {:<48} measured {:>9.3} vs expected {:>9.3} (tol {:.0}%)\n",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.label,
+            c.measured,
+            c.expected,
+            c.tolerance * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} of {} checks passed\n",
+        checks.iter().filter(|c| c.pass).count(),
+        checks.len()
+    ));
+    (out, all_pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_and_bound_logic() {
+        assert!(rel("x", 10.0, 10.0, 0.0).pass);
+        assert!(rel("x", 11.0, 10.0, 0.15).pass);
+        assert!(!rel("x", 12.0, 10.0, 0.15).pass);
+        assert!(rel("zero", 0.0, 0.0, 0.1).pass);
+        assert!(bound("b", 5.0, 1.0, 10.0).pass);
+        assert!(!bound("b", 11.0, 1.0, 10.0).pass);
+    }
+
+    #[test]
+    fn minprog_slice_of_the_gate_passes() {
+        // The full gate runs in `experiments check`; here just the cheap
+        // Minprog-only subset proves the plumbing.
+        let workloads = vec![cor_workloads::minprog::workload()];
+        let mut m = Matrix::new();
+        let checks = run_checks(&mut m, &workloads);
+        let (rendered, _all) = render(&checks);
+        assert!(rendered.contains("Minprog"));
+        // Aggregate checks (spread, fleet averages) are meaningless on a
+        // one-workload slice; every per-workload check must pass.
+        let failed: Vec<&Check> = checks.iter().filter(|c| !c.pass).collect();
+        assert!(
+            failed
+                .iter()
+                .all(|c| c.label.contains("spread") || c.label.contains("average")),
+            "per-workload checks must pass on a slice: {failed:?}"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The `experiments` binary: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <command>
+//!
+//! commands:
+//!   table4-1 table4-2 table4-3 table4-4 table4-5
+//!   fig4-1 fig4-2 fig4-3 fig4-4 fig4-5
+//!   constants   fault-service microbenchmarks (§4.3.3)
+//!   summary     §4.4 aggregate savings
+//!   speedups    §4.3.2 transfer speedups
+//!   ablation    pre-copy ablation (ours)
+//!   all         everything above, in order
+//! ```
+
+use cor_experiments::{figures, runner::Matrix, summary, tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let workloads = cor_workloads::all();
+    let mut matrix = Matrix::new();
+    let emit = |s: String| println!("{s}");
+    match cmd {
+        "table4-1" => emit(tables::table4_1(&workloads)),
+        "table4-2" => emit(tables::table4_2(&workloads)),
+        "table4-3" => emit(tables::table4_3(&mut matrix, &workloads)),
+        "table4-4" => emit(tables::table4_4(&mut matrix, &workloads)),
+        "table4-5" => emit(tables::table4_5(&mut matrix, &workloads)),
+        "fig4-1" => emit(figures::fig4_1(&mut matrix, &workloads)),
+        "fig4-2" => emit(figures::fig4_2(&mut matrix, &workloads)),
+        "fig4-3" => emit(figures::fig4_3(&mut matrix, &workloads)),
+        "fig4-4" => emit(figures::fig4_4(&mut matrix, &workloads)),
+        "fig4-5" => emit(figures::fig4_5(&mut matrix)),
+        "constants" => emit(summary::constants()),
+        "summary" => emit(summary::aggregates(&mut matrix, &workloads)),
+        "speedups" => emit(summary::transfer_speedups(&mut matrix, &workloads)),
+        "ablation" => emit(summary::ablation(&workloads)),
+        "cow-study" => emit(summary::cow_study()),
+        "sensitivity" => emit(summary::sensitivity()),
+        "modern" => emit(summary::modern_study(&workloads)),
+        "trace" => emit(summary::trace_demo(
+            args.get(1).map(String::as_str).unwrap_or("Minprog"),
+        )),
+        "policy" => emit(summary::policy_demo()),
+        "csv" => emit(cor_experiments::runner::matrix_csv(&mut matrix, &workloads)),
+        "check" => {
+            let checks = cor_experiments::check::run_checks(&mut matrix, &workloads);
+            let (rendered, all_pass) = cor_experiments::check::render(&checks);
+            println!("{rendered}");
+            if !all_pass {
+                std::process::exit(1);
+            }
+        }
+        "all" => {
+            emit(tables::table4_1(&workloads));
+            emit(tables::table4_2(&workloads));
+            emit(tables::table4_3(&mut matrix, &workloads));
+            emit(tables::table4_4(&mut matrix, &workloads));
+            emit(tables::table4_5(&mut matrix, &workloads));
+            emit(figures::fig4_1(&mut matrix, &workloads));
+            emit(figures::fig4_2(&mut matrix, &workloads));
+            emit(figures::fig4_3(&mut matrix, &workloads));
+            emit(figures::fig4_4(&mut matrix, &workloads));
+            emit(figures::fig4_5(&mut matrix));
+            emit(summary::constants());
+            emit(summary::transfer_speedups(&mut matrix, &workloads));
+            emit(summary::aggregates(&mut matrix, &workloads));
+            emit(summary::ablation(&workloads));
+            emit(summary::cow_study());
+            emit(summary::sensitivity());
+            emit(summary::modern_study(&workloads));
+            emit(summary::policy_demo());
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            eprintln!(
+                "commands: table4-1..table4-5, fig4-1..fig4-5, constants, summary, \
+                 speedups, ablation, cow-study, sensitivity, modern, trace [name], policy, csv, check, all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Trial execution: one migration + remote execution per matrix cell.
+
+use std::collections::{HashMap, HashSet};
+
+use cor_kernel::World;
+use cor_mem::PageNum;
+use cor_migrate::{MigrationManager, MigrationReport, Strategy};
+use cor_sim::{Ledger, LedgerCategory, SimDuration, SimTime};
+use cor_workloads::Workload;
+
+use crate::PREFETCHES;
+
+/// The complete measurement record of one trial.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// Representative name.
+    pub workload: String,
+    /// Strategy under test.
+    pub strategy: Strategy,
+    /// The migration-phase report.
+    pub migration: MigrationReport,
+    /// Remote execution time (first instruction at the new host to
+    /// termination) — the Figure 4-1 quantity.
+    pub exec_elapsed: SimDuration,
+    /// Total wire bytes for the whole trial (Figure 4-3).
+    pub total_bytes: u64,
+    /// Wire bytes in the bulk category.
+    pub bulk_bytes: u64,
+    /// Wire bytes in support of imaginary faults.
+    pub fault_bytes: u64,
+    /// Message-handling CPU summed over both nodes (Figure 4-4).
+    pub msg_cpu: SimDuration,
+    /// Messages sent (local + remote).
+    pub msgs: u64,
+    /// Imaginary faults taken remotely.
+    pub imag_faults: u64,
+    /// Local disk faults taken remotely.
+    pub disk_faults: u64,
+    /// Zero-fill faults taken remotely.
+    pub zero_faults: u64,
+    /// Prefetch hit ratio, when anything was prefetched.
+    pub prefetch_hit_ratio: Option<f64>,
+    /// Distinct RealMem pages the process touched at the new site.
+    pub touched_real_pages: u64,
+    /// RealMem pages at migration time.
+    pub real_pages: u64,
+    /// Total validated pages.
+    pub total_pages: u64,
+    /// |resident set ∪ remotely-touched real pages| — the Table 4-3
+    /// resident-set column numerator.
+    pub rs_union_pages: u64,
+    /// The full categorized wire ledger (Figure 4-5 time series).
+    pub ledger: Ledger,
+    /// Trial end time.
+    pub end_time: SimTime,
+}
+
+impl Trial {
+    /// Transfer + remote execution, the Figure 4-2 end-to-end quantity.
+    pub fn end_to_end(&self) -> SimDuration {
+        self.migration.timings.rimas_transfer + self.exec_elapsed
+    }
+
+    /// The CSV column names matching [`Trial::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "workload,strategy,prefetch,excise_s,core_xfer_s,rimas_xfer_s,insert_s,\
+         exec_s,end_to_end_s,wire_bytes,bulk_bytes,fault_bytes,msg_cpu_s,msgs,\
+         imag_faults,disk_faults,zero_faults,prefetch_hit_ratio,\
+         touched_real_pages,real_pages,carried_pages,owed_pages"
+    }
+
+    /// One machine-readable record of this trial.
+    pub fn csv_row(&self) -> String {
+        let t = &self.migration.timings;
+        format!(
+            "{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{:.4},{},{},{},{},{},{},{},{},{}",
+            self.workload,
+            self.strategy.family(),
+            self.strategy.prefetch(),
+            t.excise_total.as_secs_f64(),
+            t.core_transfer.as_secs_f64(),
+            t.rimas_transfer.as_secs_f64(),
+            t.insert_total.as_secs_f64(),
+            self.exec_elapsed.as_secs_f64(),
+            self.end_to_end().as_secs_f64(),
+            self.total_bytes,
+            self.bulk_bytes,
+            self.fault_bytes,
+            self.msg_cpu.as_secs_f64(),
+            self.msgs,
+            self.imag_faults,
+            self.disk_faults,
+            self.zero_faults,
+            self.prefetch_hit_ratio.map_or(String::new(), |h| format!("{h:.3}")),
+            self.touched_real_pages,
+            self.real_pages,
+            self.migration.carried_pages,
+            self.migration.owed_pages,
+        )
+    }
+}
+
+/// Renders the complete paper matrix (7 representatives × 11 strategy
+/// cells) as CSV for downstream analysis.
+pub fn matrix_csv(matrix: &mut Matrix, workloads: &[Workload]) -> String {
+    let mut out = String::from(Trial::csv_header());
+    out.push('\n');
+    for w in workloads {
+        for s in Matrix::paper_strategies() {
+            out.push_str(&matrix.trial(w, s).csv_row());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Runs one trial of `workload` under `strategy` on a fresh testbed with
+/// the default (1987-calibrated) cost models.
+///
+/// # Panics
+///
+/// Panics if the simulation reports an internal error — trials are
+/// deterministic, so this indicates a bug, not an environmental failure.
+pub fn run_trial(workload: &Workload, strategy: Strategy) -> Trial {
+    run_trial_with(
+        workload,
+        strategy,
+        cor_kernel::CostModel::default(),
+        cor_net::WireParams::default(),
+    )
+}
+
+/// Runs one trial under explicit cost models (used by the modern-hardware
+/// what-if study).
+///
+/// # Panics
+///
+/// As for [`run_trial`].
+pub fn run_trial_with(
+    workload: &Workload,
+    strategy: Strategy,
+    costs: cor_kernel::CostModel,
+    wire: cor_net::WireParams,
+) -> Trial {
+    let mut world = World::new(costs, wire);
+    let a = world.add_node();
+    let b = world.add_node();
+    let src = MigrationManager::new(&mut world, a);
+    let dst = MigrationManager::new(&mut world, b);
+    let pid = workload.build(&mut world, a).expect("workload build");
+    let (real_set, resident_set, total_pages) = {
+        let process = world.process(a, pid).expect("process");
+        let real: HashSet<PageNum> = process.space.materialized_pages().map(|(p, _)| p).collect();
+        let resident: HashSet<PageNum> = process.space.resident_pages().into_iter().collect();
+        let total = process.space.stats().total_bytes() / cor_mem::PAGE_SIZE;
+        (real, resident, total)
+    };
+    let migration = src
+        .migrate_to(&mut world, &dst, pid, strategy)
+        .expect("migration");
+    let exec = world.run(b, pid).expect("remote execution");
+    let stats = world.process(b, pid).expect("process").stats.clone();
+    let touched_real: HashSet<PageNum> = stats.touched.intersection(&real_set).copied().collect();
+    let rs_union = resident_set.union(&touched_real).count() as u64;
+    let fabric_stats = world.fabric.stats().clone();
+    Trial {
+        workload: workload.name().to_string(),
+        strategy,
+        migration,
+        exec_elapsed: exec.elapsed,
+        total_bytes: world.fabric.ledger.total(),
+        bulk_bytes: world.fabric.ledger.total_for(LedgerCategory::Bulk),
+        fault_bytes: world.fabric.ledger.total_for(LedgerCategory::FaultSupport),
+        msg_cpu: fabric_stats.cpu_total,
+        msgs: fabric_stats.msgs_total,
+        imag_faults: stats.imag_faults,
+        disk_faults: stats.disk_faults,
+        zero_faults: stats.zero_faults,
+        prefetch_hit_ratio: stats.prefetch_hit_ratio(),
+        touched_real_pages: touched_real.len() as u64,
+        real_pages: real_set.len() as u64,
+        total_pages,
+        rs_union_pages: rs_union,
+        ledger: world.fabric.ledger.clone(),
+        end_time: world.clock.now(),
+    }
+}
+
+/// The full experiment matrix: every representative under pure-copy and
+/// under pure-IOU / resident-set at each studied prefetch value, computed
+/// lazily and cached.
+#[derive(Default)]
+pub struct Matrix {
+    cache: HashMap<(String, String), Trial>,
+}
+
+impl Matrix {
+    /// Creates an empty (lazy) matrix.
+    pub fn new() -> Self {
+        Matrix::default()
+    }
+
+    /// Returns the trial for `(workload, strategy)`, running it on first
+    /// use.
+    pub fn trial(&mut self, workload: &Workload, strategy: Strategy) -> &Trial {
+        let key = (workload.name().to_string(), strategy.to_string());
+        self.cache
+            .entry(key)
+            .or_insert_with(|| run_trial(workload, strategy))
+    }
+
+    /// All strategies of the paper's matrix for one workload: pure-copy,
+    /// then pure-IOU at each prefetch, then resident-set at each prefetch.
+    pub fn paper_strategies() -> Vec<Strategy> {
+        let mut v = vec![Strategy::PureCopy];
+        v.extend(
+            PREFETCHES
+                .iter()
+                .map(|&p| Strategy::PureIou { prefetch: p }),
+        );
+        v.extend(
+            PREFETCHES
+                .iter()
+                .map(|&p| Strategy::ResidentSet { prefetch: p }),
+        );
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minprog_trial_sanity() {
+        let w = cor_workloads::minprog::workload();
+        let t = run_trial(&w, Strategy::PureIou { prefetch: 0 });
+        assert_eq!(t.real_pages, 278);
+        assert_eq!(t.touched_real_pages, 24);
+        assert_eq!(t.imag_faults, 24);
+        assert!(t.total_bytes > 24 * 512);
+        // IOU RIMAS transfer is sub-second (Table 4-5 says 0.16 s).
+        assert!(t.migration.timings.rimas_transfer.as_secs_f64() < 0.5);
+    }
+
+    #[test]
+    fn matrix_caches_trials() {
+        let mut m = Matrix::new();
+        let w = cor_workloads::minprog::workload();
+        let a = m.trial(&w, Strategy::PureCopy).end_time;
+        let b = m.trial(&w, Strategy::PureCopy).end_time;
+        assert_eq!(a, b);
+        assert_eq!(m.cache.len(), 1);
+    }
+
+    #[test]
+    fn csv_rows_are_complete_and_parseable() {
+        let w = cor_workloads::minprog::workload();
+        let t = run_trial(&w, Strategy::PureIou { prefetch: 1 });
+        let header_cols = Trial::csv_header().split(',').count();
+        let row = t.csv_row();
+        assert_eq!(row.split(',').count(), header_cols, "{row}");
+        assert!(row.starts_with("Minprog,pure-iou,1,"));
+        // Numeric fields parse.
+        let cols: Vec<&str> = row.split(',').collect();
+        assert!(cols[8].parse::<f64>().is_ok(), "end_to_end: {}", cols[8]);
+        assert!(cols[9].parse::<u64>().is_ok(), "wire_bytes: {}", cols[9]);
+    }
+
+    #[test]
+    fn paper_strategy_matrix_shape() {
+        let s = Matrix::paper_strategies();
+        assert_eq!(s.len(), 11);
+        assert!(matches!(s[0], Strategy::PureCopy));
+    }
+}

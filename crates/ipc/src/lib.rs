@@ -1,0 +1,33 @@
+//! Accent-style inter-process communication.
+//!
+//! Accent's IPC and virtual memory are "closely integrated, operating
+//! symbiotically" (paper §2.1). This crate implements the IPC half:
+//!
+//! * [`port`] — ports and port rights. Ports are location-transparent
+//!   names: the registry records each port's current home node, and the
+//!   NetMsgServer (in `cor-net`) forwards messages whose destination lives
+//!   elsewhere. Moving a receive right (as migration does) never invalidates
+//!   anyone's send rights.
+//! * [`message`] — typed messages. A single message can carry all the
+//!   memory a process addresses: inline bytes (physically copied),
+//!   out-of-line page runs (mapped **copy-on-write** into the receiver — the
+//!   deferred-copy machinery of §2.1), IOU items referencing imaginary
+//!   segments, port rights, and AMaps.
+//! * [`segment`] — the imaginary segment registry (§2.2): each segment is
+//!   a memory object served through a *backing port*; its page references
+//!   are counted, and when the last reference dies the backer is owed an
+//!   `ImaginarySegmentDeath` notice.
+//! * [`protocol`] — constructors/parsers for the well-known messages of the
+//!   copy-on-reference machinery (`ImaginaryReadRequest`,
+//!   `ImaginaryReadReply`, `ImaginarySegmentDeath`) and the migration
+//!   control plane.
+
+pub mod message;
+pub mod port;
+pub mod protocol;
+pub mod segment;
+
+pub use message::{Message, MsgItem, MsgKind};
+pub use port::{NodeId, PortId, PortRegistry, PortRight, Right};
+pub use protocol::ProtocolMsg;
+pub use segment::{Segment, SegmentRegistry};

@@ -1,0 +1,270 @@
+//! Ports: location-transparent communication endpoints.
+//!
+//! A port is a protected kernel queue named independently of its location.
+//! Processes hold *rights* to ports; the unique receive right determines
+//! where messages are delivered, and moving it (as `InsertProcess` does
+//! when a migrated process carries its ports along) leaves every
+//! outstanding send right valid — the location transparency that RIG and
+//! DCN lacked and that Accent migration depends on (paper §5).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use crate::message::Message;
+
+/// Identifies a machine in the simulated distributed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A globally unique port name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u64);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// The kinds of rights a process can hold on a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Right {
+    /// May enqueue messages.
+    Send,
+    /// May dequeue messages; unique per port.
+    Receive,
+    /// Owns the port's lifetime; unique per port.
+    Ownership,
+}
+
+/// A right on a specific port, as carried in messages and process contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortRight {
+    /// The named port.
+    pub port: PortId,
+    /// The right held.
+    pub right: Right,
+}
+
+#[derive(Debug)]
+struct PortEntry {
+    home: NodeId,
+    queue: VecDeque<Message>,
+    alive: bool,
+}
+
+/// Errors from port operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortError {
+    /// The port was never allocated or has been deallocated.
+    Dead(PortId),
+}
+
+impl fmt::Display for PortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortError::Dead(p) => write!(f, "{p} is dead or was never allocated"),
+        }
+    }
+}
+
+impl std::error::Error for PortError {}
+
+/// The system-wide port name service and message queues.
+///
+/// In real Accent each kernel holds its own ports and the NetMsgServers
+/// extend the namespace across machines; the simulation centralizes the
+/// *name service* while `cor-net` still models the cross-machine data path
+/// (forwarding, fragmentation, wire costs) explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use cor_ipc::{Message, MsgKind, NodeId, PortRegistry};
+///
+/// let mut ports = PortRegistry::new();
+/// let p = ports.allocate(NodeId(0));
+/// ports.enqueue(p, Message::new(MsgKind::User(1), p)).unwrap();
+/// assert_eq!(ports.queue_len(p), 1);
+/// let m = ports.dequeue(p).unwrap().unwrap();
+/// assert_eq!(m.kind, MsgKind::User(1));
+/// ```
+#[derive(Debug, Default)]
+pub struct PortRegistry {
+    ports: HashMap<PortId, PortEntry>,
+    next: u64,
+}
+
+impl PortRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        PortRegistry::default()
+    }
+
+    /// Allocates a fresh port whose receive right lives on `home`.
+    pub fn allocate(&mut self, home: NodeId) -> PortId {
+        let id = PortId(self.next);
+        self.next += 1;
+        self.ports.insert(
+            id,
+            PortEntry {
+                home,
+                queue: VecDeque::new(),
+                alive: true,
+            },
+        );
+        id
+    }
+
+    /// The node currently holding the receive right.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::Dead`] for unknown or deallocated ports.
+    pub fn home(&self, port: PortId) -> Result<NodeId, PortError> {
+        match self.ports.get(&port) {
+            Some(e) if e.alive => Ok(e.home),
+            _ => Err(PortError::Dead(port)),
+        }
+    }
+
+    /// Relocates the receive right (migration does this for every port a
+    /// process owns). Queued messages travel with it — the caller accounts
+    /// their transfer cost.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::Dead`] for unknown or deallocated ports.
+    pub fn relocate(&mut self, port: PortId, new_home: NodeId) -> Result<(), PortError> {
+        match self.ports.get_mut(&port) {
+            Some(e) if e.alive => {
+                e.home = new_home;
+                Ok(())
+            }
+            _ => Err(PortError::Dead(port)),
+        }
+    }
+
+    /// Enqueues a message on `port`.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::Dead`] for unknown or deallocated ports.
+    pub fn enqueue(&mut self, port: PortId, msg: Message) -> Result<(), PortError> {
+        match self.ports.get_mut(&port) {
+            Some(e) if e.alive => {
+                e.queue.push_back(msg);
+                Ok(())
+            }
+            _ => Err(PortError::Dead(port)),
+        }
+    }
+
+    /// Dequeues the oldest message, or `Ok(None)` when the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::Dead`] for unknown or deallocated ports.
+    pub fn dequeue(&mut self, port: PortId) -> Result<Option<Message>, PortError> {
+        match self.ports.get_mut(&port) {
+            Some(e) if e.alive => Ok(e.queue.pop_front()),
+            _ => Err(PortError::Dead(port)),
+        }
+    }
+
+    /// Number of queued messages (zero for dead ports).
+    pub fn queue_len(&self, port: PortId) -> usize {
+        self.ports
+            .get(&port)
+            .filter(|e| e.alive)
+            .map_or(0, |e| e.queue.len())
+    }
+
+    /// Destroys a port. Queued messages are dropped; subsequent operations
+    /// return [`PortError::Dead`].
+    pub fn deallocate(&mut self, port: PortId) {
+        if let Some(e) = self.ports.get_mut(&port) {
+            e.alive = false;
+            e.queue.clear();
+        }
+    }
+
+    /// Whether the port is alive.
+    pub fn is_alive(&self, port: PortId) -> bool {
+        self.ports.get(&port).is_some_and(|e| e.alive)
+    }
+
+    /// Number of live ports.
+    pub fn live_ports(&self) -> usize {
+        self.ports.values().filter(|e| e.alive).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MsgKind;
+
+    #[test]
+    fn allocate_unique_ids() {
+        let mut r = PortRegistry::new();
+        let a = r.allocate(NodeId(0));
+        let b = r.allocate(NodeId(1));
+        assert_ne!(a, b);
+        assert_eq!(r.home(a), Ok(NodeId(0)));
+        assert_eq!(r.home(b), Ok(NodeId(1)));
+        assert_eq!(r.live_ports(), 2);
+    }
+
+    #[test]
+    fn fifo_queueing() {
+        let mut r = PortRegistry::new();
+        let p = r.allocate(NodeId(0));
+        for k in 0..3 {
+            r.enqueue(p, Message::new(MsgKind::User(k), p)).unwrap();
+        }
+        for k in 0..3 {
+            assert_eq!(r.dequeue(p).unwrap().unwrap().kind, MsgKind::User(k));
+        }
+        assert!(r.dequeue(p).unwrap().is_none());
+    }
+
+    #[test]
+    fn relocation_preserves_identity_and_queue() {
+        let mut r = PortRegistry::new();
+        let p = r.allocate(NodeId(0));
+        r.enqueue(p, Message::new(MsgKind::User(9), p)).unwrap();
+        r.relocate(p, NodeId(1)).unwrap();
+        assert_eq!(r.home(p), Ok(NodeId(1)));
+        assert_eq!(r.queue_len(p), 1, "queued messages travel with the right");
+    }
+
+    #[test]
+    fn dead_ports_reject_everything() {
+        let mut r = PortRegistry::new();
+        let p = r.allocate(NodeId(0));
+        r.deallocate(p);
+        assert!(!r.is_alive(p));
+        assert_eq!(r.home(p), Err(PortError::Dead(p)));
+        assert_eq!(r.relocate(p, NodeId(1)), Err(PortError::Dead(p)));
+        assert_eq!(
+            r.enqueue(p, Message::new(MsgKind::User(0), p)),
+            Err(PortError::Dead(p))
+        );
+        assert!(matches!(r.dequeue(p), Err(PortError::Dead(_))));
+        assert_eq!(r.queue_len(p), 0);
+        assert_eq!(r.live_ports(), 0);
+    }
+
+    #[test]
+    fn unknown_port_is_dead() {
+        let r = PortRegistry::new();
+        assert_eq!(r.home(PortId(42)), Err(PortError::Dead(PortId(42))));
+    }
+}

@@ -1,0 +1,230 @@
+//! Wire protocol for the copy-on-reference machinery.
+//!
+//! The three messages of paper §2.2, with real binary encodings so that
+//! wire sizes are honest:
+//!
+//! * `ImaginaryReadRequest` — sent by a faulting site's Pager/Scheduler to
+//!   a segment's backing port: "deliver pages `[offset, offset+count)` of
+//!   segment `seg` to `reply`". `count > 1` expresses prefetch.
+//! * `ImaginaryReadReply` — the backer's response carrying the pages.
+//! * `ImaginarySegmentDeath` — delivered to a backer when the last
+//!   reference to its segment dies.
+
+use cor_mem::page::Frame;
+use cor_mem::space::SegmentId;
+
+use crate::message::{Message, MsgItem, MsgKind};
+use crate::port::PortId;
+
+/// A parsed well-known protocol message.
+#[derive(Debug, Clone)]
+pub enum ProtocolMsg {
+    /// Request for `count` pages starting `offset` pages into `seg`,
+    /// answered to `reply`.
+    ImagReadRequest {
+        /// The segment being read.
+        seg: SegmentId,
+        /// First requested page within the segment.
+        offset: u64,
+        /// Number of pages requested (1 + prefetch).
+        count: u64,
+        /// Where to send the reply.
+        reply: PortId,
+    },
+    /// Reply carrying `frames.len()` pages starting `offset` pages into
+    /// `seg`.
+    ImagReadReply {
+        /// The segment read.
+        seg: SegmentId,
+        /// First delivered page within the segment.
+        offset: u64,
+        /// The delivered pages (copy-on-write mappable).
+        frames: Vec<Frame>,
+    },
+    /// The last reference to `seg` died; the backer may release its data.
+    ImagSegmentDeath {
+        /// The dead segment.
+        seg: SegmentId,
+    },
+}
+
+fn encode3(a: u64, b: u64, c: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(24);
+    v.extend_from_slice(&a.to_le_bytes());
+    v.extend_from_slice(&b.to_le_bytes());
+    v.extend_from_slice(&c.to_le_bytes());
+    v
+}
+
+fn decode3(bytes: &[u8]) -> Option<(u64, u64, u64)> {
+    if bytes.len() != 24 {
+        return None;
+    }
+    let f = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().expect("slice length"));
+    Some((f(0), f(8), f(16)))
+}
+
+/// Builds an `ImaginaryReadRequest`.
+pub fn imag_read_request(
+    backing_port: PortId,
+    reply: PortId,
+    seg: SegmentId,
+    offset: u64,
+    count: u64,
+) -> Message {
+    Message::new(MsgKind::ImagReadRequest, backing_port)
+        .with_reply(reply)
+        .push(MsgItem::Inline(encode3(seg.0, offset, count)))
+}
+
+/// Builds an `ImaginaryReadReply` carrying `frames`.
+pub fn imag_read_reply(reply: PortId, seg: SegmentId, offset: u64, frames: Vec<Frame>) -> Message {
+    Message::new(MsgKind::ImagReadReply, reply)
+        .push(MsgItem::Inline(encode3(seg.0, offset, frames.len() as u64)))
+        .push(MsgItem::Pages {
+            base_page: offset,
+            frames,
+        })
+}
+
+/// Builds an `ImaginarySegmentDeath` notice.
+pub fn imag_segment_death(backing_port: PortId, seg: SegmentId) -> Message {
+    Message::new(MsgKind::ImagSegmentDeath, backing_port)
+        .push(MsgItem::Inline(encode3(seg.0, 0, 0)))
+}
+
+/// Parses a well-known protocol message; `None` for other messages or
+/// malformed bodies.
+pub fn parse(msg: &Message) -> Option<ProtocolMsg> {
+    match msg.kind {
+        MsgKind::ImagReadRequest => {
+            let MsgItem::Inline(bytes) = msg.items.first()? else {
+                return None;
+            };
+            let (seg, offset, count) = decode3(bytes)?;
+            Some(ProtocolMsg::ImagReadRequest {
+                seg: SegmentId(seg),
+                offset,
+                count,
+                reply: msg.reply?,
+            })
+        }
+        MsgKind::ImagReadReply => {
+            let MsgItem::Inline(bytes) = msg.items.first()? else {
+                return None;
+            };
+            let (seg, offset, n) = decode3(bytes)?;
+            let MsgItem::Pages { frames, .. } = msg.items.get(1)? else {
+                return None;
+            };
+            if frames.len() as u64 != n {
+                return None;
+            }
+            Some(ProtocolMsg::ImagReadReply {
+                seg: SegmentId(seg),
+                offset,
+                frames: frames.clone(),
+            })
+        }
+        MsgKind::ImagSegmentDeath => {
+            let MsgItem::Inline(bytes) = msg.items.first()? else {
+                return None;
+            };
+            let (seg, _, _) = decode3(bytes)?;
+            Some(ProtocolMsg::ImagSegmentDeath {
+                seg: SegmentId(seg),
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cor_mem::page::page_from_bytes;
+
+    #[test]
+    fn request_roundtrip() {
+        let m = imag_read_request(PortId(1), PortId(2), SegmentId(7), 100, 4);
+        match parse(&m) {
+            Some(ProtocolMsg::ImagReadRequest {
+                seg,
+                offset,
+                count,
+                reply,
+            }) => {
+                assert_eq!(
+                    (seg, offset, count, reply),
+                    (SegmentId(7), 100, 4, PortId(2))
+                );
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip_preserves_data() {
+        let frames = vec![
+            Frame::new(page_from_bytes(b"one")),
+            Frame::new(page_from_bytes(b"two")),
+        ];
+        let m = imag_read_reply(PortId(2), SegmentId(7), 100, frames);
+        match parse(&m) {
+            Some(ProtocolMsg::ImagReadReply {
+                seg,
+                offset,
+                frames,
+            }) => {
+                assert_eq!((seg, offset), (SegmentId(7), 100));
+                frames[0].with(|d| assert_eq!(&d[..3], b"one"));
+                frames[1].with(|d| assert_eq!(&d[..3], b"two"));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn death_roundtrip() {
+        let m = imag_segment_death(PortId(9), SegmentId(3));
+        match parse(&m) {
+            Some(ProtocolMsg::ImagSegmentDeath { seg }) => assert_eq!(seg, SegmentId(3)),
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_without_reply_port_fails_to_parse() {
+        let mut m = imag_read_request(PortId(1), PortId(2), SegmentId(7), 0, 1);
+        m.reply = None;
+        assert!(parse(&m).is_none());
+    }
+
+    #[test]
+    fn reply_with_wrong_page_count_fails_to_parse() {
+        let mut m = imag_read_reply(PortId(2), SegmentId(7), 0, vec![Frame::zeroed()]);
+        if let MsgItem::Pages { frames, .. } = &mut m.items[1] {
+            frames.push(Frame::zeroed());
+        }
+        assert!(parse(&m).is_none());
+    }
+
+    #[test]
+    fn foreign_messages_do_not_parse() {
+        let m = Message::new(MsgKind::User(5), PortId(0));
+        assert!(parse(&m).is_none());
+    }
+
+    #[test]
+    fn wire_size_reflects_payload() {
+        let small = imag_read_request(PortId(1), PortId(2), SegmentId(1), 0, 1);
+        let big = imag_read_reply(
+            PortId(2),
+            SegmentId(1),
+            0,
+            (0..16).map(|_| Frame::zeroed()).collect(),
+        );
+        assert!(small.wire_size() < 200);
+        assert!(big.wire_size() > 16 * 512);
+    }
+}

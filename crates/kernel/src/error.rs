@@ -1,0 +1,116 @@
+//! Error type for kernel operations.
+
+use std::fmt;
+
+use cor_ipc::NodeId;
+use cor_mem::{Fault, MemError, VAddr};
+use cor_net::NetError;
+
+use crate::process::ProcessId;
+
+/// Errors from world/kernel operations.
+#[derive(Debug)]
+pub enum KernelError {
+    /// A memory operation failed (a logic error, not a serviceable fault).
+    Mem(MemError),
+    /// A network/IPC operation failed.
+    Net(NetError),
+    /// The named node does not exist.
+    UnknownNode(NodeId),
+    /// The named process does not exist on the node.
+    UnknownProcess(ProcessId),
+    /// The process touched unvalidated memory — a true addressing error
+    /// (*BadMem*). Accent would invoke the debugger; we surface it.
+    AddressingViolation {
+        /// The offending process.
+        pid: ProcessId,
+        /// The bad address.
+        addr: VAddr,
+    },
+    /// An imaginary fault's reply never arrived (backing chain broken).
+    NoReply {
+        /// The fault that went unanswered.
+        fault: Fault,
+    },
+    /// The process's trace is exhausted but it never executed
+    /// [`crate::program::Op::Terminate`].
+    TraceUnderrun(ProcessId),
+    /// A message of an unexpected kind arrived on a registered backing
+    /// port.
+    UnexpectedMessage {
+        /// The port it arrived on.
+        port: cor_ipc::PortId,
+    },
+    /// An operation (e.g. `ExciseProcess`) required an active process but
+    /// the target has terminated.
+    ProcessNotActive(ProcessId),
+    /// A kernel-context access targeted ImagMem: servicing the fault would
+    /// require the backing process to run, which cannot happen while the
+    /// caller holds the system critical section (paper §2.3). The
+    /// accessibility map caught it before the deadlock.
+    WouldDeadlock {
+        /// The process whose memory was targeted.
+        pid: ProcessId,
+        /// The distantly-accessible address.
+        addr: VAddr,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Mem(e) => write!(f, "memory error: {e}"),
+            KernelError::Net(e) => write!(f, "network error: {e}"),
+            KernelError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            KernelError::UnknownProcess(p) => write!(f, "unknown process {}", p.0),
+            KernelError::AddressingViolation { pid, addr } => {
+                write!(f, "process {} referenced BadMem at {addr}", pid.0)
+            }
+            KernelError::NoReply { fault } => {
+                write!(f, "no reply for imaginary fault {fault:?}")
+            }
+            KernelError::TraceUnderrun(p) => {
+                write!(f, "process {} ran out of trace without terminating", p.0)
+            }
+            KernelError::UnexpectedMessage { port } => {
+                write!(f, "unexpected message kind on backing {port}")
+            }
+            KernelError::ProcessNotActive(p) => {
+                write!(f, "process {} has terminated", p.0)
+            }
+            KernelError::WouldDeadlock { pid, addr } => {
+                write!(
+                    f,
+                    "kernel-context access to ImagMem at {addr} of process {} would deadlock",
+                    pid.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<MemError> for KernelError {
+    fn from(e: MemError) -> Self {
+        KernelError::Mem(e)
+    }
+}
+
+impl From<NetError> for KernelError {
+    fn from(e: NetError) -> Self {
+        KernelError::Net(e)
+    }
+}
+
+impl From<cor_ipc::port::PortError> for KernelError {
+    fn from(e: cor_ipc::port::PortError) -> Self {
+        KernelError::Net(NetError::Port(e))
+    }
+}
+
+impl From<cor_ipc::segment::SegmentError> for KernelError {
+    fn from(e: cor_ipc::segment::SegmentError) -> Self {
+        KernelError::Net(NetError::Segment(e))
+    }
+}

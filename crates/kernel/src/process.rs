@@ -1,0 +1,212 @@
+//! Processes: the five Accent context components.
+//!
+//! Paper §3.1: "Accent contexts are divided into five components: the
+//! state of the Perq microengine, the kernel stack if the process is
+//! executing in supervisor mode, the PCB, the set of port rights owned by
+//! the process and the virtual address space contents. While the first
+//! four parts combined only account for roughly 1 Kbyte, the address space
+//! contributes up to 4 gigabytes."
+
+use std::collections::HashSet;
+
+use cor_ipc::PortRight;
+use cor_mem::{AddressSpace, PageNum};
+use cor_sim::SimDuration;
+
+use crate::program::Trace;
+
+/// A process identifier, unique within a [`crate::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u64);
+
+/// Scheduling status recorded in the PCB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Eligible to run.
+    Ready,
+    /// Currently executing.
+    Running,
+    /// Waiting on a fault or message.
+    Blocked,
+    /// Finished.
+    Terminated,
+}
+
+/// The process control block.
+#[derive(Debug, Clone)]
+pub struct Pcb {
+    /// Human-readable name ("Minprog", "Lisp-Del", ...).
+    pub name: String,
+    /// Scheduling status.
+    pub status: RunStatus,
+    /// Scheduling priority (carried but not used by the single-process
+    /// trials).
+    pub priority: u8,
+    /// Next op index in the trace (the "program counter").
+    pub trace_pos: usize,
+}
+
+/// Per-process execution measurements.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// FillZero faults serviced.
+    pub zero_faults: u64,
+    /// Local disk faults serviced.
+    pub disk_faults: u64,
+    /// Imaginary faults serviced.
+    pub imag_faults: u64,
+    /// Pages that arrived as prefetch (beyond the faulting page).
+    pub prefetched_pages: u64,
+    /// Prefetched pages later touched by the program.
+    pub prefetch_hits: u64,
+    /// Distinct pages the program has touched.
+    pub touched: HashSet<PageNum>,
+    /// Pages currently installed by prefetch and not yet touched.
+    pub prefetch_pending: HashSet<PageNum>,
+    /// Total modeled computation time executed.
+    pub compute: SimDuration,
+    /// Screen updates drawn.
+    pub screen_updates: u64,
+    /// Imaginary fault service-time distribution (1 ms buckets up to
+    /// 1 s): the latency observability a pager operator actually wants.
+    pub fault_times: Option<cor_sim::Histogram>,
+}
+
+impl ExecStats {
+    /// Records one imaginary-fault service time.
+    pub fn record_fault_time(&mut self, d: SimDuration) {
+        self.fault_times
+            .get_or_insert_with(|| cor_sim::Histogram::new(1_000, 1_000))
+            .record_duration(d);
+    }
+
+    /// Mean imaginary-fault service time, if any were taken.
+    pub fn mean_fault_time(&self) -> Option<SimDuration> {
+        self.fault_times
+            .as_ref()
+            .filter(|h| h.count() > 0)
+            .map(|h| SimDuration::from_micros(h.mean() as u64))
+    }
+
+    /// Prefetch hit ratio in `[0, 1]`, or `None` if nothing was prefetched.
+    pub fn prefetch_hit_ratio(&self) -> Option<f64> {
+        if self.prefetched_pages == 0 {
+            None
+        } else {
+            Some(self.prefetch_hits as f64 / self.prefetched_pages as f64)
+        }
+    }
+
+    /// Bytes of distinct pages touched.
+    pub fn touched_bytes(&self) -> u64 {
+        self.touched.len() as u64 * cor_mem::PAGE_SIZE
+    }
+}
+
+/// A process: context plus its driving trace and measurements.
+#[derive(Debug)]
+pub struct Process {
+    /// Identifier.
+    pub id: ProcessId,
+    /// Control block.
+    pub pcb: Pcb,
+    /// Microengine register state (opaque; carried verbatim by migration).
+    pub microstate: Vec<u8>,
+    /// Kernel stack contents, when in supervisor mode.
+    pub kernel_stack: Vec<u8>,
+    /// Port rights owned.
+    pub rights: Vec<PortRight>,
+    /// The virtual address space.
+    pub space: AddressSpace,
+    /// The driving trace.
+    pub trace: Trace,
+    /// Execution measurements.
+    pub stats: ExecStats,
+}
+
+impl Process {
+    /// Creates a ready process with the given name, space and trace.
+    pub fn new(id: ProcessId, name: impl Into<String>, space: AddressSpace, trace: Trace) -> Self {
+        // The microstate is deterministic, non-zero content so context
+        // transfer fidelity is observable.
+        let microstate: Vec<u8> = (0..512u32).map(|i| (i as u8) ^ (id.0 as u8)).collect();
+        Process {
+            id,
+            pcb: Pcb {
+                name: name.into(),
+                status: RunStatus::Ready,
+                priority: 10,
+                trace_pos: 0,
+            },
+            microstate,
+            kernel_stack: Vec::new(),
+            rights: Vec::new(),
+            space,
+            trace,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Whether execution has consumed the whole trace.
+    pub fn finished(&self) -> bool {
+        self.pcb.status == RunStatus::Terminated
+    }
+
+    /// Size in bytes of the non-address-space context (microstate, kernel
+    /// stack, PCB, rights) — the "roughly 1 Kbyte" of paper §3.1.
+    pub fn core_context_bytes(&self) -> u64 {
+        self.microstate.len() as u64
+            + self.kernel_stack.len() as u64
+            + 128 // PCB encoding
+            + 16 * self.rights.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Op;
+
+    #[test]
+    fn new_process_is_ready_at_trace_start() {
+        let p = Process::new(
+            ProcessId(1),
+            "test",
+            AddressSpace::new(),
+            Trace::new(vec![Op::Terminate]),
+        );
+        assert_eq!(p.pcb.status, RunStatus::Ready);
+        assert_eq!(p.pcb.trace_pos, 0);
+        assert!(!p.finished());
+        assert_eq!(p.microstate.len(), 512);
+    }
+
+    #[test]
+    fn microstate_differs_by_pid() {
+        let a = Process::new(ProcessId(1), "a", AddressSpace::new(), Trace::default());
+        let b = Process::new(ProcessId(2), "b", AddressSpace::new(), Trace::default());
+        assert_ne!(a.microstate, b.microstate);
+    }
+
+    #[test]
+    fn core_context_is_about_a_kilobyte() {
+        let mut p = Process::new(ProcessId(1), "x", AddressSpace::new(), Trace::default());
+        p.rights = (0..30)
+            .map(|i| PortRight {
+                port: cor_ipc::PortId(i),
+                right: cor_ipc::Right::Send,
+            })
+            .collect();
+        let bytes = p.core_context_bytes();
+        assert!((1000..2000).contains(&bytes), "got {bytes}");
+    }
+
+    #[test]
+    fn prefetch_hit_ratio() {
+        let mut s = ExecStats::default();
+        assert!(s.prefetch_hit_ratio().is_none());
+        s.prefetched_pages = 10;
+        s.prefetch_hits = 4;
+        assert_eq!(s.prefetch_hit_ratio(), Some(0.4));
+    }
+}

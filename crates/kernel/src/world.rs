@@ -1,0 +1,1167 @@
+//! The simulated testbed: nodes, the pager/scheduler, and the executor.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cor_ipc::message::Message;
+use cor_ipc::port::{PortId, PortRegistry};
+use cor_ipc::protocol::{self, ProtocolMsg};
+use cor_ipc::segment::SegmentRegistry;
+use cor_ipc::NodeId;
+use cor_mem::space::SegmentId;
+use cor_mem::{AddressSpace, Fault, PageNum, PageRange, PageState, VAddr};
+use cor_net::{Fabric, SendReport, WireParams};
+use cor_sim::{Clock, SimDuration, SimTime};
+
+use crate::backer::PageStore;
+use crate::costs::CostModel;
+use crate::error::KernelError;
+use crate::node::Node;
+use crate::process::{Process, ProcessId, RunStatus};
+use crate::program::{write_pattern, Op, Trace};
+
+/// Outcome of running a process (or a slice of its trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecReport {
+    /// When execution started.
+    pub started_at: SimTime,
+    /// Virtual time consumed.
+    pub elapsed: SimDuration,
+    /// Trace ops executed.
+    pub ops_executed: usize,
+    /// Whether the process terminated.
+    pub finished: bool,
+}
+
+struct BackerEntry {
+    node: NodeId,
+    store: Box<dyn PageStore>,
+}
+
+/// The simulated distributed system.
+///
+/// Owns the clock, the global port/segment name services, the network
+/// [`Fabric`], every [`Node`], and the registered user-level backers. All
+/// experiment drivers and the migration machinery operate through this
+/// type.
+pub struct World {
+    /// The virtual clock.
+    pub clock: Clock,
+    /// The port name service and queues.
+    pub ports: PortRegistry,
+    /// The imaginary segment table.
+    pub segs: SegmentRegistry,
+    /// The network.
+    pub fabric: Fabric,
+    /// Kernel service times.
+    pub costs: CostModel,
+    /// Pages to prefetch per imaginary fault (the paper studies
+    /// 0, 1, 3, 7, 15).
+    pub prefetch: u64,
+    /// Optional structured event log. Install with
+    /// [`World::enable_journal`]; recording is skipped entirely when
+    /// absent.
+    pub journal: Option<cor_sim::Journal>,
+    nodes: BTreeMap<NodeId, Node>,
+    backers: BTreeMap<PortId, BackerEntry>,
+    next_pid: u64,
+    next_node: u32,
+}
+
+impl World {
+    /// Creates an empty world with the given cost models.
+    pub fn new(costs: CostModel, wire: WireParams) -> Self {
+        World {
+            clock: Clock::new(),
+            ports: PortRegistry::new(),
+            segs: SegmentRegistry::new(),
+            fabric: Fabric::new(wire),
+            costs,
+            prefetch: 0,
+            journal: None,
+            nodes: BTreeMap::new(),
+            backers: BTreeMap::new(),
+            next_pid: 0,
+            next_node: 0,
+        }
+    }
+
+    /// A two-node world with default parameters — the shape of the paper's
+    /// testbed.
+    pub fn testbed() -> (World, NodeId, NodeId) {
+        let mut w = World::new(CostModel::default(), WireParams::default());
+        let a = w.add_node();
+        let b = w.add_node();
+        (w, a, b)
+    }
+
+    /// Installs (or resets) the event journal; subsequent faults, sends
+    /// and lifecycle transitions are recorded.
+    pub fn enable_journal(&mut self) {
+        self.journal = Some(cor_sim::Journal::new());
+    }
+
+    /// Records a journal event if a journal is installed. The detail is
+    /// built lazily so disabled journals cost nothing.
+    pub fn note(&mut self, kind: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(j) = &mut self.journal {
+            let at = self.clock.now();
+            j.record(at, kind, detail());
+        }
+    }
+
+    /// Adds a machine (starting its NetMsgServer and pager).
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        self.fabric.add_node(id, &mut self.ports);
+        let pager_port = self.ports.allocate(id);
+        self.nodes.insert(id, Node::new(id, pager_port));
+        id
+    }
+
+    /// Borrows a node.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownNode`].
+    pub fn node(&self, id: NodeId) -> Result<&Node, KernelError> {
+        self.nodes.get(&id).ok_or(KernelError::UnknownNode(id))
+    }
+
+    /// Borrows a node mutably.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownNode`].
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, KernelError> {
+        self.nodes.get_mut(&id).ok_or(KernelError::UnknownNode(id))
+    }
+
+    /// Creates a process on `node` from a prepared space and trace.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownNode`].
+    pub fn create_process(
+        &mut self,
+        node: NodeId,
+        name: impl Into<String>,
+        space: AddressSpace,
+        trace: Trace,
+    ) -> Result<ProcessId, KernelError> {
+        let pid = ProcessId(self.next_pid);
+        self.next_pid += 1;
+        let process = Process::new(pid, name, space, trace);
+        self.node_mut(node)?.processes.insert(pid, process);
+        Ok(pid)
+    }
+
+    /// Borrows a process.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node or process.
+    pub fn process(&self, node: NodeId, pid: ProcessId) -> Result<&Process, KernelError> {
+        self.node(node)?
+            .process(pid)
+            .ok_or(KernelError::UnknownProcess(pid))
+    }
+
+    /// Borrows a process mutably.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node or process.
+    pub fn process_mut(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+    ) -> Result<&mut Process, KernelError> {
+        self.node_mut(node)?
+            .process_mut(pid)
+            .ok_or(KernelError::UnknownProcess(pid))
+    }
+
+    /// Removes a process from its node (excision uses this).
+    ///
+    /// # Errors
+    ///
+    /// Unknown node or process.
+    pub fn remove_process(&mut self, node: NodeId, pid: ProcessId) -> Result<Process, KernelError> {
+        self.node_mut(node)?
+            .processes
+            .remove(&pid)
+            .ok_or(KernelError::UnknownProcess(pid))
+    }
+
+    /// Installs an existing process structure on `node` (insertion uses
+    /// this).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownNode`].
+    pub fn install_process(&mut self, node: NodeId, process: Process) -> Result<(), KernelError> {
+        self.node_mut(node)?.processes.insert(process.id, process);
+        Ok(())
+    }
+
+    /// Registers a user-level backer: messages arriving on `port` are
+    /// served from `store` by [`World::settle`].
+    pub fn register_backer(&mut self, port: PortId, node: NodeId, store: Box<dyn PageStore>) {
+        self.backers.insert(port, BackerEntry { node, store });
+    }
+
+    /// Unregisters a backer and returns its store.
+    pub fn take_backer(&mut self, port: PortId) -> Option<Box<dyn PageStore>> {
+        self.backers.remove(&port).map(|e| e.store)
+    }
+
+    /// Pages currently held by registered user-level backers.
+    pub fn backer_pages_held(&self) -> u64 {
+        self.backers.values().map(|e| e.store.pages_held()).sum()
+    }
+
+    /// Sends a message on behalf of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Network failures.
+    pub fn send_from(&mut self, node: NodeId, msg: Message) -> Result<SendReport, KernelError> {
+        let kind = msg.kind;
+        let report =
+            self.fabric
+                .send(&mut self.clock, &mut self.ports, &mut self.segs, node, msg)?;
+        if report.remote {
+            self.note("send", || {
+                format!("{kind:?} from {node}: {} wire bytes", report.wire_bytes)
+            });
+        }
+        Ok(report)
+    }
+
+    /// Drives the system to quiescence: pumps every NetMsgServer and
+    /// services every registered user-level backer until no queued work
+    /// remains. Returns the number of messages processed.
+    ///
+    /// # Errors
+    ///
+    /// Network failures or unexpected messages on backing ports.
+    pub fn settle(&mut self) -> Result<usize, KernelError> {
+        let mut processed = 0;
+        loop {
+            let pumped = self
+                .fabric
+                .pump(&mut self.clock, &mut self.ports, &mut self.segs)?;
+            let served = self.service_backers()?;
+            processed += pumped + served;
+            if pumped + served == 0 {
+                return Ok(processed);
+            }
+        }
+    }
+
+    fn service_backers(&mut self) -> Result<usize, KernelError> {
+        let ports_list: Vec<PortId> = self.backers.keys().copied().collect();
+        let mut served = 0;
+        for port in ports_list {
+            while let Some(msg) = self.ports.dequeue(port)? {
+                served += 1;
+                // Temporarily take the entry so `self` can be re-borrowed
+                // for sending the reply.
+                let mut entry = self
+                    .backers
+                    .remove(&port)
+                    .expect("backer disappeared while being served");
+                let result = self.serve_backer_msg(port, &mut entry, &msg);
+                self.backers.insert(port, entry);
+                result?;
+            }
+        }
+        Ok(served)
+    }
+
+    fn serve_backer_msg(
+        &mut self,
+        port: PortId,
+        entry: &mut BackerEntry,
+        msg: &Message,
+    ) -> Result<(), KernelError> {
+        match protocol::parse(msg) {
+            Some(ProtocolMsg::ImagReadRequest {
+                seg,
+                offset,
+                count,
+                reply,
+            }) => {
+                self.clock.advance(self.costs.backer_service);
+                let frames = entry
+                    .store
+                    .fetch(seg, offset, count)
+                    .ok_or(KernelError::Net(cor_net::NetError::MissingData {
+                        seg,
+                        offset,
+                    }))?;
+                let reply_msg =
+                    protocol::imag_read_reply(reply, seg, offset, frames).with_no_ious(true);
+                self.send_from(entry.node, reply_msg)?;
+                Ok(())
+            }
+            Some(ProtocolMsg::ImagSegmentDeath { seg }) => {
+                entry.store.death(seg);
+                Ok(())
+            }
+            _ => Err(KernelError::UnexpectedMessage { port }),
+        }
+    }
+
+    // ----- the Pager/Scheduler ---------------------------------------------
+
+    /// Makes `[addr, addr+len)` of `pid` accessible (servicing any faults)
+    /// and performs the touch. Write-touches store the deterministic
+    /// [`write_pattern`] for `op_index`.
+    ///
+    /// # Errors
+    ///
+    /// Addressing violations, broken backing chains, or internal state
+    /// errors.
+    pub fn touch(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        addr: VAddr,
+        len: u64,
+        write: bool,
+        op_index: usize,
+    ) -> Result<(), KernelError> {
+        let range = PageRange::covering(addr, len);
+        let end = addr.0 + len;
+        for page in range.iter() {
+            self.ensure_ready(node, pid, page, write)?;
+            self.note_touch(node, pid, page)?;
+            // Move this page's slice of the data immediately — a touch
+            // spanning more pages than the frame budget would otherwise
+            // evict earlier pages before the access completes (thrashing
+            // is re-faulting, not failing).
+            let chunk_start = addr.0.max(page.base().0);
+            let chunk_end = end.min(page.offset(1).base().0);
+            let chunk_len = (chunk_end - chunk_start) as usize;
+            let process = self.process_mut(node, pid)?;
+            if write {
+                let data: Vec<u8> = (0..chunk_len as u64)
+                    .map(|i| write_pattern(VAddr(chunk_start + i), op_index))
+                    .collect();
+                process.space.write(VAddr(chunk_start), &data)?;
+            } else {
+                let mut scratch = vec![0u8; chunk_len];
+                process.space.read(VAddr(chunk_start), &mut scratch)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_ready(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        page: PageNum,
+        write: bool,
+    ) -> Result<(), KernelError> {
+        for _ in 0..8 {
+            let fault = {
+                let process = self.process_mut(node, pid)?;
+                let res = if write {
+                    process.space.check_write(page)
+                } else {
+                    process.space.check_read(page)
+                };
+                match res {
+                    Ok(()) => return Ok(()),
+                    Err(f) => f,
+                }
+            };
+            self.handle_fault(node, pid, fault)?;
+        }
+        Err(KernelError::Mem(cor_mem::MemError::BadState(
+            page,
+            "page still faulting after repeated service",
+        )))
+    }
+
+    fn handle_fault(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        fault: Fault,
+    ) -> Result<(), KernelError> {
+        match fault {
+            Fault::FillZero { page } => {
+                self.clock.advance(self.costs.fill_zero_fault());
+                let n = self.node_mut(node)?;
+                let process = n
+                    .processes
+                    .get_mut(&pid)
+                    .ok_or(KernelError::UnknownProcess(pid))?;
+                process.space.fill_zero(page, &mut n.disk)?;
+                process.stats.zero_faults += 1;
+                self.note("fault", || format!("FillZero pid{} page {}", pid.0, page.0));
+                Ok(())
+            }
+            Fault::DiskIn { page, .. } => {
+                self.clock.advance(self.costs.disk_fault());
+                let n = self.node_mut(node)?;
+                let process = n
+                    .processes
+                    .get_mut(&pid)
+                    .ok_or(KernelError::UnknownProcess(pid))?;
+                process.space.page_in(page, &mut n.disk)?;
+                process.stats.disk_faults += 1;
+                self.note("fault", || format!("DiskIn pid{} page {}", pid.0, page.0));
+                Ok(())
+            }
+            Fault::Imaginary { page, seg, offset } => {
+                self.handle_imaginary_fault(node, pid, page, seg, offset)
+            }
+            Fault::Addressing { addr } => Err(KernelError::AddressingViolation { pid, addr }),
+        }
+    }
+
+    /// The copy-on-reference fault path (paper §2.2): an IPC round trip to
+    /// the segment's backing port, through the NetMsgServers when the
+    /// backer is remote, with `self.prefetch` extra contiguous pages
+    /// requested.
+    fn handle_imaginary_fault(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        page: PageNum,
+        seg: SegmentId,
+        offset: u64,
+    ) -> Result<(), KernelError> {
+        let fault_start = self.clock.now();
+        self.clock.advance(self.costs.fault_dispatch);
+        let want = self.prefetch + 1;
+        let count = self.contiguous_owed(node, pid, page, seg, offset, want)?;
+        let pager_port = self.node(node)?.pager_port;
+        let backing = self.segs.backing_port(seg)?;
+        let req =
+            protocol::imag_read_request(backing, pager_port, seg, offset, count).with_no_ious(true);
+        self.send_from(node, req)?;
+        self.settle()?;
+        let reply = self
+            .ports
+            .dequeue(pager_port)?
+            .ok_or(KernelError::NoReply {
+                fault: Fault::Imaginary { page, seg, offset },
+            })?;
+        let frames = match protocol::parse(&reply) {
+            Some(ProtocolMsg::ImagReadReply {
+                seg: rseg,
+                offset: roffset,
+                frames,
+            }) if rseg == seg && roffset == offset => frames,
+            _ => {
+                return Err(KernelError::NoReply {
+                    fault: Fault::Imaginary { page, seg, offset },
+                })
+            }
+        };
+        self.clock.advance(
+            self.costs.map_in
+                + self
+                    .costs
+                    .map_in_extra
+                    .saturating_mul(frames.len().saturating_sub(1) as u64),
+        );
+        let mut installed = 0u64;
+        {
+            let n = self.node_mut(node)?;
+            let process = n
+                .processes
+                .get_mut(&pid)
+                .ok_or(KernelError::UnknownProcess(pid))?;
+            for (i, frame) in frames.iter().enumerate() {
+                let target = page.offset(i as u64);
+                if matches!(
+                    process.space.page_state(target),
+                    Some(PageState::Imaginary { .. })
+                ) {
+                    process
+                        .space
+                        .satisfy_imaginary(target, frame.snapshot(), &mut n.disk)?;
+                    installed += 1;
+                    if i > 0 {
+                        process.stats.prefetched_pages += 1;
+                        process.stats.prefetch_pending.insert(target);
+                    }
+                }
+            }
+            process.stats.imag_faults += 1;
+        }
+        if installed > 0 {
+            self.fabric.release_refs(
+                &mut self.clock,
+                &mut self.ports,
+                &mut self.segs,
+                node,
+                seg,
+                installed,
+            )?;
+            self.settle()?;
+        }
+        let service_time = self.clock.now().since(fault_start);
+        self.process_mut(node, pid)?
+            .stats
+            .record_fault_time(service_time);
+        self.note("fault", || {
+            format!(
+                "Imaginary pid{} page {} seg {} +{} prefetched ({service_time})",
+                pid.0,
+                page.0,
+                seg.0,
+                installed.saturating_sub(1)
+            )
+        });
+        Ok(())
+    }
+
+    /// Counts how many pages starting at `page` are still owed by `seg`
+    /// with consecutive offsets, clipped to `want` and to the segment
+    /// length — the prefetchable run.
+    fn contiguous_owed(
+        &self,
+        node: NodeId,
+        pid: ProcessId,
+        page: PageNum,
+        seg: SegmentId,
+        offset: u64,
+        want: u64,
+    ) -> Result<u64, KernelError> {
+        let seg_len = self
+            .segs
+            .get(seg)
+            .map(|s| s.len_pages)
+            .ok_or(KernelError::Net(cor_net::NetError::MissingData {
+                seg,
+                offset,
+            }))?;
+        let process = self.process(node, pid)?;
+        let max = want.min(seg_len.saturating_sub(offset));
+        let mut count = 0;
+        for i in 0..max {
+            match process.space.page_state(page.offset(i)) {
+                Some(PageState::Imaginary { seg: s, offset: o })
+                    if *s == seg && *o == offset + i =>
+                {
+                    count += 1;
+                }
+                _ => break,
+            }
+        }
+        Ok(count.max(1))
+    }
+
+    fn note_touch(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        page: PageNum,
+    ) -> Result<(), KernelError> {
+        let process = self.process_mut(node, pid)?;
+        if process.stats.touched.insert(page) && process.stats.prefetch_pending.remove(&page) {
+            process.stats.prefetch_hits += 1;
+        }
+        Ok(())
+    }
+
+    /// A *kernel-context* read of process memory (paper §2.3): the caller
+    /// holds the system critical section, so touching a port-backed
+    /// (imaginary) page would deadlock — the backer could never execute
+    /// the `Receive` needed to answer the fault. The accessibility map is
+    /// consulted first and the read is refused, not deadlocked, when the
+    /// range is distantly accessible. FillZero and disk faults are safe
+    /// and serviced inline.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::WouldDeadlock`] for ImagMem ranges;
+    /// [`KernelError::AddressingViolation`] for BadMem; otherwise the
+    /// usual failures.
+    pub fn kernel_peek(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        addr: VAddr,
+        len: u64,
+    ) -> Result<Vec<u8>, KernelError> {
+        let range = PageRange::covering(addr, len);
+        let access = {
+            let process = self.process(node, pid)?;
+            process.space.amap().max_access_in(range)
+        };
+        match access {
+            cor_mem::amap::Access::Imag => return Err(KernelError::WouldDeadlock { pid, addr }),
+            cor_mem::amap::Access::Bad => {
+                return Err(KernelError::AddressingViolation { pid, addr })
+            }
+            _ => {}
+        }
+        for page in range.iter() {
+            self.ensure_ready(node, pid, page, false)?;
+        }
+        let process = self.process(node, pid)?;
+        let mut buf = vec![0u8; len as usize];
+        process.space.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    // ----- the executor ----------------------------------------------------
+
+    /// Runs `pid` until it terminates.
+    ///
+    /// # Errors
+    ///
+    /// Execution failures, or [`KernelError::TraceUnderrun`] if the trace
+    /// ends without `Terminate`.
+    pub fn run(&mut self, node: NodeId, pid: ProcessId) -> Result<ExecReport, KernelError> {
+        self.run_for(node, pid, usize::MAX)
+    }
+
+    /// Runs `pid` for at most `max_ops` trace ops (or to termination).
+    /// Execution resumes from the PCB's trace position, so a process can be
+    /// run partially, migrated, and resumed elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Execution failures, or [`KernelError::TraceUnderrun`] if the trace
+    /// ends without `Terminate`.
+    pub fn run_for(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        max_ops: usize,
+    ) -> Result<ExecReport, KernelError> {
+        let started_at = self.clock.now();
+        {
+            let process = self.process_mut(node, pid)?;
+            process.pcb.status = RunStatus::Running;
+        }
+        let mut ops_executed = 0usize;
+        let mut finished = false;
+        while ops_executed < max_ops {
+            let (op, op_index) = {
+                let process = self.process_mut(node, pid)?;
+                let idx = process.pcb.trace_pos;
+                match process.trace.ops().get(idx) {
+                    Some(op) => {
+                        process.pcb.trace_pos += 1;
+                        (op.clone(), idx)
+                    }
+                    None => return Err(KernelError::TraceUnderrun(pid)),
+                }
+            };
+            ops_executed += 1;
+            match op {
+                Op::Touch { addr, len, write } => {
+                    self.touch(node, pid, addr, len, write, op_index)?;
+                }
+                Op::Compute(d) => {
+                    self.clock.advance(d);
+                    self.process_mut(node, pid)?.stats.compute += d;
+                }
+                Op::ScreenUpdate => {
+                    self.clock.advance(self.costs.screen_update);
+                    self.process_mut(node, pid)?.stats.screen_updates += 1;
+                }
+                Op::Terminate => {
+                    self.terminate(node, pid)?;
+                    finished = true;
+                    break;
+                }
+            }
+        }
+        if !finished {
+            self.process_mut(node, pid)?.pcb.status = RunStatus::Ready;
+        }
+        self.note("exec", || {
+            format!(
+                "pid{} ran {ops_executed} ops on {node}{}",
+                pid.0,
+                if finished { ", terminated" } else { "" }
+            )
+        });
+        Ok(ExecReport {
+            started_at,
+            elapsed: self.clock.now().since(started_at),
+            ops_executed,
+            finished,
+        })
+    }
+
+    /// Runs every ready process on `node` to completion, round-robin in
+    /// slices of `slice_ops` trace ops — a minimal time-sharing scheduler
+    /// for multi-process studies. Returns `(pid, total execution time)` in
+    /// completion order, where the total sums that process's own slices.
+    ///
+    /// # Errors
+    ///
+    /// Any execution failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_ops` is zero (no slice could make progress).
+    pub fn run_round_robin(
+        &mut self,
+        node: NodeId,
+        slice_ops: usize,
+    ) -> Result<Vec<(ProcessId, SimDuration)>, KernelError> {
+        assert!(slice_ops > 0, "slices must make progress");
+        let mut spent: HashMap<ProcessId, SimDuration> = HashMap::new();
+        let mut finished = Vec::new();
+        loop {
+            let ready: Vec<ProcessId> = self
+                .node(node)?
+                .processes
+                .values()
+                .filter(|p| p.pcb.status != RunStatus::Terminated)
+                .map(|p| p.id)
+                .collect();
+            if ready.is_empty() {
+                return Ok(finished);
+            }
+            for pid in ready {
+                let report = self.run_for(node, pid, slice_ops)?;
+                let total = spent.entry(pid).or_insert(SimDuration::ZERO);
+                *total += report.elapsed;
+                if report.finished {
+                    finished.push((pid, *total));
+                }
+            }
+        }
+    }
+
+    /// Terminates `pid`: releases the references its address space holds on
+    /// imaginary segments (never-touched owed pages), triggering segment
+    /// deaths, and marks the PCB terminated. The address space itself is
+    /// preserved for post-mortem inspection.
+    ///
+    /// # Errors
+    ///
+    /// Network failures during reference release.
+    pub fn terminate(&mut self, node: NodeId, pid: ProcessId) -> Result<(), KernelError> {
+        let mut owed: HashMap<SegmentId, u64> = HashMap::new();
+        {
+            let process = self.process_mut(node, pid)?;
+            for (_, state) in process.space.materialized_pages() {
+                if let PageState::Imaginary { seg, .. } = state {
+                    *owed.entry(*seg).or_insert(0) += 1;
+                }
+            }
+            process.pcb.status = RunStatus::Terminated;
+        }
+        let mut owed: Vec<(SegmentId, u64)> = owed.into_iter().collect();
+        owed.sort_unstable_by_key(|&(s, _)| s);
+        for (seg, pages) in owed {
+            self.fabric.release_refs(
+                &mut self.clock,
+                &mut self.ports,
+                &mut self.segs,
+                node,
+                seg,
+                pages,
+            )?;
+        }
+        self.settle()?;
+        Ok(())
+    }
+
+    /// Clears `pid`'s touch and prefetch tracking. Experiments call this at
+    /// a phase boundary (e.g. the moment of migration) so that
+    /// [`ExecStats::touched`](crate::process::ExecStats) afterwards reports
+    /// exactly the pages referenced *at the remote site* — the quantity
+    /// Table 4-3 of the paper tabulates.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node or process.
+    pub fn reset_touch_tracking(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+    ) -> Result<(), KernelError> {
+        let process = self.process_mut(node, pid)?;
+        process.stats.touched.clear();
+        process.stats.prefetch_pending.clear();
+        Ok(())
+    }
+
+    /// A deterministic digest of the contents of every page `pid` has
+    /// touched (in page order). Two runs of the same program — migrated or
+    /// not, under any strategy — must agree.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/process, or internal state errors for touched pages
+    /// that have no data.
+    pub fn touched_checksum(&mut self, node: NodeId, pid: ProcessId) -> Result<u64, KernelError> {
+        let mut pages: Vec<PageNum> = {
+            let process = self.process(node, pid)?;
+            process.stats.touched.iter().copied().collect()
+        };
+        pages.sort_unstable();
+        let mut digest: u64 = 0xcbf29ce484222325;
+        for page in pages {
+            let n = self.node_mut(node)?;
+            let process = n
+                .processes
+                .get_mut(&pid)
+                .ok_or(KernelError::UnknownProcess(pid))?;
+            let data = process
+                .space
+                .peek_page(page, &mut n.disk)
+                .ok_or(KernelError::Mem(cor_mem::MemError::NotResident(page)))?;
+            digest ^= page.0;
+            digest = digest.wrapping_mul(0x100000001b3);
+            for &b in data.iter() {
+                digest ^= b as u64;
+                digest = digest.wrapping_mul(0x100000001b3);
+            }
+        }
+        Ok(digest)
+    }
+
+    /// All node ids, in order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backer::VecStore;
+    use cor_mem::page::{page_from_bytes, Frame, PAGE_SIZE};
+
+    /// Builds a world where node `b` hosts a process whose pages
+    /// `[0, pages)` are owed by a segment cached at node `a`'s NMS.
+    fn owed_process(pages: u64) -> (World, NodeId, NodeId, ProcessId, SegmentId) {
+        let (mut w, a, b) = World::testbed();
+        let nms_a = w.fabric.nms_port(a).unwrap();
+        let seg = w.segs.create(nms_a, pages);
+        w.segs.add_refs(seg, pages).unwrap();
+        let frames: Vec<Frame> = (0..pages)
+            .map(|i| Frame::new(page_from_bytes(&[i as u8 + 1])))
+            .collect();
+        w.fabric.install_cache(a, seg, frames).unwrap();
+        let mut space = AddressSpace::new();
+        space.map_imaginary(PageRange::new(PageNum(0), PageNum(pages)), seg, 0);
+        let mut tb = Trace::builder();
+        tb.read(VAddr(0), PAGE_SIZE * pages);
+        let trace = tb.terminate();
+        let pid = w.create_process(b, "owed", space, trace).unwrap();
+        (w, a, b, pid, seg)
+    }
+
+    #[test]
+    fn zero_fill_and_write_readback() {
+        let (mut w, a, _) = World::testbed();
+        let mut space = AddressSpace::new();
+        space.validate(VAddr(0), 4 * PAGE_SIZE).unwrap();
+        let mut tb = Trace::builder();
+        tb.write(VAddr(100), 1000)
+            .compute(SimDuration::from_millis(3));
+        let trace = tb.terminate();
+        let pid = w.create_process(a, "w", space, trace).unwrap();
+        let report = w.run(a, pid).unwrap();
+        assert!(report.finished);
+        let process = w.process(a, pid).unwrap();
+        assert_eq!(process.stats.zero_faults, 3, "pages 0..3 zero-filled");
+        assert_eq!(process.stats.compute, SimDuration::from_millis(3));
+        // The deterministic pattern landed in memory.
+        let mut buf = [0u8; 4];
+        process.space.read(VAddr(100), &mut buf).unwrap();
+        let expect: Vec<u8> = (0..4).map(|i| write_pattern(VAddr(100 + i), 0)).collect();
+        assert_eq!(&buf[..], &expect[..]);
+    }
+
+    #[test]
+    fn remote_imaginary_fetch_delivers_correct_bytes() {
+        let (mut w, _, b, pid, _) = owed_process(3);
+        let report = w.run(b, pid).unwrap();
+        assert!(report.finished);
+        let process = w.process(b, pid).unwrap();
+        assert_eq!(process.stats.imag_faults, 3);
+        for i in 0..3u64 {
+            let mut buf = [0u8; 1];
+            process.space.read(PageNum(i).base(), &mut buf).unwrap();
+            assert_eq!(buf[0], i as u8 + 1, "page {i} content");
+        }
+    }
+
+    #[test]
+    fn fault_time_histogram_tracks_service_times() {
+        let (mut w, _, b, pid, _) = owed_process(5);
+        w.run(b, pid).unwrap();
+        let stats = &w.process(b, pid).unwrap().stats;
+        let mean = stats.mean_fault_time().expect("faults were taken");
+        let secs = mean.as_secs_f64();
+        assert!((0.100..0.130).contains(&secs), "mean {secs}");
+        assert_eq!(stats.fault_times.as_ref().unwrap().count(), 5);
+    }
+
+    #[test]
+    fn imaginary_fault_cost_is_near_paper_value() {
+        let (mut w, _, b, pid, _) = owed_process(1);
+        let t0 = w.clock.now();
+        w.run(b, pid).unwrap();
+        let per_fault = w.clock.now().since(t0).as_secs_f64();
+        // Paper §4.3.3: 115 ms (vs 40.8 ms local). Allow modeling slack.
+        assert!((0.100..0.130).contains(&per_fault), "got {per_fault}");
+        // And the ratio to a disk fault is "roughly 2.8".
+        let ratio = per_fault / w.costs.disk_fault().as_secs_f64();
+        assert!((2.4..3.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn prefetch_batches_fetches_and_counts_hits() {
+        let (mut w, _, b, pid, _) = owed_process(8);
+        w.prefetch = 3;
+        let report = w.run(b, pid).unwrap();
+        assert!(report.finished);
+        let process = w.process(b, pid).unwrap();
+        assert_eq!(process.stats.imag_faults, 2, "8 pages / 4 per fetch");
+        assert_eq!(process.stats.prefetched_pages, 6);
+        assert_eq!(process.stats.prefetch_hits, 6, "sequential scan hits all");
+        assert_eq!(process.stats.prefetch_hit_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn prefetch_never_crosses_segment_end() {
+        let (mut w, _, b, pid, _) = owed_process(5);
+        w.prefetch = 15;
+        w.run(b, pid).unwrap();
+        let process = w.process(b, pid).unwrap();
+        assert_eq!(process.stats.imag_faults, 1);
+        assert_eq!(process.stats.prefetched_pages, 4, "clipped at segment end");
+    }
+
+    #[test]
+    fn segments_die_after_full_consumption() {
+        let (mut w, a, b, pid, _) = owed_process(4);
+        w.run(b, pid).unwrap();
+        assert_eq!(w.segs.live(), 0, "stand-in and origin both dead");
+        assert_eq!(w.fabric.cached_pages_live(a), 0);
+        assert_eq!(w.fabric.standins_live(b), 0);
+    }
+
+    #[test]
+    fn unconsumed_owed_pages_die_at_termination() {
+        let (mut w, a, b, _, seg) = owed_process(6);
+        // A second process variant: touch only page 0, then terminate.
+        let mut space = AddressSpace::new();
+        space.map_imaginary(PageRange::new(PageNum(0), PageNum(6)), seg, 0);
+        // Transfer the refs: the original mapping in owed_process also holds
+        // refs, so add for this second mapping.
+        w.segs.add_refs(seg, 6).unwrap();
+        let mut tb = Trace::builder();
+        tb.read(VAddr(0), 10);
+        let pid2 = w
+            .create_process(b, "partial", space, tb.terminate())
+            .unwrap();
+        w.run(b, pid2).unwrap();
+        // pid2's 5 untouched pages were released at termination; the
+        // original mapping from owed_process still holds 6 refs, so the
+        // segment survives.
+        assert!(w.segs.get(seg).is_some());
+        assert_eq!(w.segs.get(seg).unwrap().outstanding, 6);
+        assert!(w.fabric.cached_pages_live(a) > 0);
+    }
+
+    #[test]
+    fn user_level_backer_serves_faults() {
+        let (mut w, a, b) = World::testbed();
+        let backing_port = w.ports.allocate(a);
+        let mut store = VecStore::new();
+        let seg = w.segs.create(backing_port, 2);
+        w.segs.add_refs(seg, 2).unwrap();
+        store.insert(
+            seg,
+            vec![
+                Frame::new(page_from_bytes(b"alpha")),
+                Frame::new(page_from_bytes(b"beta")),
+            ],
+        );
+        w.register_backer(backing_port, a, Box::new(store));
+        let mut space = AddressSpace::new();
+        space.map_imaginary(PageRange::new(PageNum(0), PageNum(2)), seg, 0);
+        let mut tb = Trace::builder();
+        tb.read(VAddr(0), 2 * PAGE_SIZE);
+        let pid = w
+            .create_process(b, "userback", space, tb.terminate())
+            .unwrap();
+        w.run(b, pid).unwrap();
+        let process = w.process(b, pid).unwrap();
+        let mut buf = [0u8; 5];
+        process.space.read(VAddr(0), &mut buf).unwrap();
+        assert_eq!(&buf, b"alpha");
+        process
+            .space
+            .read(PageNum(1).base(), &mut buf[..4])
+            .unwrap();
+        assert_eq!(&buf[..4], b"beta");
+        // Death reached the store.
+        assert_eq!(w.backer_pages_held(), 0);
+    }
+
+    #[test]
+    fn addressing_violation_is_fatal() {
+        let (mut w, a, _) = World::testbed();
+        let mut tb = Trace::builder();
+        tb.read(VAddr(0x5000), 1);
+        let pid = w
+            .create_process(a, "bad", AddressSpace::new(), tb.terminate())
+            .unwrap();
+        match w.run(a, pid) {
+            Err(KernelError::AddressingViolation { pid: p, .. }) => assert_eq!(p, pid),
+            other => panic!("expected AddressingViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_run_resumes_where_it_stopped() {
+        let (mut w, a, _) = World::testbed();
+        let mut space = AddressSpace::new();
+        space.validate(VAddr(0), 10 * PAGE_SIZE).unwrap();
+        let mut tb = Trace::builder();
+        for i in 0..10u64 {
+            tb.write(PageNum(i).base(), 8);
+        }
+        let trace = tb.terminate();
+        let pid = w.create_process(a, "partial", space, trace).unwrap();
+        let r1 = w.run_for(a, pid, 4).unwrap();
+        assert!(!r1.finished);
+        assert_eq!(r1.ops_executed, 4);
+        assert_eq!(w.process(a, pid).unwrap().pcb.status, RunStatus::Ready);
+        let r2 = w.run(a, pid).unwrap();
+        assert!(r2.finished);
+        assert_eq!(r2.ops_executed, 7, "6 writes + terminate");
+        assert_eq!(w.process(a, pid).unwrap().stats.touched.len(), 10);
+    }
+
+    #[test]
+    fn checksum_is_deterministic_and_content_sensitive() {
+        let run_once = |tweak: bool| {
+            let (mut w, a, _) = World::testbed();
+            let mut space = AddressSpace::new();
+            space.validate(VAddr(0), 2 * PAGE_SIZE).unwrap();
+            let mut tb = Trace::builder();
+            tb.write(VAddr(0), 64);
+            if tweak {
+                tb.write(VAddr(64), 1);
+            }
+            let pid = w.create_process(a, "ck", space, tb.terminate()).unwrap();
+            w.run(a, pid).unwrap();
+            w.touched_checksum(a, pid).unwrap()
+        };
+        assert_eq!(run_once(false), run_once(false));
+        assert_ne!(run_once(false), run_once(true));
+    }
+
+    #[test]
+    fn round_robin_interleaves_and_finishes_everything() {
+        let (mut w, a, _) = World::testbed();
+        let mut pids = Vec::new();
+        for j in 0..3u64 {
+            let mut space = AddressSpace::new();
+            space.validate(VAddr(0), 8 * PAGE_SIZE).unwrap();
+            let mut tb = Trace::builder();
+            for i in 0..(2 + j) {
+                tb.write(PageNum(i).base(), 16);
+                tb.compute(SimDuration::from_millis(10));
+            }
+            let pid = w
+                .create_process(a, format!("rr{j}"), space, tb.terminate())
+                .unwrap();
+            pids.push(pid);
+        }
+        let finished = w.run_round_robin(a, 2).unwrap();
+        assert_eq!(finished.len(), 3);
+        // Shorter traces finish first under equal slices.
+        assert_eq!(finished[0].0, pids[0]);
+        assert_eq!(finished[2].0, pids[2]);
+        for &(pid, total) in &finished {
+            assert!(w.process(a, pid).unwrap().finished());
+            assert!(total > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn kernel_peek_refuses_imag_mem_instead_of_deadlocking() {
+        let (mut w, _, b, pid, _) = owed_process(3);
+        // Kernel-context read of an owed page: refused via the AMap check.
+        match w.kernel_peek(b, pid, VAddr(0), 16) {
+            Err(KernelError::WouldDeadlock { pid: p, .. }) => assert_eq!(p, pid),
+            other => panic!("expected WouldDeadlock, got {other:?}"),
+        }
+        // After the process itself fetches the page, the peek is safe.
+        w.run_for(b, pid, 1).unwrap();
+        let bytes = w.kernel_peek(b, pid, VAddr(0), 16).unwrap();
+        assert_eq!(bytes[0], 1, "cache content for page 0");
+        // Unvalidated memory is an addressing error, not a deadlock.
+        match w.kernel_peek(b, pid, VAddr(0x100000), 4) {
+            Err(KernelError::AddressingViolation { .. }) => {}
+            other => panic!("expected AddressingViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kernel_peek_services_safe_faults_inline() {
+        let (mut w, a, _) = World::testbed();
+        let mut space = AddressSpace::new();
+        space.validate(VAddr(0), 2 * PAGE_SIZE).unwrap();
+        let mut tb = Trace::builder();
+        tb.write(VAddr(0), 8);
+        let pid = w.create_process(a, "peek", space, tb.terminate()).unwrap();
+        // RealZero: peek zero-fills and reads zeros.
+        let bytes = w.kernel_peek(a, pid, PageNum(1).base(), 8).unwrap();
+        assert_eq!(bytes, vec![0u8; 8]);
+    }
+
+    #[test]
+    fn fetched_imaginary_pages_page_out_to_the_local_disk() {
+        // Paper §2.2: "page-outs for imaginary data are performed to the
+        // local disk at the site that touched the page" — a fetched page
+        // that gets evicted re-faults from the *local* disk, not the
+        // network.
+        let (mut w, _a, b, pid, _) = owed_process(4);
+        w.process_mut(b, pid)
+            .unwrap()
+            .space
+            .set_frame_budget(Some(2));
+        let r = w.run(b, pid).unwrap();
+        assert!(r.finished);
+        let remote_before = w.fabric.stats().msgs_remote;
+        // Re-touch page 0: it was fetched, then evicted by the budget.
+        // Re-run a fresh read over the same pages via a second process
+        // sharing nothing — instead, directly check the fault kind.
+        let process = w.process_mut(b, pid).unwrap();
+        match process.space.check_read(PageNum(0)) {
+            Err(Fault::DiskIn { .. }) => {}
+            other => panic!("expected DiskIn from local disk, got {other:?}"),
+        }
+        // Servicing it needs no network traffic.
+        w.ensure_ready(b, pid, PageNum(0), false).unwrap();
+        assert_eq!(w.fabric.stats().msgs_remote, remote_before);
+        assert_eq!(w.process(b, pid).unwrap().stats.disk_faults, 1);
+    }
+
+    #[test]
+    fn fault_support_traffic_lands_in_the_right_category() {
+        let (mut w, _, b, pid, _) = owed_process(2);
+        w.run(b, pid).unwrap();
+        use cor_sim::LedgerCategory;
+        let fs = w.fabric.ledger.total_for(LedgerCategory::FaultSupport);
+        let bulk = w.fabric.ledger.total_for(LedgerCategory::Bulk);
+        assert!(fs > 2 * PAGE_SIZE, "replies carry pages: {fs}");
+        assert_eq!(bulk, 0, "no bulk transfer in this scenario");
+    }
+}

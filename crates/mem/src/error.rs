@@ -1,0 +1,38 @@
+//! Error type for address-space manipulation.
+
+use std::fmt;
+
+use crate::page::{PageNum, VAddr};
+
+/// Errors from address-space mutators.
+///
+/// These are programming errors in the caller (the kernel or a workload
+/// builder), distinct from [`crate::Fault`]s, which are the expected runtime
+/// events the pager services.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// An address fell outside every validated region.
+    NotValidated(VAddr),
+    /// A page that was required to be resident is not.
+    NotResident(PageNum),
+    /// A mutator targeted a page whose current state is incompatible
+    /// (e.g. installing a disk mapping over an imaginary page).
+    BadState(PageNum, &'static str),
+    /// A zero-length or inverted range was supplied.
+    EmptyRange,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::NotValidated(a) => write!(f, "address {a} is not validated"),
+            MemError::NotResident(p) => write!(f, "page {} is not resident", p.0),
+            MemError::BadState(p, what) => {
+                write!(f, "page {} is in an incompatible state: {what}", p.0)
+            }
+            MemError::EmptyRange => write!(f, "empty or inverted range"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

@@ -1,0 +1,93 @@
+//! The fault taxonomy of Accent's Pager/Scheduler (paper §2.3).
+
+use crate::disk::DiskAddr;
+use crate::page::{PageNum, VAddr};
+use crate::space::SegmentId;
+
+/// A memory fault awaiting service.
+///
+/// `cor-mem` *detects* faults; the pager in `cor-kernel` *services* them,
+/// charging each kind its calibrated cost (a FillZero fault never touches
+/// the disk; an imaginary fault is a full IPC round trip to the backing
+/// port, possibly across the network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// First touch of validated-but-never-accessed memory (*RealZeroMem*).
+    /// Serviced by reserving a frame and zero-filling it; the disk is never
+    /// consulted.
+    FillZero {
+        /// The page to materialize.
+        page: PageNum,
+    },
+    /// The page's data is on the local disk (*RealMem*, paged out).
+    DiskIn {
+        /// The faulting page.
+        page: PageNum,
+        /// Where its data lives on the local disk.
+        addr: DiskAddr,
+    },
+    /// The page is mapped to an imaginary segment (*ImagMem*); its data must
+    /// be requested from the segment's backing port.
+    Imaginary {
+        /// The faulting page.
+        page: PageNum,
+        /// The imaginary segment backing this page.
+        seg: SegmentId,
+        /// Page offset within the segment.
+        offset: u64,
+    },
+    /// A true addressing error (*BadMem*): the address was never validated.
+    Addressing {
+        /// The offending address.
+        addr: VAddr,
+    },
+}
+
+impl Fault {
+    /// `true` for the fault kinds that a healthy program may trigger
+    /// (everything except an addressing error).
+    pub fn is_benign(&self) -> bool {
+        !matches!(self, Fault::Addressing { .. })
+    }
+
+    /// The faulting page, if the fault concerns a specific page.
+    pub fn page(&self) -> Option<PageNum> {
+        match self {
+            Fault::FillZero { page }
+            | Fault::DiskIn { page, .. }
+            | Fault::Imaginary { page, .. } => Some(*page),
+            Fault::Addressing { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_classification() {
+        assert!(Fault::FillZero { page: PageNum(1) }.is_benign());
+        assert!(Fault::DiskIn {
+            page: PageNum(1),
+            addr: DiskAddr(0)
+        }
+        .is_benign());
+        assert!(Fault::Imaginary {
+            page: PageNum(1),
+            seg: SegmentId(0),
+            offset: 0
+        }
+        .is_benign());
+        assert!(!Fault::Addressing { addr: VAddr(0) }.is_benign());
+    }
+
+    #[test]
+    fn page_extraction() {
+        assert_eq!(
+            Fault::FillZero { page: PageNum(9) }.page(),
+            Some(PageNum(9))
+        );
+        assert_eq!(Fault::Addressing { addr: VAddr(9) }.page(), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! Pages, addresses, and reference-counted frames.
+//!
+//! Accent used 512-byte pages (§2.1 of the paper); every quantity in the
+//! evaluation (resident sets, prefetch units, fault granularity) is in these
+//! units, so the page size is a crate-wide constant rather than a parameter.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// The Accent page size in bytes.
+pub const PAGE_SIZE: u64 = 512;
+
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 9;
+
+/// A virtual address within a (up to 4 GB, as on the Perq) address space.
+///
+/// Addresses are 64-bit here so that arithmetic never overflows even for the
+/// Lisp workloads that validate their entire 4 GB space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+/// A virtual page number: `addr >> 9`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNum(pub u64);
+
+impl VAddr {
+    /// The page containing this address.
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 >> PAGE_SHIFT)
+    }
+
+    /// The byte offset of this address within its page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Address arithmetic.
+    pub const fn offset(self, delta: u64) -> VAddr {
+        VAddr(self.0 + delta)
+    }
+}
+
+impl PageNum {
+    /// The first address of this page.
+    pub const fn base(self) -> VAddr {
+        VAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The page `delta` pages after this one.
+    pub const fn offset(self, delta: u64) -> PageNum {
+        PageNum(self.0 + delta)
+    }
+}
+
+/// A half-open range of pages `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageRange {
+    /// First page in the range.
+    pub start: PageNum,
+    /// One past the last page.
+    pub end: PageNum,
+}
+
+impl PageRange {
+    /// Creates a range; `start` may equal `end` (empty range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: PageNum, end: PageNum) -> Self {
+        assert!(start <= end, "inverted page range");
+        PageRange { start, end }
+    }
+
+    /// The smallest page range covering `[addr, addr + len)`.
+    pub fn covering(addr: VAddr, len: u64) -> Self {
+        if len == 0 {
+            let p = addr.page();
+            return PageRange::new(p, p);
+        }
+        let start = addr.page();
+        let last = VAddr(addr.0 + len - 1).page();
+        PageRange::new(start, PageNum(last.0 + 1))
+    }
+
+    /// Number of pages in the range.
+    pub fn len(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// `true` when the range contains no pages.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Number of bytes spanned.
+    pub fn bytes(&self) -> u64 {
+        self.len() * PAGE_SIZE
+    }
+
+    /// Whether `page` lies within the range.
+    pub fn contains(&self, page: PageNum) -> bool {
+        self.start <= page && page < self.end
+    }
+
+    /// Iterator over the pages in the range.
+    pub fn iter(&self) -> impl Iterator<Item = PageNum> {
+        (self.start.0..self.end.0).map(PageNum)
+    }
+
+    /// The underlying numeric range.
+    pub fn as_range(&self) -> Range<u64> {
+        self.start.0..self.end.0
+    }
+}
+
+/// The contents of one page.
+pub type PageData = Box<[u8; PAGE_SIZE as usize]>;
+
+/// Allocates a zero-filled page.
+pub fn zero_page() -> PageData {
+    Box::new([0u8; PAGE_SIZE as usize])
+}
+
+/// Allocates a page initialized from `bytes` (zero-padded, truncated to the
+/// page size).
+pub fn page_from_bytes(bytes: &[u8]) -> PageData {
+    let mut p = zero_page();
+    let n = bytes.len().min(PAGE_SIZE as usize);
+    p[..n].copy_from_slice(&bytes[..n]);
+    p
+}
+
+/// A reference-counted physical frame.
+///
+/// The strong count *is* the copy-on-write reference count: a frame with
+/// `Frame::is_shared() == true` must be copied before being written. This is
+/// the deferred-copy machinery of Accent's IPC (§2.1): mapping message data
+/// into a receiver clones the `Rc`, and the 512-byte copy happens only when
+/// either party writes.
+#[derive(Clone)]
+pub struct Frame(Rc<RefCell<PageData>>);
+
+impl Frame {
+    /// Wraps page data in a frame.
+    pub fn new(data: PageData) -> Self {
+        Frame(Rc::new(RefCell::new(data)))
+    }
+
+    /// A fresh zero-filled frame.
+    pub fn zeroed() -> Self {
+        Frame::new(zero_page())
+    }
+
+    /// `true` when more than one mapping references this frame, i.e. a write
+    /// must first perform the deferred copy.
+    pub fn is_shared(&self) -> bool {
+        Rc::strong_count(&self.0) > 1
+    }
+
+    /// Copies the frame contents into a brand-new unshared frame.
+    pub fn deep_copy(&self) -> Frame {
+        Frame::new(Box::new(**self.0.borrow()))
+    }
+
+    /// Reads the whole page into a fresh buffer.
+    pub fn snapshot(&self) -> PageData {
+        Box::new(**self.0.borrow())
+    }
+
+    /// Runs `f` over the page contents.
+    pub fn with<R>(&self, f: impl FnOnce(&[u8; PAGE_SIZE as usize]) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Runs `f` over the mutable page contents.
+    ///
+    /// Callers must only do this on unshared frames (enforced by
+    /// `AddressSpace`, which copies shared frames first); mutating a shared
+    /// frame would violate copy-on-write semantics, though it cannot violate
+    /// memory safety.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut [u8; PAGE_SIZE as usize]) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Frame(rc={})", Rc::strong_count(&self.0))
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageNum({})", self.0)
+    }
+}
+
+impl fmt::Debug for PageRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pages[{}, {})", self.start.0, self.end.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_page_math() {
+        assert_eq!(VAddr(0).page(), PageNum(0));
+        assert_eq!(VAddr(511).page(), PageNum(0));
+        assert_eq!(VAddr(512).page(), PageNum(1));
+        assert_eq!(VAddr(513).page_offset(), 1);
+        assert_eq!(PageNum(3).base(), VAddr(1536));
+    }
+
+    #[test]
+    fn covering_ranges() {
+        let r = PageRange::covering(VAddr(0), 512);
+        assert_eq!((r.start, r.end), (PageNum(0), PageNum(1)));
+        let r = PageRange::covering(VAddr(0), 513);
+        assert_eq!(r.len(), 2);
+        let r = PageRange::covering(VAddr(100), 412);
+        assert_eq!(r.len(), 1);
+        let r = PageRange::covering(VAddr(100), 413);
+        assert_eq!(r.len(), 2);
+        let r = PageRange::covering(VAddr(1000), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn range_iteration_and_bytes() {
+        let r = PageRange::new(PageNum(2), PageNum(5));
+        assert_eq!(
+            r.iter().collect::<Vec<_>>(),
+            vec![PageNum(2), PageNum(3), PageNum(4)]
+        );
+        assert_eq!(r.bytes(), 3 * PAGE_SIZE);
+        assert!(r.contains(PageNum(4)));
+        assert!(!r.contains(PageNum(5)));
+    }
+
+    #[test]
+    fn frame_sharing_and_deep_copy() {
+        let f = Frame::new(page_from_bytes(b"hello"));
+        assert!(!f.is_shared());
+        let g = f.clone();
+        assert!(f.is_shared() && g.is_shared());
+        let h = g.deep_copy();
+        h.with_mut(|d| d[0] = b'H');
+        // The copy diverged; the original is untouched.
+        f.with(|d| assert_eq!(&d[..5], b"hello"));
+        h.with(|d| assert_eq!(&d[..5], b"Hello"));
+        drop(g);
+        assert!(!f.is_shared());
+    }
+
+    #[test]
+    fn page_from_bytes_pads_and_truncates() {
+        let p = page_from_bytes(b"ab");
+        assert_eq!(&p[..2], b"ab");
+        assert!(p[2..].iter().all(|&b| b == 0));
+        let big = vec![7u8; 1000];
+        let p = page_from_bytes(&big);
+        assert!(p.iter().all(|&b| b == 7));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests on the virtual-memory substrate: AMap invariants,
+//! data-path roundtrips, LRU model conformance.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use cor_mem::amap::Access;
+use cor_mem::page::PAGE_SIZE;
+use cor_mem::resident::ResidentTracker;
+use cor_mem::{AddressSpace, Disk, Fault, PageNum, PageRange, SegmentId, VAddr};
+
+/// Drives a page to readiness like a minimal pager (no imaginary service).
+fn ready(space: &mut AddressSpace, disk: &mut Disk, page: PageNum) {
+    loop {
+        match space.check_write(page) {
+            Ok(()) => return,
+            Err(Fault::FillZero { page }) => space.fill_zero(page, disk).unwrap(),
+            Err(Fault::DiskIn { page, .. }) => space.page_in(page, disk).unwrap(),
+            Err(f) => panic!("unexpected fault {f:?}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SpaceOp {
+    Validate(u64, u64),
+    Touch(u64),
+    PageOut(u64),
+    MapImag(u64, u64),
+}
+
+fn space_ops() -> impl Strategy<Value = Vec<SpaceOp>> {
+    let op = prop_oneof![
+        (0u64..256, 1u64..32).prop_map(|(p, n)| SpaceOp::Validate(p, n)),
+        (0u64..256).prop_map(SpaceOp::Touch),
+        (0u64..256).prop_map(SpaceOp::PageOut),
+        (0u64..256, 1u64..8).prop_map(|(p, n)| SpaceOp::MapImag(p, n)),
+    ];
+    prop::collection::vec(op, 1..80)
+}
+
+proptest! {
+    /// After any sequence of operations, the constructed AMap satisfies
+    /// its structural invariants and agrees with per-page classification.
+    #[test]
+    fn amap_always_valid_and_consistent(ops in space_ops()) {
+        let mut space = AddressSpace::new();
+        let mut disk = Disk::new();
+        let mut seg_count = 0u64;
+        for op in ops {
+            match op {
+                SpaceOp::Validate(p, n) => {
+                    space.validate_pages(PageRange::new(PageNum(p), PageNum(p + n)));
+                }
+                SpaceOp::Touch(p) => {
+                    if space.classify(PageNum(p)) == Access::RealZero {
+                        ready(&mut space, &mut disk, PageNum(p));
+                    }
+                }
+                SpaceOp::PageOut(p) => space.page_out(PageNum(p), &mut disk),
+                SpaceOp::MapImag(p, n) => {
+                    seg_count += 1;
+                    space.map_imaginary(
+                        PageRange::new(PageNum(p), PageNum(p + n)),
+                        SegmentId(seg_count),
+                        0,
+                    );
+                }
+            }
+        }
+        let amap = space.amap();
+        prop_assert!(amap.verify().is_ok(), "{:?}", amap.verify());
+        for p in 0..300u64 {
+            let page = PageNum(p);
+            prop_assert_eq!(amap.lookup(page).0, space.classify(page), "page {}", p);
+        }
+        // Byte accounting agrees between the AMap and the space stats.
+        let st = space.stats();
+        prop_assert_eq!(amap.bytes_of(Access::Real), st.real_bytes);
+        prop_assert_eq!(amap.bytes_of(Access::RealZero), st.realzero_bytes);
+        prop_assert_eq!(amap.bytes_of(Access::Imag), st.imag_bytes);
+    }
+
+    /// Arbitrary writes followed by reads return the written bytes, across
+    /// page boundaries, page-outs and page-ins.
+    #[test]
+    fn write_read_roundtrip_survives_paging(
+        writes in prop::collection::vec((0u64..30 * 512, 1usize..200, any::<u8>()), 1..20),
+        budget in 2usize..8,
+    ) {
+        let mut space = AddressSpace::with_frame_budget(budget);
+        let mut disk = Disk::new();
+        space.validate(VAddr(0), 32 * PAGE_SIZE).unwrap();
+        let mut model: Vec<u8> = vec![0; 32 * PAGE_SIZE as usize];
+        for &(addr, len, byte) in &writes {
+            let range = PageRange::covering(VAddr(addr), len as u64);
+            for p in range.iter() {
+                ready(&mut space, &mut disk, p);
+            }
+            let data = vec![byte; len];
+            space.write(VAddr(addr), &data).unwrap();
+            model[addr as usize..addr as usize + len].fill(byte);
+        }
+        // Read everything back (through disk for paged-out pages).
+        for &(addr, len, _) in &writes {
+            let range = PageRange::covering(VAddr(addr), len as u64);
+            for p in range.iter() {
+                ready(&mut space, &mut disk, p);
+            }
+            let mut buf = vec![0u8; len];
+            space.read(VAddr(addr), &mut buf).unwrap();
+            prop_assert_eq!(&buf[..], &model[addr as usize..addr as usize + len]);
+        }
+    }
+
+    /// The LRU tracker behaves exactly like a naive reference model.
+    #[test]
+    fn lru_matches_reference_model(
+        touches in prop::collection::vec(0u64..64, 1..300),
+        cap in 1usize..16,
+    ) {
+        let mut tracker = ResidentTracker::with_capacity(cap);
+        let mut model: Vec<u64> = Vec::new(); // LRU order, front = oldest
+        for &p in &touches {
+            model.retain(|&q| q != p);
+            model.push(p);
+            let expect_evict = if model.len() > cap {
+                Some(model.remove(0))
+            } else {
+                None
+            };
+            let got = tracker.touch(PageNum(p));
+            prop_assert_eq!(got, expect_evict.map(PageNum));
+            prop_assert_eq!(tracker.len(), model.len());
+        }
+        let mut expected: Vec<PageNum> = model.iter().map(|&p| PageNum(p)).collect();
+        prop_assert_eq!(tracker.pages_lru_order(), expected.clone());
+        expected.sort_unstable();
+        prop_assert_eq!(tracker.pages(), expected);
+    }
+
+    /// Copy-on-write: writes through one mapping never leak into aliases.
+    #[test]
+    fn cow_isolation(pages in 1usize..16, dirty in prop::collection::vec(any::<bool>(), 16)) {
+        use cor_mem::page::{page_from_bytes, Frame};
+        let mut space = AddressSpace::new();
+        let mut disk = Disk::new();
+        let frames: Vec<Frame> = (0..pages)
+            .map(|i| Frame::new(page_from_bytes(&[i as u8 + 1; 8])))
+            .collect();
+        let aliases = frames.clone();
+        for (i, f) in frames.into_iter().enumerate() {
+            space.install_page(PageNum(i as u64), f, &mut disk);
+        }
+        let mut dirtied = HashSet::new();
+        for (i, &d) in dirty.iter().take(pages).enumerate() {
+            if d {
+                let page = PageNum(i as u64);
+                space.check_write(page).unwrap();
+                space.write(page.base(), &[0xEE; 8]).unwrap();
+                dirtied.insert(i);
+            }
+        }
+        prop_assert_eq!(space.cow_copies(), dirtied.len() as u64);
+        for (i, alias) in aliases.iter().enumerate() {
+            alias.with(|d| {
+                // The alias always sees the original bytes.
+                assert_eq!(d[0], i as u8 + 1, "alias {i} corrupted");
+            });
+        }
+    }
+}

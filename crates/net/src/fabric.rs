@@ -1,0 +1,971 @@
+//! The distributed-system data path: wire + NetMsgServers.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cor_ipc::message::{Message, MsgItem, MsgKind};
+use cor_ipc::port::{PortId, PortRegistry};
+use cor_ipc::protocol::{self, ProtocolMsg};
+use cor_ipc::segment::SegmentRegistry;
+use cor_ipc::NodeId;
+use cor_mem::page::Frame;
+use cor_mem::space::SegmentId;
+use cor_sim::{Clock, Ledger, LedgerCategory, SimDuration};
+
+use crate::error::NetError;
+use crate::params::WireParams;
+
+/// Outcome of one `send`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendReport {
+    /// Bytes put on the wire (zero for node-local deliveries).
+    pub wire_bytes: u64,
+    /// Elapsed virtual time consumed by the delivery.
+    pub elapsed: SimDuration,
+    /// Whether the message crossed the network.
+    pub remote: bool,
+}
+
+/// Where a stand-in segment's pages really come from.
+#[derive(Debug, Clone, Copy)]
+struct ForwardEntry {
+    /// The origin segment at the backing site.
+    orig_seg: SegmentId,
+    /// Offset of the stand-in's page 0 within the origin segment.
+    orig_base: u64,
+    /// Pages claimed against the origin (released at stand-in death).
+    claim: u64,
+}
+
+/// A pending reply relay: a forwarded request whose answer must be renamed
+/// back to the stand-in segment before delivery to the original faulter.
+#[derive(Debug, Clone, Copy)]
+struct PendingRelay {
+    final_reply: PortId,
+    stand_in: SegmentId,
+    stand_in_offset: u64,
+}
+
+/// Per-node NetMsgServer state.
+#[derive(Debug)]
+struct NmsState {
+    port: PortId,
+    /// Segments this NMS backs, with their cached page data (offset-indexed).
+    cache: HashMap<SegmentId, Vec<Frame>>,
+    /// Stand-in segments this NMS created for remote imaginary objects.
+    forward: HashMap<SegmentId, ForwardEntry>,
+    /// Keyed by (origin segment, origin offset) of a forwarded request.
+    pending: HashMap<(SegmentId, u64), PendingRelay>,
+    cpu: SimDuration,
+}
+
+/// Aggregate fabric statistics.
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    /// All messages sent (local + remote).
+    pub msgs_total: u64,
+    /// Messages that crossed the wire.
+    pub msgs_remote: u64,
+    /// Message-handling CPU summed over every node.
+    pub cpu_total: SimDuration,
+    /// Pages cached by NMS IOU-substitution.
+    pub pages_cached: u64,
+    /// Stand-in segments created on receipt of IOU items.
+    pub standins_created: u64,
+    /// Segment death notices sent.
+    pub deaths_sent: u64,
+}
+
+/// The network fabric: wire model, ledger, and one NetMsgServer per node.
+///
+/// All methods take the world's [`Clock`], [`PortRegistry`] and
+/// [`SegmentRegistry`] explicitly; the fabric owns only its own state, so
+/// the kernel crate can hold everything side by side without aliasing.
+#[derive(Debug)]
+pub struct Fabric {
+    /// The wire cost model.
+    pub params: WireParams,
+    /// Categorized record of every wire transmission.
+    pub ledger: Ledger,
+    nodes: HashMap<NodeId, NmsState>,
+    node_order: BTreeSet<NodeId>,
+    stats: FabricStats,
+}
+
+fn category_for(kind: MsgKind) -> LedgerCategory {
+    match kind {
+        MsgKind::ImagReadRequest | MsgKind::ImagReadReply => LedgerCategory::FaultSupport,
+        MsgKind::Core | MsgKind::Rimas => LedgerCategory::Bulk,
+        _ => LedgerCategory::Control,
+    }
+}
+
+impl Fabric {
+    /// Creates a fabric with the given wire parameters.
+    pub fn new(params: WireParams) -> Self {
+        Fabric {
+            params,
+            ledger: Ledger::new(),
+            nodes: HashMap::new(),
+            node_order: BTreeSet::new(),
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Registers `node` with the fabric, starting its NetMsgServer.
+    /// Returns the NMS service port.
+    pub fn add_node(&mut self, node: NodeId, ports: &mut PortRegistry) -> PortId {
+        let port = ports.allocate(node);
+        self.nodes.insert(
+            node,
+            NmsState {
+                port,
+                cache: HashMap::new(),
+                forward: HashMap::new(),
+                pending: HashMap::new(),
+                cpu: SimDuration::ZERO,
+            },
+        );
+        self.node_order.insert(node);
+        port
+    }
+
+    /// The NMS service port of `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if the node was never added.
+    pub fn nms_port(&self, node: NodeId) -> Result<PortId, NetError> {
+        self.nodes
+            .get(&node)
+            .map(|n| n.port)
+            .ok_or(NetError::UnknownNode(node))
+    }
+
+    /// Hands the NMS on `node` the backing data for a segment it is to
+    /// serve (used when a caller pre-arranges NMS backing rather than
+    /// relying on automatic IOU caching).
+    pub fn install_cache(
+        &mut self,
+        node: NodeId,
+        seg: SegmentId,
+        frames: Vec<Frame>,
+    ) -> Result<(), NetError> {
+        let nms = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(NetError::UnknownNode(node))?;
+        self.stats.pages_cached += frames.len() as u64;
+        nms.cache.insert(seg, frames);
+        Ok(())
+    }
+
+    /// Sends `msg` on behalf of `from`. Local deliveries cost
+    /// [`WireParams::local_delivery`]; remote deliveries run the full NMS
+    /// pipeline (outgoing IOU caching unless `NoIOUs`, transmission with
+    /// ledger accounting, incoming stand-in creation and rights
+    /// translation) and advance the clock accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Port/segment failures and unknown nodes.
+    pub fn send(
+        &mut self,
+        clock: &mut Clock,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+        from: NodeId,
+        msg: Message,
+    ) -> Result<SendReport, NetError> {
+        self.send_impl(clock, ports, segs, from, msg, false)
+    }
+
+    /// Like [`Fabric::send`], but fire-and-forget: the sender is charged
+    /// only the local handoff to its NetMsgServer, not the wire latency
+    /// (bytes and handling CPU are still fully accounted). Used for
+    /// asynchronous notices — segment deaths — that do not sit on anyone's
+    /// critical path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Fabric::send`].
+    pub fn send_detached(
+        &mut self,
+        clock: &mut Clock,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+        from: NodeId,
+        msg: Message,
+    ) -> Result<SendReport, NetError> {
+        self.send_impl(clock, ports, segs, from, msg, true)
+    }
+
+    fn send_impl(
+        &mut self,
+        clock: &mut Clock,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+        from: NodeId,
+        mut msg: Message,
+        detached: bool,
+    ) -> Result<SendReport, NetError> {
+        let dest_home = ports.home(msg.dest)?;
+        self.stats.msgs_total += 1;
+        if dest_home == from {
+            clock.advance(self.params.local_delivery);
+            ports.enqueue(msg.dest, msg)?;
+            return Ok(SendReport {
+                wire_bytes: 0,
+                elapsed: self.params.local_delivery,
+                remote: false,
+            });
+        }
+        if !self.nodes.contains_key(&from) {
+            return Err(NetError::UnknownNode(from));
+        }
+        if !self.nodes.contains_key(&dest_home) {
+            return Err(NetError::UnknownNode(dest_home));
+        }
+        let start = clock.now();
+        // 1. Outgoing translation: cache page runs and substitute IOUs.
+        if !msg.no_ious {
+            let cached = self.cache_page_items(segs, from, &mut msg)?;
+            if cached > 0 {
+                clock.advance(SimDuration::from_micros(
+                    cached.saturating_mul(self.params.iou_cache_per_page_ns) / 1_000,
+                ));
+            }
+        }
+        // 2. Transmission.
+        let payload = msg.wire_size();
+        let runs = msg
+            .items
+            .iter()
+            .filter(|i| matches!(i, MsgItem::Pages { .. }))
+            .count() as u64;
+        let xmit_start = clock.now();
+        if detached {
+            clock.advance(self.params.local_delivery);
+        } else {
+            clock.advance(self.params.xmit_time(payload, runs));
+        }
+        let wire_bytes = self.params.wire_bytes(payload);
+        // Record the bytes spread across the transmission interval (in
+        // one-second chunks) so rate-over-time views see the flow, not a
+        // spike at completion.
+        let span = clock.now().since(xmit_start);
+        let chunks = (span.as_micros() / 1_000_000).clamp(1, 600);
+        let per = wire_bytes / chunks;
+        let category = category_for(msg.kind);
+        for i in 1..=chunks {
+            let at = xmit_start + span.saturating_mul(i) / chunks;
+            let bytes = if i == chunks {
+                wire_bytes - per * (chunks - 1)
+            } else {
+                per
+            };
+            self.ledger.record(at, bytes, category);
+        }
+        let cpu = self.params.handling_cpu(payload);
+        self.charge_cpu(from, cpu);
+        self.charge_cpu(dest_home, cpu);
+        self.stats.msgs_remote += 1;
+        // 3. Incoming translation: rights, then stand-ins for IOUs.
+        // Receive and ownership rights carried in a message move with it:
+        // their ports are now served from the destination, and every
+        // outstanding send right keeps working (location transparency).
+        let rights = msg.rights();
+        if !rights.is_empty() {
+            clock.advance(self.params.per_right.saturating_mul(rights.len() as u64));
+            for right in &rights {
+                if matches!(
+                    right.right,
+                    cor_ipc::Right::Receive | cor_ipc::Right::Ownership
+                ) {
+                    ports.relocate(right.port, dest_home)?;
+                }
+            }
+        }
+        self.create_standins(ports, segs, dest_home, &mut msg)?;
+        ports.enqueue(msg.dest, msg)?;
+        Ok(SendReport {
+            wire_bytes,
+            elapsed: clock.now().since(start),
+            remote: true,
+        })
+    }
+
+    fn cache_page_items(
+        &mut self,
+        segs: &mut SegmentRegistry,
+        from: NodeId,
+        msg: &mut Message,
+    ) -> Result<u64, NetError> {
+        let mut cached_total = 0u64;
+        let nms_port = self.nms_port(from)?;
+        for item in &mut msg.items {
+            if let MsgItem::Pages { base_page, frames } = item {
+                let pages = frames.len() as u64;
+                if pages == 0 {
+                    continue;
+                }
+                let seg = segs.create(nms_port, pages);
+                segs.add_refs(seg, pages)?;
+                let cached = std::mem::take(frames);
+                self.stats.pages_cached += pages;
+                cached_total += pages;
+                let nms = self
+                    .nodes
+                    .get_mut(&from)
+                    .expect("nms_port already checked node");
+                nms.cache.insert(seg, cached);
+                *item = MsgItem::Iou {
+                    base_page: *base_page,
+                    seg,
+                    seg_offset: 0,
+                    pages,
+                };
+            }
+        }
+        Ok(cached_total)
+    }
+
+    fn create_standins(
+        &mut self,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+        dest: NodeId,
+        msg: &mut Message,
+    ) -> Result<(), NetError> {
+        let nms_port = self.nms_port(dest)?;
+        for item in &mut msg.items {
+            if let MsgItem::Iou {
+                base_page,
+                seg,
+                seg_offset,
+                pages,
+            } = item
+            {
+                let backer_home = ports.home(segs.backing_port(*seg)?)?;
+                if backer_home == dest {
+                    continue; // the data is owed locally; no stand-in needed
+                }
+                let stand_in = segs.create(nms_port, *pages);
+                segs.add_refs(stand_in, *pages)?;
+                let nms = self
+                    .nodes
+                    .get_mut(&dest)
+                    .expect("nms_port already checked node");
+                nms.forward.insert(
+                    stand_in,
+                    ForwardEntry {
+                        orig_seg: *seg,
+                        orig_base: *seg_offset,
+                        claim: *pages,
+                    },
+                );
+                self.stats.standins_created += 1;
+                *item = MsgItem::Iou {
+                    base_page: *base_page,
+                    seg: stand_in,
+                    seg_offset: 0,
+                    pages: *pages,
+                };
+            }
+        }
+        Ok(())
+    }
+
+    fn charge_cpu(&mut self, node: NodeId, cpu: SimDuration) {
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.cpu += cpu;
+        }
+        self.stats.cpu_total += cpu;
+    }
+
+    /// Releases `pages` references on `seg` on behalf of `from`, sending
+    /// the `ImaginarySegmentDeath` notice to the backer if that was the
+    /// last reference. Callers should [`Fabric::pump`] afterwards so NMS
+    /// backers process the notice.
+    ///
+    /// # Errors
+    ///
+    /// Port/segment failures.
+    pub fn release_refs(
+        &mut self,
+        clock: &mut Clock,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+        from: NodeId,
+        seg: SegmentId,
+        pages: u64,
+    ) -> Result<(), NetError> {
+        let backer = segs.backing_port(seg)?;
+        if segs.release_refs(seg, pages)? {
+            self.stats.deaths_sent += 1;
+            let death = protocol::imag_segment_death(backer, seg).with_no_ious(true);
+            self.send_detached(clock, ports, segs, from, death)?;
+        }
+        Ok(())
+    }
+
+    /// Processes every message queued at `node`'s NMS port: serves read
+    /// requests from cache, forwards requests on stand-ins toward their
+    /// origin, relays renamed replies, and handles segment deaths.
+    /// Returns messages the NMS did not understand (none are expected in a
+    /// healthy run).
+    ///
+    /// # Errors
+    ///
+    /// Port/segment failures, and [`NetError::MissingData`] if a request
+    /// names pages the cache does not hold.
+    pub fn serve_nms(
+        &mut self,
+        clock: &mut Clock,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+        node: NodeId,
+    ) -> Result<Vec<Message>, NetError> {
+        let port = self.nms_port(node)?;
+        let mut unhandled = Vec::new();
+        while let Some(msg) = ports.dequeue(port)? {
+            clock.advance(self.params.nms_service);
+            match protocol::parse(&msg) {
+                Some(ProtocolMsg::ImagReadRequest {
+                    seg,
+                    offset,
+                    count,
+                    reply,
+                }) => {
+                    self.handle_read_request(clock, ports, segs, node, seg, offset, count, reply)?;
+                }
+                Some(ProtocolMsg::ImagReadReply {
+                    seg,
+                    offset,
+                    frames,
+                }) => {
+                    self.handle_relayed_reply(clock, ports, segs, node, seg, offset, frames)?;
+                }
+                Some(ProtocolMsg::ImagSegmentDeath { seg }) => {
+                    self.handle_death(clock, ports, segs, node, seg)?;
+                }
+                None => unhandled.push(msg),
+            }
+        }
+        Ok(unhandled)
+    }
+
+    #[allow(clippy::too_many_arguments)] // the world state travels together
+    fn handle_read_request(
+        &mut self,
+        clock: &mut Clock,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+        node: NodeId,
+        seg: SegmentId,
+        offset: u64,
+        count: u64,
+        reply: PortId,
+    ) -> Result<(), NetError> {
+        let nms = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(NetError::UnknownNode(node))?;
+        if let Some(cache) = nms.cache.get(&seg) {
+            let end = offset + count;
+            if end > cache.len() as u64 {
+                return Err(NetError::MissingData { seg, offset });
+            }
+            let frames: Vec<Frame> = cache[offset as usize..end as usize].to_vec();
+            let reply_msg =
+                protocol::imag_read_reply(reply, seg, offset, frames).with_no_ious(true);
+            self.send(clock, ports, segs, node, reply_msg)?;
+            return Ok(());
+        }
+        if let Some(fwd) = nms.forward.get(&seg).copied() {
+            // Forward toward the origin; the reply comes back to us so we
+            // can rename it to the stand-in before final delivery.
+            let my_port = nms.port;
+            nms.pending.insert(
+                (fwd.orig_seg, fwd.orig_base + offset),
+                PendingRelay {
+                    final_reply: reply,
+                    stand_in: seg,
+                    stand_in_offset: offset,
+                },
+            );
+            let backer = segs.backing_port(fwd.orig_seg)?;
+            let req = protocol::imag_read_request(
+                backer,
+                my_port,
+                fwd.orig_seg,
+                fwd.orig_base + offset,
+                count,
+            )
+            .with_no_ious(true);
+            self.send(clock, ports, segs, node, req)?;
+            return Ok(());
+        }
+        Err(NetError::MissingData { seg, offset })
+    }
+
+    #[allow(clippy::too_many_arguments)] // the world state travels together
+    fn handle_relayed_reply(
+        &mut self,
+        clock: &mut Clock,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+        node: NodeId,
+        seg: SegmentId,
+        offset: u64,
+        frames: Vec<Frame>,
+    ) -> Result<(), NetError> {
+        let nms = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(NetError::UnknownNode(node))?;
+        if let Some(relay) = nms.pending.remove(&(seg, offset)) {
+            let renamed = protocol::imag_read_reply(
+                relay.final_reply,
+                relay.stand_in,
+                relay.stand_in_offset,
+                frames,
+            )
+            .with_no_ious(true);
+            self.send(clock, ports, segs, node, renamed)?;
+            Ok(())
+        } else {
+            Err(NetError::MissingData { seg, offset })
+        }
+    }
+
+    fn handle_death(
+        &mut self,
+        clock: &mut Clock,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+        node: NodeId,
+        seg: SegmentId,
+    ) -> Result<(), NetError> {
+        let nms = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(NetError::UnknownNode(node))?;
+        if nms.cache.remove(&seg).is_some() {
+            return Ok(()); // our cached copy is released; nothing further
+        }
+        if let Some(fwd) = nms.forward.remove(&seg) {
+            // The stand-in died: release its claim against the origin.
+            self.release_refs(clock, ports, segs, node, fwd.orig_seg, fwd.claim)?;
+        }
+        Ok(())
+    }
+
+    /// Serves every node's NMS repeatedly (in node order) until all NMS
+    /// queues are empty. Returns the number of messages processed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure from [`Fabric::serve_nms`].
+    pub fn pump(
+        &mut self,
+        clock: &mut Clock,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+    ) -> Result<usize, NetError> {
+        let nodes: Vec<NodeId> = self.node_order.iter().copied().collect();
+        let mut processed = 0;
+        loop {
+            let mut quiescent = true;
+            for &node in &nodes {
+                let port = self.nms_port(node)?;
+                let pending = ports.queue_len(port);
+                if pending > 0 {
+                    quiescent = false;
+                    processed += pending;
+                    let unhandled = self.serve_nms(clock, ports, segs, node)?;
+                    processed -= unhandled.len();
+                }
+            }
+            if quiescent {
+                return Ok(processed);
+            }
+        }
+    }
+
+    /// Resolves where a segment's data *ultimately* lives, following the
+    /// NMS stand-in forwarding chain: a stand-in's first-hop backer is its
+    /// local NetMsgServer, but the pages are really held wherever the
+    /// chain ends (an NMS cache or a user-level backer). Load metrics for
+    /// automatic migration use this to measure true dispersion (paper §6).
+    ///
+    /// # Errors
+    ///
+    /// Dead segments or ports along the chain.
+    pub fn ultimate_backer(
+        &self,
+        ports: &PortRegistry,
+        segs: &SegmentRegistry,
+        seg: SegmentId,
+    ) -> Result<NodeId, NetError> {
+        let mut current = seg;
+        // The chain length is bounded by the number of nodes.
+        for _ in 0..=self.nodes.len() {
+            let port = segs.backing_port(current)?;
+            let home = ports.home(port)?;
+            match self.nodes.get(&home) {
+                Some(nms) if nms.port == port => {
+                    if let Some(f) = nms.forward.get(&current) {
+                        current = f.orig_seg;
+                        continue;
+                    }
+                    return Ok(home); // the NMS cache holds the data
+                }
+                _ => return Ok(home), // a user-level backer holds it
+            }
+        }
+        Err(NetError::MissingData { seg, offset: 0 })
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Message-handling CPU charged to one node.
+    pub fn node_cpu(&self, node: NodeId) -> SimDuration {
+        self.nodes.get(&node).map(|n| n.cpu).unwrap_or_default()
+    }
+
+    /// Pages currently held in `node`'s NMS cache.
+    pub fn cached_pages_live(&self, node: NodeId) -> u64 {
+        self.nodes
+            .get(&node)
+            .map(|n| n.cache.values().map(|v| v.len() as u64).sum())
+            .unwrap_or(0)
+    }
+
+    /// Live stand-in segments on `node`.
+    pub fn standins_live(&self, node: NodeId) -> usize {
+        self.nodes.get(&node).map(|n| n.forward.len()).unwrap_or(0)
+    }
+
+    /// Resets byte/CPU/message accounting (cache and forwarding state are
+    /// preserved). Used between measurement phases.
+    pub fn reset_accounting(&mut self) {
+        self.ledger = Ledger::new();
+        self.stats = FabricStats::default();
+        for n in self.nodes.values_mut() {
+            n.cpu = SimDuration::ZERO;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cor_ipc::message::INLINE_THRESHOLD;
+    use cor_mem::page::page_from_bytes;
+
+    struct World {
+        clock: Clock,
+        ports: PortRegistry,
+        segs: SegmentRegistry,
+        fabric: Fabric,
+    }
+
+    fn world() -> (World, NodeId, NodeId) {
+        let mut ports = PortRegistry::new();
+        let mut fabric = Fabric::new(WireParams::default());
+        let a = NodeId(0);
+        let b = NodeId(1);
+        fabric.add_node(a, &mut ports);
+        fabric.add_node(b, &mut ports);
+        (
+            World {
+                clock: Clock::new(),
+                ports,
+                segs: SegmentRegistry::new(),
+                fabric,
+            },
+            a,
+            b,
+        )
+    }
+
+    #[test]
+    fn local_delivery_is_cheap_and_off_wire() {
+        let (mut w, a, _) = world();
+        let dest = w.ports.allocate(a);
+        let msg = Message::new(MsgKind::User(1), dest).push(MsgItem::Inline(vec![0; 100]));
+        let rep = w
+            .fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        assert!(!rep.remote);
+        assert_eq!(rep.wire_bytes, 0);
+        assert!(w.fabric.ledger.is_empty());
+        assert_eq!(w.ports.queue_len(dest), 1);
+    }
+
+    #[test]
+    fn remote_delivery_charges_wire_and_cpu() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        let msg = Message::new(MsgKind::User(1), dest)
+            .push(MsgItem::Inline(vec![0; 5000]))
+            .with_no_ious(true);
+        let rep = w
+            .fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        assert!(rep.remote);
+        assert!(rep.wire_bytes > 5000);
+        assert_eq!(w.fabric.ledger.total(), rep.wire_bytes);
+        assert!(w.fabric.node_cpu(a) > SimDuration::ZERO);
+        assert_eq!(w.fabric.node_cpu(a), w.fabric.node_cpu(b));
+        assert_eq!(w.ports.queue_len(dest), 1);
+    }
+
+    #[test]
+    fn nms_caches_pages_and_substitutes_ious() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        let frames: Vec<Frame> = (0..8)
+            .map(|i| Frame::new(page_from_bytes(&[i as u8 + 1])))
+            .collect();
+        let msg = Message::new(MsgKind::Rimas, dest).push(MsgItem::Pages {
+            base_page: 0,
+            frames,
+        });
+        let rep = w
+            .fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        // Only IOU descriptors crossed the wire, not 8 pages.
+        assert!(
+            rep.wire_bytes < 8 * 512 / 4,
+            "wire bytes {}",
+            rep.wire_bytes
+        );
+        assert_eq!(w.fabric.stats().pages_cached, 8);
+        assert_eq!(w.fabric.cached_pages_live(a), 8);
+        // The receiver got an IOU naming a *stand-in* segment homed at b.
+        let got = w.ports.dequeue(dest).unwrap().unwrap();
+        match &got.items[0] {
+            MsgItem::Iou { seg, pages, .. } => {
+                assert_eq!(*pages, 8);
+                let backer = w.segs.backing_port(*seg).unwrap();
+                assert_eq!(w.ports.home(backer), Ok(b));
+            }
+            other => panic!("expected Iou, got {other:?}"),
+        }
+        assert_eq!(w.fabric.standins_live(b), 1);
+    }
+
+    #[test]
+    fn no_ious_bit_forces_physical_copy() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        let frames: Vec<Frame> = (0..8).map(|_| Frame::zeroed()).collect();
+        let msg = Message::new(MsgKind::Rimas, dest)
+            .with_no_ious(true)
+            .push(MsgItem::Pages {
+                base_page: 0,
+                frames,
+            });
+        let rep = w
+            .fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        assert!(rep.wire_bytes > 8 * 512);
+        assert_eq!(w.fabric.stats().pages_cached, 0);
+        let got = w.ports.dequeue(dest).unwrap().unwrap();
+        assert!(matches!(&got.items[0], MsgItem::Pages { frames, .. } if frames.len() == 8));
+    }
+
+    #[test]
+    fn fault_round_trip_through_standin_delivers_real_data() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        let frames: Vec<Frame> = (0..4)
+            .map(|i| Frame::new(page_from_bytes(&[0x40 + i as u8])))
+            .collect();
+        let msg = Message::new(MsgKind::Rimas, dest).push(MsgItem::Pages {
+            base_page: 0,
+            frames,
+        });
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        let got = w.ports.dequeue(dest).unwrap().unwrap();
+        let MsgItem::Iou { seg: stand_in, .. } = got.items[0] else {
+            panic!("expected Iou");
+        };
+        // A "pager" on b requests page 2 of the stand-in.
+        let pager_port = w.ports.allocate(b);
+        let backer = w.segs.backing_port(stand_in).unwrap();
+        let req =
+            protocol::imag_read_request(backer, pager_port, stand_in, 2, 1).with_no_ious(true);
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, b, req)
+            .unwrap();
+        w.fabric
+            .pump(&mut w.clock, &mut w.ports, &mut w.segs)
+            .unwrap();
+        let reply = w
+            .ports
+            .dequeue(pager_port)
+            .unwrap()
+            .expect("reply expected");
+        match protocol::parse(&reply) {
+            Some(ProtocolMsg::ImagReadReply {
+                seg,
+                offset,
+                frames,
+            }) => {
+                assert_eq!(seg, stand_in, "reply renamed to the stand-in");
+                assert_eq!(offset, 2);
+                frames[0].with(|d| assert_eq!(d[0], 0x42));
+            }
+            other => panic!("bad reply: {other:?}"),
+        }
+        // Fault-support traffic was recorded separately from bulk.
+        assert!(w.fabric.ledger.total_for(LedgerCategory::FaultSupport) > 512);
+    }
+
+    #[test]
+    fn death_cascades_from_standin_to_cache() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        let frames: Vec<Frame> = (0..3).map(|_| Frame::zeroed()).collect();
+        let msg = Message::new(MsgKind::Rimas, dest).push(MsgItem::Pages {
+            base_page: 0,
+            frames,
+        });
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        let got = w.ports.dequeue(dest).unwrap().unwrap();
+        let MsgItem::Iou {
+            seg: stand_in,
+            pages,
+            ..
+        } = got.items[0]
+        else {
+            panic!("expected Iou");
+        };
+        // The consumer releases all references (e.g. the process died
+        // without touching the pages).
+        w.fabric
+            .release_refs(&mut w.clock, &mut w.ports, &mut w.segs, b, stand_in, pages)
+            .unwrap();
+        w.fabric
+            .pump(&mut w.clock, &mut w.ports, &mut w.segs)
+            .unwrap();
+        assert_eq!(w.segs.live(), 0, "both stand-in and origin died");
+        assert_eq!(w.fabric.cached_pages_live(a), 0, "cache released");
+        assert_eq!(w.fabric.standins_live(b), 0);
+        assert_eq!(w.fabric.stats().deaths_sent, 2);
+    }
+
+    #[test]
+    fn receive_rights_relocate_with_the_message() {
+        use cor_ipc::{PortRight, Right};
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        let moving = w.ports.allocate(a);
+        let msg = Message::new(MsgKind::User(1), dest)
+            .with_no_ious(true)
+            .push(MsgItem::Rights(vec![
+                PortRight {
+                    port: moving,
+                    right: Right::Receive,
+                },
+                PortRight {
+                    port: moving,
+                    right: Right::Ownership,
+                },
+            ]));
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        assert_eq!(w.ports.home(moving), Ok(b), "receive right moved to b");
+        // A send right elsewhere still reaches it, at its new home.
+        let rep = w
+            .fabric
+            .send(
+                &mut w.clock,
+                &mut w.ports,
+                &mut w.segs,
+                a,
+                Message::new(MsgKind::User(2), moving).with_no_ious(true),
+            )
+            .unwrap();
+        assert!(rep.remote);
+        assert_eq!(w.ports.queue_len(moving), 1);
+    }
+
+    #[test]
+    fn send_rights_do_not_relocate() {
+        use cor_ipc::{PortRight, Right};
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        let stationary = w.ports.allocate(a);
+        let msg = Message::new(MsgKind::User(1), dest)
+            .with_no_ious(true)
+            .push(MsgItem::Rights(vec![PortRight {
+                port: stationary,
+                right: Right::Send,
+            }]));
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        assert_eq!(w.ports.home(stationary), Ok(a), "send rights are copies");
+    }
+
+    #[test]
+    fn ultimate_backer_follows_standin_chains() {
+        let (mut w, a, b) = world();
+        // Cache a segment at a, deliver an IOU to b (creating a stand-in).
+        let dest = w.ports.allocate(b);
+        let frames: Vec<Frame> = (0..2).map(|_| Frame::zeroed()).collect();
+        let msg = Message::new(MsgKind::Rimas, dest).push(MsgItem::Pages {
+            base_page: 0,
+            frames,
+        });
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        let got = w.ports.dequeue(dest).unwrap().unwrap();
+        let MsgItem::Iou { seg: stand_in, .. } = got.items[0] else {
+            panic!("expected Iou");
+        };
+        // The stand-in's first-hop backer is b's NMS, but the data is at a.
+        assert_eq!(w.fabric.ultimate_backer(&w.ports, &w.segs, stand_in), Ok(a));
+    }
+
+    #[test]
+    fn send_to_dead_port_fails() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        w.ports.deallocate(dest);
+        let err = w
+            .fabric
+            .send(
+                &mut w.clock,
+                &mut w.ports,
+                &mut w.segs,
+                a,
+                Message::new(MsgKind::User(0), dest),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::Port(_)));
+    }
+
+    #[test]
+    fn inline_threshold_constant_is_one_page() {
+        // Guards the documented Accent behaviour: data below a page is
+        // physically copied, larger data is remapped.
+        assert_eq!(INLINE_THRESHOLD, 512);
+    }
+}

@@ -1,0 +1,39 @@
+//! Network substrate and the NetMsgServer (paper §2.4).
+//!
+//! Accent extends ports and imaginary segments across machine boundaries
+//! with a user-level *NetMsgServer* (NMS) on every host. This crate
+//! implements that machinery over a modeled wire:
+//!
+//! * [`WireParams`] — the calibrated 1987 link model: per-byte, per-run and
+//!   per-message latencies, fragmentation overhead, port-right translation
+//!   cost, and per-node message-handling CPU rates (the quantity Figure 4-4
+//!   of the paper reports).
+//! * [`Fabric`] — the distributed-system data path. Sending a message to a
+//!   port homed on another node runs the full NMS pipeline:
+//!
+//!   1. **Outgoing translation.** Unless the message's `NoIOUs` bit is set,
+//!      the sending NMS *caches* out-of-line page runs locally, becomes
+//!      their backer, and substitutes IOU items — this is how a logical
+//!      (copy-on-reference) transfer happens "on its own initiative".
+//!   2. **Transmission.** The message is fragmented and its bytes, runs and
+//!      protocol overhead are charged to the virtual clock and recorded in
+//!      a categorized [`cor_sim::Ledger`].
+//!   3. **Incoming translation.** The receiving NMS creates local
+//!      *stand-in* imaginary segments for every IOU item and remembers the
+//!      forwarding path back to the origin segment, so that faults on the
+//!      stand-in are transparently channeled to the correct backing site.
+//!      Port rights are translated at a fixed per-right cost (which is why
+//!      the paper's *Core* context message takes ≈1 s in all cases).
+//!
+//! * Segment **death** flows backwards through the same tables: when the
+//!   last reference to a stand-in dies, its claims against the origin
+//!   segment are released, cache entries are dropped, and
+//!   `ImaginarySegmentDeath` notices propagate to the original backer.
+
+pub mod error;
+pub mod fabric;
+pub mod params;
+
+pub use error::NetError;
+pub use fabric::{Fabric, FabricStats, SendReport};
+pub use params::WireParams;

@@ -1,0 +1,128 @@
+//! A structured event journal over virtual time.
+//!
+//! Optional observability for simulated systems: components append
+//! `(instant, kind, detail)` records, and tools render or filter them.
+//! Recording is explicit and cheap to skip — holders keep the journal in
+//! an `Option` and only format details when one is installed.
+
+use crate::time::SimTime;
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// A static category tag ("fault", "send", "migrate", ...).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// An append-only, time-ordered event log.
+///
+/// # Examples
+///
+/// ```
+/// use cor_sim::{Journal, SimTime};
+///
+/// let mut j = Journal::new();
+/// j.record(SimTime::from_millis(2), "fault", "FillZero page 7".into());
+/// j.record(SimTime::from_millis(5), "send", "Rimas 512B".into());
+/// assert_eq!(j.of_kind("fault").count(), 1);
+/// assert!(j.render_tail(10).contains("FillZero"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    events: Vec<JournalEvent>,
+}
+
+impl Journal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, at: SimTime, kind: &'static str, detail: String) {
+        self.events.push(JournalEvent { at, kind, detail });
+    }
+
+    /// All events in record order.
+    pub fn events(&self) -> &[JournalEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: &str) -> impl Iterator<Item = &JournalEvent> {
+        let kind = kind.to_string();
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Renders the last `n` events, one per line.
+    pub fn render_tail(&self, n: usize) -> String {
+        let start = self.events.len().saturating_sub(n);
+        let mut out = String::new();
+        for e in &self.events[start..] {
+            out.push_str(&format!(
+                "{:>12} {:<9} {}\n",
+                e.at.to_string(),
+                e.kind,
+                e.detail
+            ));
+        }
+        out
+    }
+
+    /// Clears the journal.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_filter() {
+        let mut j = Journal::new();
+        j.record(SimTime::ZERO, "a", "first".into());
+        j.record(SimTime::from_secs(1), "b", "second".into());
+        j.record(SimTime::from_secs(2), "a", "third".into());
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.of_kind("a").count(), 2);
+        assert_eq!(j.of_kind("c").count(), 0);
+        assert_eq!(j.events()[1].detail, "second");
+    }
+
+    #[test]
+    fn tail_rendering() {
+        let mut j = Journal::new();
+        for i in 0..10 {
+            j.record(SimTime::from_secs(i), "tick", format!("n{i}"));
+        }
+        let tail = j.render_tail(3);
+        assert!(tail.contains("n7") && tail.contains("n9"));
+        assert!(!tail.contains("n6"));
+        assert_eq!(tail.lines().count(), 3);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut j = Journal::new();
+        j.record(SimTime::ZERO, "x", "y".into());
+        j.clear();
+        assert!(j.is_empty());
+        assert_eq!(j.render_tail(5), "");
+    }
+}

@@ -1,0 +1,333 @@
+//! Measurement instruments: counters, byte ledgers, histograms, series.
+//!
+//! The experiments regenerate the paper's tables and figures from these
+//! records. In particular the [`Ledger`] tags every wire transmission with a
+//! [`LedgerCategory`] and timestamp, which is exactly the data needed for
+//! Figure 4-3 (bytes per trial), Figure 4-4 (message-handling time) and
+//! Figure 4-5 (transfer-rate time series split into fault-support vs bulk
+//! traffic).
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Why bytes crossed the wire. Mirrors the traffic split in Figure 4-5 of
+/// the paper (white = imaginary fault support, black = everything else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LedgerCategory {
+    /// Bulk context shipment during the migration phase (Core and RIMAS
+    /// message payloads, resident-set pages, pure-copy pages).
+    Bulk,
+    /// Traffic generated in support of imaginary faults during remote
+    /// execution: read requests, replies, prefetched pages.
+    FaultSupport,
+    /// Protocol control traffic: acknowledgements, segment death notices,
+    /// migration commands.
+    Control,
+}
+
+impl LedgerCategory {
+    /// All categories, in display order.
+    pub const ALL: [LedgerCategory; 3] = [
+        LedgerCategory::Bulk,
+        LedgerCategory::FaultSupport,
+        LedgerCategory::Control,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            LedgerCategory::Bulk => 0,
+            LedgerCategory::FaultSupport => 1,
+            LedgerCategory::Control => 2,
+        }
+    }
+}
+
+impl fmt::Display for LedgerCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LedgerCategory::Bulk => "bulk",
+            LedgerCategory::FaultSupport => "fault-support",
+            LedgerCategory::Control => "control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One ledger entry: `bytes` of `category` traffic observed at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// When the transmission completed.
+    pub at: SimTime,
+    /// Payload plus protocol overhead bytes.
+    pub bytes: u64,
+    /// Traffic class.
+    pub category: LedgerCategory,
+}
+
+/// An append-only record of categorized byte traffic over virtual time.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    entries: Vec<LedgerEntry>,
+    totals: [u64; 3],
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Records `bytes` of `category` traffic at instant `at`.
+    pub fn record(&mut self, at: SimTime, bytes: u64, category: LedgerCategory) {
+        self.totals[category.index()] += bytes;
+        self.entries.push(LedgerEntry {
+            at,
+            bytes,
+            category,
+        });
+    }
+
+    /// Total bytes across all categories.
+    pub fn total(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+
+    /// Total bytes for one category.
+    pub fn total_for(&self, category: LedgerCategory) -> u64 {
+        self.totals[category.index()]
+    }
+
+    /// All entries in record order (which is also time order, because the
+    /// simulation clock is monotone).
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bins the ledger into fixed-width buckets of `bin` virtual time,
+    /// returning per-bin byte totals for `category` from time zero through
+    /// `end`. Used to draw the Figure 4-5 rate panels.
+    pub fn binned(&self, bin: SimDuration, end: SimTime, category: LedgerCategory) -> Vec<u64> {
+        assert!(bin.as_micros() > 0, "bin width must be positive");
+        let nbins = (end.as_micros() / bin.as_micros() + 1) as usize;
+        let mut out = vec![0u64; nbins];
+        for e in &self.entries {
+            if e.category == category && e.at <= end {
+                let idx = (e.at.as_micros() / bin.as_micros()) as usize;
+                out[idx] += e.bytes;
+            }
+        }
+        out
+    }
+}
+
+/// A time-ordered series of `(instant, value)` samples.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample. Samples should be pushed in non-decreasing time
+    /// order; the simulation clock guarantees this naturally.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.samples.push((at, value));
+    }
+
+    /// Returns the recorded samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Returns the number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns the maximum sample value, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).fold(None, |m, v| {
+            Some(match m {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+}
+
+/// A histogram with fixed-width buckets, used for fault service times.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    width: u64,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `nbuckets` buckets each `width` wide; values
+    /// beyond the last bucket are clamped into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `nbuckets` is zero.
+    pub fn new(width: u64, nbuckets: usize) -> Self {
+        assert!(
+            width > 0 && nbuckets > 0,
+            "histogram shape must be non-empty"
+        );
+        Histogram {
+            width,
+            buckets: vec![0; nbuckets],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = ((value / self.width) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Records a duration observation in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean observation, or zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest observation seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn ledger_totals_by_category() {
+        let mut l = Ledger::new();
+        l.record(SimTime::from_millis(1), 100, LedgerCategory::Bulk);
+        l.record(SimTime::from_millis(2), 50, LedgerCategory::FaultSupport);
+        l.record(SimTime::from_millis(3), 25, LedgerCategory::Bulk);
+        assert_eq!(l.total(), 175);
+        assert_eq!(l.total_for(LedgerCategory::Bulk), 125);
+        assert_eq!(l.total_for(LedgerCategory::FaultSupport), 50);
+        assert_eq!(l.total_for(LedgerCategory::Control), 0);
+        assert_eq!(l.entries().len(), 3);
+    }
+
+    #[test]
+    fn ledger_binning() {
+        let mut l = Ledger::new();
+        l.record(SimTime::from_millis(100), 10, LedgerCategory::Bulk);
+        l.record(SimTime::from_millis(150), 20, LedgerCategory::Bulk);
+        l.record(SimTime::from_millis(1100), 30, LedgerCategory::Bulk);
+        l.record(SimTime::from_millis(1200), 99, LedgerCategory::FaultSupport);
+        let bins = l.binned(
+            SimDuration::from_secs(1),
+            SimTime::from_secs(2),
+            LedgerCategory::Bulk,
+        );
+        assert_eq!(bins[0], 30);
+        assert_eq!(bins[1], 30);
+        assert_eq!(bins[2], 0);
+    }
+
+    #[test]
+    fn series_tracks_max() {
+        let mut s = TimeSeries::new();
+        assert!(s.max().is_none());
+        s.push(SimTime::ZERO, 1.0);
+        s.push(SimTime::from_secs(1), 5.0);
+        s.push(SimTime::from_secs(2), 3.0);
+        assert_eq!(s.max(), Some(5.0));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new(10, 5);
+        for v in [1, 11, 21, 21, 999] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 999);
+        assert_eq!(h.buckets(), &[1, 1, 2, 0, 1]); // 999 clamps to last
+        assert!((h.mean() - 210.6).abs() < 1e-9);
+    }
+}

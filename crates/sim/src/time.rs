@@ -1,0 +1,274 @@
+//! Virtual time: instants and durations with microsecond resolution.
+//!
+//! The simulation never consults the host clock. Every latency in the system
+//! (disk service, wire transmission, message handling) is expressed as a
+//! [`SimDuration`] and accumulated onto [`SimTime`] instants.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the virtual timeline, in microseconds since simulation
+/// start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation timeline.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from a raw microsecond count.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates an instant from a millisecond count.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates an instant from a second count.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Returns the instant as microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; the simulation clock is
+    /// monotone so this indicates a logic error.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since called with a later instant"),
+        )
+    }
+
+    /// Saturating difference: zero if `earlier` is later than `self`.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from a raw microsecond count.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from a millisecond count.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from a second count.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond and saturating below at zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Returns the duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in (possibly fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the duration in (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Multiplies the duration by an integer count, saturating on overflow.
+    pub const fn saturating_mul(self, n: u64) -> Self {
+        SimDuration(self.0.saturating_mul(n))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t0 = SimTime::from_millis(100);
+        let d = SimDuration::from_millis(40);
+        let t1 = t0 + d;
+        assert_eq!(t1.since(t0), d);
+        assert_eq!(t1 - t0, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn since_panics_on_negative_span() {
+        let _ = SimTime::ZERO.since(SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(
+            SimTime::ZERO.saturating_since(SimTime::from_secs(1)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(30);
+        let b = SimDuration::from_millis(12);
+        assert_eq!((a + b).as_micros(), 42_000);
+        assert_eq!((a - b).as_micros(), 18_000);
+        assert_eq!((b - a).as_micros(), 0, "subtraction saturates");
+        assert_eq!((a * 3).as_micros(), 90_000);
+        assert_eq!((a / 2).as_micros(), 15_000);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(0.0408).as_micros(), 40_800);
+        assert_eq!(SimDuration::from_secs_f64(-5.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_chooses_unit() {
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7us");
+        assert_eq!(SimDuration::from_millis(7).to_string(), "7.00ms");
+        assert_eq!(SimDuration::from_secs(7).to_string(), "7.00s");
+    }
+}

@@ -1,0 +1,134 @@
+//! The Chess representative (paper §4.1).
+//!
+//! Charly Drechsler's chess program: heavy computation to evaluate board
+//! positions, a graphical board with a game clock that ticks (and redraws)
+//! every second, and modest memory use. Migration happens right after
+//! initialization and the first screen draw. Its longevity drowns out the
+//! strategy differences: under pure-IOU it runs "only about 3% longer"
+//! (§4.3.3), and Figure 4-2 shows it insensitive to the transfer method.
+//!
+//! Untabulated knobs: a 600 s compute budget with one clock tick per
+//! second; board/evaluation tables touched early in the game.
+
+use cor_mem::{PageNum, PageRange};
+use cor_sim::{Pcg32, SimDuration};
+
+use crate::paper::ROWS;
+use crate::spec::{Blueprint, TouchEvent, Workload};
+
+const CODE_PAGES: u64 = 240;
+const REAL_PAGES: u64 = 382; // code 240 + data 142
+const TOTAL_PAGES: u64 = 978;
+const RS_PAGES: u64 = 215; // the last 215 installed: [167, 382)
+
+/// Builds the Chess representative.
+pub fn workload() -> Workload {
+    let mut rng = Pcg32::new(0x4348_4553);
+    let install_order: Vec<PageNum> = (0..REAL_PAGES).map(PageNum).collect();
+    // Touched remotely: 99 data pages inside the resident set (board,
+    // transposition tables) + 37 cold code pages (opening book, endgame
+    // paths) = 136 = 35.6% of RealMem (Table 4-3).
+    let mut touch_pages: Vec<PageNum> = (260..359).map(PageNum).collect();
+    touch_pages.extend((20..57).map(PageNum));
+    rng.shuffle(&mut touch_pages);
+    let events: Vec<TouchEvent> = touch_pages
+        .into_iter()
+        .map(|page| TouchEvent {
+            page,
+            write: page.0 >= CODE_PAGES && rng.chance(0.5),
+        })
+        .collect();
+    // 600 seconds of search, redrawing the clock every second; the board
+    // and table touches happen during the opening (the first 136 ticks).
+    let mut tb = cor_kernel::program::Trace::builder();
+    for (tick, ev) in events
+        .iter()
+        .map(Some)
+        .chain(std::iter::repeat(None))
+        .take(600)
+        .enumerate()
+    {
+        let _ = tick;
+        if let Some(ev) = ev {
+            if ev.write {
+                tb.write(ev.page.base(), cor_mem::PAGE_SIZE);
+            } else {
+                tb.read(ev.page.base(), cor_mem::PAGE_SIZE);
+            }
+        }
+        tb.compute(SimDuration::from_secs(1));
+        tb.screen();
+    }
+    let trace = tb.terminate();
+    Workload {
+        paper: ROWS[6],
+        blueprint: Blueprint {
+            name: "Chess",
+            seed: 0x4348_4553,
+            frame_budget: RS_PAGES as usize,
+            regions: vec![PageRange::new(PageNum(0), PageNum(TOTAL_PAGES))],
+            on_disk: Vec::new(),
+            install_order,
+            trace,
+            send_rights: 28,
+            recv_ports: 4,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cor_kernel::program::Op;
+    use cor_kernel::World;
+
+    #[test]
+    fn touched_count_and_union_match_table_4_3() {
+        let w = workload();
+        let touched: std::collections::HashSet<u64> = w
+            .blueprint
+            .trace
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Touch { addr, .. } => Some(addr.page().0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(touched.len(), 136);
+        // Union with the resident set [167, 382): 215 + 37 cold = 252
+        // pages = 66.0% of RealMem, 25.8% of the total space.
+        let rs: std::collections::HashSet<u64> = (167..382).collect();
+        let union = touched.union(&rs).count();
+        assert_eq!(union, 252);
+        assert!((union as f64 * 512.0 / 500_736.0 - 0.258).abs() < 0.001);
+    }
+
+    #[test]
+    fn game_clock_ticks_every_second() {
+        let w = workload();
+        let screens = w
+            .blueprint
+            .trace
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, Op::ScreenUpdate))
+            .count();
+        assert!((590..=600).contains(&screens), "got {screens}");
+        assert_eq!(
+            w.blueprint.trace.compute_total(),
+            SimDuration::from_secs(600)
+        );
+    }
+
+    #[test]
+    fn chess_is_long_lived() {
+        let w = workload();
+        let (mut world, a, _) = World::testbed();
+        let pid = w.build(&mut world, a).unwrap();
+        let report = world.run(a, pid).unwrap();
+        assert!(report.finished);
+        let secs = report.elapsed.as_secs_f64();
+        assert!((600.0..630.0).contains(&secs), "got {secs}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Minprog: the "null trap" of migration benchmarking (paper §4.1).
+//!
+//! A minimal Perq Pascal program: prints a message, waits for user input,
+//! terminates. Layout (pages): code `[0, 150)`, static data `[150, 278)`,
+//! never-touched zero regions `[278, 645)`. The resident set is the 140
+//! most recently used pages `[138, 278)` — the warm end of code plus all
+//! data — and remote execution touches only 24 pages (8.6% of RealMem,
+//! Table 4-3) inside that warm tail, which is why pure-copy leaves it with
+//! nothing to fault on while pure-IOU runs it "44 times slower".
+//!
+//! Knobs not tabulated by the paper: remote compute budget 30 ms (a few
+//! instructions plus terminal I/O), one screen update (the printed
+//! message).
+
+use cor_mem::{PageNum, PageRange};
+use cor_sim::SimDuration;
+
+use crate::paper::ROWS;
+use crate::spec::{assemble_trace, Blueprint, TouchEvent, Workload};
+
+const REAL_PAGES: u64 = 278;
+const TOTAL_PAGES: u64 = 645;
+const RS_PAGES: u64 = 140;
+const TOUCHED: u64 = 24;
+
+/// Builds the Minprog representative.
+pub fn workload() -> Workload {
+    let install_order: Vec<PageNum> = (0..REAL_PAGES).map(PageNum).collect();
+    // Remote phase: print the message, touch the last 24 warm pages while
+    // "executing the few instructions before it terminates", exit.
+    let events: Vec<TouchEvent> = (REAL_PAGES - TOUCHED..REAL_PAGES)
+        .map(|p| TouchEvent {
+            page: PageNum(p),
+            write: p % 8 == 0,
+        })
+        .collect();
+    let trace = assemble_trace(&events, SimDuration::from_millis(30), 1);
+    Workload {
+        paper: ROWS[0],
+        blueprint: Blueprint {
+            name: "Minprog",
+            seed: 0x4d49_4e50,
+            frame_budget: RS_PAGES as usize,
+            regions: vec![PageRange::new(PageNum(0), PageNum(TOTAL_PAGES))],
+            on_disk: Vec::new(),
+            install_order,
+            trace,
+            send_rights: 32,
+            recv_ports: 4,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cor_kernel::World;
+
+    #[test]
+    fn touched_pages_lie_inside_the_resident_set() {
+        let w = workload();
+        let (mut world, a, _) = World::testbed();
+        let pid = w.build(&mut world, a).unwrap();
+        let resident: std::collections::HashSet<PageNum> = world
+            .process(a, pid)
+            .unwrap()
+            .space
+            .resident_pages()
+            .into_iter()
+            .collect();
+        for op in w.blueprint.trace.ops() {
+            if let cor_kernel::program::Op::Touch { addr, .. } = op {
+                assert!(resident.contains(&addr.page()), "{:?} not resident", addr);
+            }
+        }
+    }
+
+    #[test]
+    fn unmigrated_run_is_fast_and_faultless() {
+        let w = workload();
+        let (mut world, a, _) = World::testbed();
+        let pid = w.build(&mut world, a).unwrap();
+        let report = world.run(a, pid).unwrap();
+        assert!(report.finished);
+        let stats = &world.process(a, pid).unwrap().stats;
+        assert_eq!(stats.disk_faults, 0);
+        assert_eq!(stats.imag_faults, 0);
+        // A fraction of a second: message + a few instructions.
+        assert!(report.elapsed.as_secs_f64() < 0.2, "got {}", report.elapsed);
+    }
+}

@@ -1,0 +1,272 @@
+//! The Pasmac macro-processor representatives (paper §4.1).
+//!
+//! Pasmac reads a 164 KB program (320 pages, memory-mapped) that imports
+//! five definition files totalling 114 KB (222 pages), and writes the
+//! expanded text back out. Its file pages are touched "sequentially and in
+//! their entirety", which is why the Pasmac family shows the highest
+//! address-space utilization (Table 4-3), profits most from prefetch
+//! (a steady ~78% hit ratio in the paper), and defeats the resident-set
+//! strategy: physical memory acts as a disk cache, so the resident set is
+//! full of *already-processed* file pages that are never referenced again.
+//!
+//! Three migration points:
+//! * **PM-Start** — at the first definition-file access. The definition
+//!   files are still unread (mapped, on disk).
+//! * **PM-Mid** — after all definition files are read; no further file
+//!   input remains.
+//! * **PM-End** — near the end of life, with 89 output pages already
+//!   written and little computation left.
+//!
+//! Untabulated knobs: remote compute budgets 56 s / 45 s / 22 s; output
+//! writes into the zero-fill region (not counted in Table 4-3, which
+//! tracks shipped RealMem only).
+
+use cor_mem::{PageNum, PageRange};
+use cor_sim::SimDuration;
+
+use crate::paper::ROWS;
+use crate::spec::{assemble_trace, Blueprint, TouchEvent, Workload};
+
+const CODE: PageRange = PageRange {
+    start: PageNum(0),
+    end: PageNum(160),
+};
+const GLOBALS: PageRange = PageRange {
+    start: PageNum(160),
+    end: PageNum(220),
+};
+const MAIN_FILE: PageRange = PageRange {
+    start: PageNum(400),
+    end: PageNum(720),
+};
+const DEF_FILES: PageRange = PageRange {
+    start: PageNum(800),
+    end: PageNum(1022),
+};
+const OUTPUT_BASE: u64 = 1100;
+
+fn pages(r: PageRange) -> Vec<PageNum> {
+    r.iter().collect()
+}
+
+fn span(start: u64, end: u64) -> Vec<PageNum> {
+    (start..end).map(PageNum).collect()
+}
+
+fn reads(pages: &[PageNum]) -> Vec<TouchEvent> {
+    pages
+        .iter()
+        .map(|&page| TouchEvent { page, write: false })
+        .collect()
+}
+
+fn writes(pages: &[PageNum]) -> Vec<TouchEvent> {
+    pages
+        .iter()
+        .map(|&page| TouchEvent { page, write: true })
+        .collect()
+}
+
+/// PM-Start: migrated as the first definition file is being read.
+pub fn pm_start() -> Workload {
+    // Real = code 160 + globals 60 + libs 115 + main 320 + defs 222 = 877.
+    let libs = PageRange::new(PageNum(220), PageNum(335));
+    let mut install = pages(libs);
+    install.extend(pages(CODE));
+    install.extend(pages(GLOBALS));
+    install.extend(pages(MAIN_FILE)); // resident tail: main[462..720)
+                                      // Remote phase: scan the definition files, re-read macro call sites in
+                                      // the main file, run the expander code, write the output.
+    let mut ev = Vec::new();
+    ev.extend(reads(&span(800, 1022))); // all def files, sequentially
+    ev.extend(reads(&span(0, 125))); // expander code paths
+    ev.extend(reads(&span(400, 462))); // main-file call sites (cold)
+    ev.extend(reads(&span(620, 720))); // main-file call sites (resident)
+    ev.extend(writes(&span(OUTPUT_BASE, OUTPUT_BASE + 300))); // expansion out
+    let trace = assemble_trace(&ev, SimDuration::from_secs(56), 0);
+    Workload {
+        paper: ROWS[3],
+        blueprint: Blueprint {
+            name: "PM-Start",
+            seed: 0x504d_5354,
+            frame_budget: 258,
+            regions: vec![
+                PageRange::new(PageNum(0), PageNum(335)),
+                MAIN_FILE,
+                DEF_FILES,
+                PageRange::new(PageNum(OUTPUT_BASE), PageNum(OUTPUT_BASE + 980)),
+            ],
+            on_disk: pages(DEF_FILES), // mapped but unread
+            install_order: install,
+            trace,
+            send_rights: 30,
+            recv_ports: 4,
+        },
+    }
+}
+
+/// PM-Mid: migrated after every definition file has been read in.
+pub fn pm_mid() -> Workload {
+    // Real = code 160 + globals 60 + libs 110 + main 320 + defs 222 = 872.
+    let libs = PageRange::new(PageNum(220), PageNum(330));
+    let mut install = pages(libs);
+    install.extend(pages(CODE));
+    install.extend(pages(GLOBALS));
+    install.extend(pages(MAIN_FILE));
+    install.extend(pages(DEF_FILES)); // resident tail: defs + main[569..720)
+    let mut ev = Vec::new();
+    ev.extend(reads(&span(400, 720))); // expand the whole main file
+    ev.extend(reads(&span(800, 863))); // definition lookups
+    ev.extend(reads(&span(0, 66))); // expander code
+    ev.extend(writes(&span(OUTPUT_BASE, OUTPUT_BASE + 350)));
+    let trace = assemble_trace(&ev, SimDuration::from_secs(45), 0);
+    Workload {
+        paper: ROWS[4],
+        blueprint: Blueprint {
+            name: "PM-Mid",
+            seed: 0x504d_4d49,
+            frame_budget: 373,
+            regions: vec![
+                PageRange::new(PageNum(0), PageNum(330)),
+                MAIN_FILE,
+                DEF_FILES,
+                PageRange::new(PageNum(OUTPUT_BASE), PageNum(OUTPUT_BASE + 911)),
+            ],
+            on_disk: Vec::new(),
+            install_order: install,
+            trace,
+            send_rights: 30,
+            recv_ports: 4,
+        },
+    }
+}
+
+/// PM-End: migrated with the expansion almost complete.
+pub fn pm_end() -> Workload {
+    // Real = code 160 + globals 60 + libs 110 + main 320 + defs 222 +
+    // written output 89 = 961.
+    let libs = PageRange::new(PageNum(220), PageNum(330));
+    let written_out = PageRange::new(PageNum(OUTPUT_BASE), PageNum(OUTPUT_BASE + 89));
+    let mut install = pages(libs);
+    install.extend(pages(CODE));
+    install.extend(pages(GLOBALS));
+    install.extend(pages(MAIN_FILE));
+    install.extend(pages(DEF_FILES));
+    install.extend(pages(written_out)); // resident tail: out + defs + main[441..720)
+    let mut ev = Vec::new();
+    ev.extend(reads(&span(657, 720))); // last main-file call sites
+    ev.extend(reads(&span(0, 107))); // expander + writeout code
+    ev.extend(writes(&span(OUTPUT_BASE, OUTPUT_BASE + 89))); // patch written output
+    ev.extend(writes(&span(OUTPUT_BASE + 89, OUTPUT_BASE + 180))); // final output
+    let trace = assemble_trace(&ev, SimDuration::from_secs(22), 0);
+    Workload {
+        paper: ROWS[5],
+        blueprint: Blueprint {
+            name: "PM-End",
+            seed: 0x504d_454e,
+            frame_budget: 590,
+            regions: vec![
+                PageRange::new(PageNum(0), PageNum(330)),
+                MAIN_FILE,
+                DEF_FILES,
+                PageRange::new(PageNum(OUTPUT_BASE), PageNum(OUTPUT_BASE + 89 + 779)),
+            ],
+            on_disk: Vec::new(),
+            install_order: install,
+            trace,
+            send_rights: 30,
+            recv_ports: 4,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cor_kernel::program::Op;
+    use cor_kernel::World;
+    use std::collections::HashSet;
+
+    fn touched_real(w: &Workload) -> u64 {
+        let (mut world, a, _) = World::testbed();
+        let pid = w.build(&mut world, a).unwrap();
+        let real: HashSet<PageNum> = world
+            .process(a, pid)
+            .unwrap()
+            .space
+            .materialized_pages()
+            .map(|(p, _)| p)
+            .collect();
+        w.blueprint
+            .trace
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Touch { addr, .. } => Some(addr.page()),
+                _ => None,
+            })
+            .filter(|p| real.contains(p))
+            .collect::<HashSet<_>>()
+            .len() as u64
+    }
+
+    #[test]
+    fn utilization_matches_table_4_3() {
+        // PM-Start: 509/877 = 58.0% of RealMem; PM-Mid: 449/872 = 51.5%;
+        // PM-End: 259/961 = 26.9%.
+        assert_eq!(touched_real(&pm_start()), 509);
+        assert_eq!(touched_real(&pm_mid()), 449);
+        assert_eq!(touched_real(&pm_end()), 259);
+    }
+
+    #[test]
+    fn pm_start_defs_are_on_disk() {
+        let w = pm_start();
+        let (mut world, a, _) = World::testbed();
+        let pid = w.build(&mut world, a).unwrap();
+        let process = world.process(a, pid).unwrap();
+        for page in DEF_FILES.iter() {
+            assert!(
+                matches!(
+                    process.space.page_state(page),
+                    Some(cor_mem::PageState::OnDisk(_))
+                ),
+                "def page {page:?} should be mapped but unread"
+            );
+        }
+    }
+
+    #[test]
+    fn resident_sets_are_the_recent_file_tail() {
+        let w = pm_start();
+        let (mut world, a, _) = World::testbed();
+        let pid = w.build(&mut world, a).unwrap();
+        let resident = world.process(a, pid).unwrap().space.resident_pages();
+        assert_eq!(resident.len(), 258);
+        // Everything resident is main-file pages [462, 720).
+        assert!(resident.iter().all(|p| (462..720).contains(&p.0)));
+    }
+
+    #[test]
+    fn access_is_predominantly_sequential() {
+        // Prefetch-friendliness: most touched pages have a touched
+        // successor (the opposite of the Lisp layout).
+        let w = pm_mid();
+        let touched: HashSet<u64> = w
+            .blueprint
+            .trace
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Touch { addr, .. } => Some(addr.page().0),
+                _ => None,
+            })
+            .collect();
+        let with_successor = touched
+            .iter()
+            .filter(|&&p| touched.contains(&(p + 1)))
+            .count();
+        let frac = with_successor as f64 / touched.len() as f64;
+        assert!(frac > 0.9, "Pasmac should be sequential: {frac}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Blueprint machinery shared by the representative processes.
+
+use cor_ipc::{PortRight, Right};
+use cor_kernel::process::ProcessId;
+use cor_kernel::program::Trace;
+use cor_kernel::{KernelError, World};
+use cor_mem::page::{Frame, PageData, PAGE_SIZE};
+use cor_mem::{AddressSpace, PageNum, PageRange};
+use cor_sim::{Pcg32, SimDuration};
+
+use cor_ipc::NodeId;
+
+use crate::paper::PaperRow;
+
+/// Deterministic non-zero contents for a workload page: a function of the
+/// workload seed and the page number, so every build of a blueprint is
+/// byte-identical.
+pub fn page_content(seed: u64, page: PageNum) -> PageData {
+    let mut rng = Pcg32::with_stream(seed ^ page.0.rotate_left(17), page.0);
+    let mut data = cor_mem::page::zero_page();
+    for chunk in data.chunks_mut(8) {
+        let v = rng.next_u64().to_le_bytes();
+        chunk.copy_from_slice(&v[..chunk.len()]);
+    }
+    data
+}
+
+/// A complete, instantiable description of a representative process:
+/// layout, pre-migration memory state, and remote-execution trace.
+#[derive(Debug, Clone)]
+pub struct Blueprint {
+    /// Process name (matches the paper's).
+    pub name: &'static str,
+    /// Seed for page contents.
+    pub seed: u64,
+    /// Physical frame budget = the Table 4-2 resident set, in pages.
+    pub frame_budget: usize,
+    /// Validated page ranges (their total is the Table 4-1 `Total`).
+    pub regions: Vec<PageRange>,
+    /// Real pages installed directly in the on-disk state (mapped file
+    /// pages that have not been read yet).
+    pub on_disk: Vec<PageNum>,
+    /// Real pages installed resident, in LRU order: the last
+    /// `frame_budget` of them form the resident set at migration time.
+    pub install_order: Vec<PageNum>,
+    /// The remote-execution trace.
+    pub trace: Trace,
+    /// Send rights the process holds on other parties' ports.
+    pub send_rights: usize,
+    /// Ports the process owns (it holds Receive + Ownership on each).
+    pub recv_ports: usize,
+}
+
+impl Blueprint {
+    /// Creates the process on `node` with its memory in the documented
+    /// pre-migration state, ready to migrate (or to run in place as the
+    /// unmigrated baseline).
+    ///
+    /// # Errors
+    ///
+    /// Unknown node, or internal errors while populating memory.
+    pub fn instantiate(&self, world: &mut World, node: NodeId) -> Result<ProcessId, KernelError> {
+        let mut space = AddressSpace::with_frame_budget(self.frame_budget);
+        for r in &self.regions {
+            space.validate_pages(*r);
+        }
+        {
+            let n = world.node_mut(node)?;
+            for &page in &self.on_disk {
+                space.install_on_disk(page, page_content(self.seed, page), &mut n.disk);
+            }
+            for &page in &self.install_order {
+                space.install_page(page, Frame::new(page_content(self.seed, page)), &mut n.disk);
+            }
+        }
+        let mut rights = Vec::with_capacity(self.send_rights + 2 * self.recv_ports);
+        for _ in 0..self.send_rights {
+            let port = world.ports.allocate(node);
+            rights.push(PortRight {
+                port,
+                right: Right::Send,
+            });
+        }
+        for _ in 0..self.recv_ports {
+            let port = world.ports.allocate(node);
+            rights.push(PortRight {
+                port,
+                right: Right::Receive,
+            });
+            rights.push(PortRight {
+                port,
+                right: Right::Ownership,
+            });
+        }
+        let pid = world.create_process(node, self.name, space, self.trace.clone())?;
+        world.process_mut(node, pid)?.rights = rights;
+        Ok(pid)
+    }
+}
+
+/// A representative process: blueprint plus the paper's published numbers.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The published measurements for this representative.
+    pub paper: PaperRow,
+    /// The instantiable description.
+    pub blueprint: Blueprint,
+}
+
+impl Workload {
+    /// The representative's name.
+    pub fn name(&self) -> &'static str {
+        self.blueprint.name
+    }
+
+    /// Instantiates the process on `node` (see [`Blueprint::instantiate`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Blueprint::instantiate`].
+    pub fn build(&self, world: &mut World, node: NodeId) -> Result<ProcessId, KernelError> {
+        self.blueprint.instantiate(world, node)
+    }
+}
+
+/// One remote-execution memory event, page-granular.
+#[derive(Debug, Clone, Copy)]
+pub struct TouchEvent {
+    /// The page touched.
+    pub page: PageNum,
+    /// Whether the touch writes.
+    pub write: bool,
+}
+
+/// Assembles a trace from touch events, spreading `compute` evenly between
+/// them and inserting `screens` screen updates at regular intervals.
+pub fn assemble_trace(events: &[TouchEvent], compute: SimDuration, screens: u64) -> Trace {
+    let mut tb = Trace::builder();
+    let n = events.len().max(1) as u64;
+    let slice = compute / n;
+    let mut leftover = compute - slice * n;
+    let screen_every = if screens > 0 {
+        n.div_ceil(screens)
+    } else {
+        u64::MAX
+    };
+    for (i, ev) in events.iter().enumerate() {
+        if ev.write {
+            tb.write(ev.page.base(), PAGE_SIZE);
+        } else {
+            tb.read(ev.page.base(), PAGE_SIZE);
+        }
+        let mut d = slice;
+        if leftover > SimDuration::ZERO {
+            d += SimDuration::from_micros(1);
+            leftover -= SimDuration::from_micros(1);
+        }
+        if d > SimDuration::ZERO {
+            tb.compute(d);
+        }
+        if (i as u64 + 1).is_multiple_of(screen_every) {
+            tb.screen();
+        }
+    }
+    tb.terminate()
+}
+
+/// Carves `n_runs` disjoint runs totalling exactly `total` pages out of
+/// `region`, with pseudo-random gaps — the scattered-heap layout of the
+/// Lisp representatives.
+///
+/// # Panics
+///
+/// Panics if the region cannot hold the runs (`total > region.len()`), or
+/// if `n_runs` is zero or exceeds `total`.
+pub fn scattered_runs(
+    rng: &mut Pcg32,
+    region: PageRange,
+    total: u64,
+    n_runs: u64,
+) -> Vec<PageRange> {
+    assert!(n_runs > 0 && n_runs <= total, "bad run count");
+    assert!(total <= region.len(), "region too small");
+    let slack = region.len() - total;
+    let avg_gap = (slack / (n_runs + 1)).max(1);
+    let base_len = total / n_runs;
+    let rem = total % n_runs;
+    let mut runs = Vec::with_capacity(n_runs as usize);
+    let mut cursor = region.start.0;
+    let mut remaining_slack = slack;
+    for i in 0..n_runs {
+        let gap = if remaining_slack == 0 {
+            0
+        } else {
+            let cap = remaining_slack.min(avg_gap.saturating_mul(3) / 2).max(1);
+            rng.range(0, cap + 1)
+        };
+        remaining_slack -= gap;
+        cursor += gap;
+        let len = base_len + u64::from(i < rem);
+        runs.push(PageRange::new(PageNum(cursor), PageNum(cursor + len)));
+        cursor += len;
+    }
+    debug_assert!(cursor <= region.end.0);
+    debug_assert_eq!(runs.iter().map(PageRange::len).sum::<u64>(), total);
+    runs
+}
+
+/// Flattens runs into their pages, in run order.
+pub fn run_pages(runs: &[PageRange]) -> Vec<PageNum> {
+    runs.iter().flat_map(|r| r.iter()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_content_is_deterministic_and_distinct() {
+        let a = page_content(1, PageNum(5));
+        let b = page_content(1, PageNum(5));
+        assert_eq!(a, b);
+        assert_ne!(page_content(1, PageNum(6)), a);
+        assert_ne!(page_content(2, PageNum(5)), a);
+    }
+
+    #[test]
+    fn assemble_trace_spreads_compute_exactly() {
+        let events: Vec<TouchEvent> = (0..7)
+            .map(|i| TouchEvent {
+                page: PageNum(i),
+                write: i % 2 == 0,
+            })
+            .collect();
+        let total = SimDuration::from_millis(100);
+        let t = assemble_trace(&events, total, 2);
+        assert_eq!(t.compute_total(), total, "no compute time lost to rounding");
+        let screens = t
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, cor_kernel::program::Op::ScreenUpdate))
+            .count();
+        assert_eq!(
+            screens, 1,
+            "7 events / ceil(7/2)=4 -> one screen boundary hit"
+        );
+    }
+
+    #[test]
+    fn scattered_runs_are_exact_and_disjoint() {
+        let mut rng = Pcg32::new(9);
+        let region = PageRange::new(PageNum(1000), PageNum(50_000));
+        let runs = scattered_runs(&mut rng, region, 3_503, 600);
+        assert_eq!(runs.len(), 600);
+        assert_eq!(runs.iter().map(PageRange::len).sum::<u64>(), 3_503);
+        for w in runs.windows(2) {
+            assert!(w[0].end.0 <= w[1].start.0, "overlap: {:?} {:?}", w[0], w[1]);
+        }
+        assert!(runs.last().unwrap().end.0 <= 50_000);
+        assert_eq!(run_pages(&runs).len(), 3_503);
+    }
+}

@@ -1,0 +1,57 @@
+//! Pre-copy vs copy-on-reference: the downtime/traffic trade.
+//!
+//! Theimer's V-system migration (paper §5) hides transfer latency by
+//! iteratively pre-copying the address space while the process keeps
+//! running, freezing it only for the final dirty residue. This ablation
+//! pits that design against the paper's strategies on Lisp-Del:
+//!
+//! * **downtime** — how long the process is actually stopped;
+//! * **wire traffic** — pre-copy pays the full copy *plus* dirty-page
+//!   retransmissions; copy-on-reference ships only what is referenced.
+//!
+//! Run with: `cargo run --release --example precopy_ablation`
+
+use cor::kernel::World;
+use cor::migrate::{MigrationManager, Strategy};
+
+fn main() {
+    let strategies = [
+        Strategy::PureCopy,
+        Strategy::PreCopy {
+            max_rounds: 5,
+            stop_pages: 8,
+        },
+        Strategy::PureIou { prefetch: 1 },
+    ];
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>8}",
+        "strategy", "downtime(s)", "e2e(s)", "wire KB", "rounds"
+    );
+    for strategy in strategies {
+        let (mut world, a, b) = World::testbed();
+        let src = MigrationManager::new(&mut world, a);
+        let dst = MigrationManager::new(&mut world, b);
+        let workload = cor::workloads::lisp::lisp_del();
+        let pid = workload.build(&mut world, a).expect("build");
+        let report = src
+            .migrate_to(&mut world, &dst, pid, strategy)
+            .expect("migrate");
+        let exec = world.run(b, pid).expect("run");
+        println!(
+            "{:<22} {:>12.2} {:>12.1} {:>12} {:>8}",
+            strategy.to_string(),
+            report.downtime().as_secs_f64(),
+            (report.timings.rimas_transfer + exec.elapsed).as_secs_f64(),
+            world.fabric.ledger.total() / 1024,
+            report.precopy_rounds.len(),
+        );
+        if !report.precopy_rounds.is_empty() {
+            println!("{:<22} rounds (bytes): {:?}", "", report.precopy_rounds);
+        }
+    }
+    println!(
+        "\nPre-copy buys short downtime with extra traffic; copy-on-reference\n\
+         gets the short downtime *and* the traffic savings, paying instead\n\
+         with remote faults spread over the process's lifetime."
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: migrate one process copy-on-reference and read the bill.
+//!
+//! Builds the paper's Lisp-T representative (a 4 GB-validated SPICE Lisp
+//! that evaluates `T`), migrates it under pure-copy and pure-IOU, and
+//! prints the side-by-side costs — the paper's headline in thirty lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cor::kernel::World;
+use cor::migrate::{MigrationManager, Strategy};
+
+fn trial(strategy: Strategy) -> (f64, f64, u64) {
+    let (mut world, a, b) = World::testbed();
+    let src = MigrationManager::new(&mut world, a);
+    let dst = MigrationManager::new(&mut world, b);
+    let workload = cor::workloads::lisp::lisp_t();
+    let pid = workload.build(&mut world, a).expect("build workload");
+    let report = src
+        .migrate_to(&mut world, &dst, pid, strategy)
+        .expect("migrate");
+    let exec = world.run(b, pid).expect("remote run");
+    assert!(exec.finished);
+    (
+        report.timings.rimas_transfer.as_secs_f64(),
+        exec.elapsed.as_secs_f64(),
+        world.fabric.ledger.total(),
+    )
+}
+
+fn main() {
+    println!("Lisp-T: 4 GB validated, 2.2 MB real, evaluates T and exits\n");
+    println!(
+        "{:<22} {:>14} {:>13} {:>12}",
+        "strategy", "xfer (s)", "exec (s)", "wire bytes"
+    );
+    for strategy in [
+        Strategy::PureCopy,
+        Strategy::PureIou { prefetch: 0 },
+        Strategy::PureIou { prefetch: 1 },
+        Strategy::ResidentSet { prefetch: 1 },
+    ] {
+        let (xfer, exec, bytes) = trial(strategy);
+        println!(
+            "{:<22} {:>14.2} {:>13.2} {:>12}",
+            strategy.to_string(),
+            xfer,
+            exec,
+            bytes
+        );
+    }
+    println!(
+        "\nThe address-space transfer collapses from minutes to a fraction of a\n\
+         second under copy-on-reference, at the price of remote page faults\n\
+         during execution — and most of the copied pages were never needed."
+    );
+}

@@ -1,0 +1,241 @@
+//! Multi-hop migration chains and failure injection.
+//!
+//! Chains: a process that migrates a → b → c leaves its unfetched pages
+//! behind a chain of NMS stand-ins; faults at c must be forwarded two hops
+//! to the original cache and replies relayed back, renamed at every hop.
+//!
+//! Failures: broken backing chains, dead ports, and vanished cache data
+//! must surface as clean errors, never panics or hangs.
+
+use std::collections::HashMap;
+
+use cor::kernel::program::Trace;
+use cor::kernel::{KernelError, World};
+use cor::mem::{AddressSpace, PageNum, PageRange, VAddr, PAGE_SIZE};
+use cor::migrate::policy::dispersion;
+use cor::migrate::{MigrationManager, Strategy};
+
+fn three_node_world() -> (
+    World,
+    Vec<cor::ipc::NodeId>,
+    HashMap<cor::ipc::NodeId, MigrationManager>,
+) {
+    let mut world = World::new(Default::default(), Default::default());
+    let nodes: Vec<_> = (0..3).map(|_| world.add_node()).collect();
+    let managers: HashMap<_, _> = nodes
+        .iter()
+        .map(|&n| (n, MigrationManager::new(&mut world, n)))
+        .collect();
+    (world, nodes, managers)
+}
+
+fn staged_process(world: &mut World, node: cor::ipc::NodeId, pages: u64) -> cor::kernel::ProcessId {
+    let mut space = AddressSpace::new();
+    space.validate(VAddr(0), 2 * pages * PAGE_SIZE).unwrap();
+    let mut tb = Trace::builder();
+    for i in 0..pages {
+        tb.write(PageNum(i).base(), 96);
+    }
+    // Three remote stages of reads, so the process can hop twice and
+    // still have work left.
+    for _ in 0..3 {
+        for i in 0..pages {
+            tb.read(PageNum(i).base(), 96);
+        }
+    }
+    let pid = world
+        .create_process(node, "hopper", space, tb.terminate())
+        .unwrap();
+    world.run_for(node, pid, pages as usize).unwrap();
+    world.reset_touch_tracking(node, pid).unwrap();
+    pid
+}
+
+#[test]
+fn two_hop_chain_faults_resolve_through_both_nms() {
+    let (mut world, nodes, managers) = three_node_world();
+    let (a, b, c) = (nodes[0], nodes[1], nodes[2]);
+    let pid = staged_process(&mut world, a, 12);
+    // Hop 1: a -> b, touch a couple of pages (so some fetched, some owed).
+    managers[&a]
+        .migrate_to(
+            &mut world,
+            &managers[&b],
+            pid,
+            Strategy::PureIou { prefetch: 0 },
+        )
+        .unwrap();
+    world.run_for(b, pid, 3).unwrap();
+    // Hop 2: b -> c with the rest still owed by a's cache through b.
+    managers[&b]
+        .migrate_to(
+            &mut world,
+            &managers[&c],
+            pid,
+            Strategy::PureIou { prefetch: 0 },
+        )
+        .unwrap();
+    // Dispersion at c must see through the chain: the 9 never-fetched
+    // pages still live at a; the 3 fetched at b were re-cached by b's NMS
+    // when the second RIMAS passed through it.
+    let d = dispersion(&world, c, pid).unwrap();
+    assert_eq!(
+        d.get(&a).copied(),
+        Some(9),
+        "unfetched pages owed by a: {d:?}"
+    );
+    assert_eq!(
+        d.get(&b).copied(),
+        Some(3),
+        "pages fetched at b now cached there: {d:?}"
+    );
+    // Finish at c: every fault resolves through one or two hops.
+    let r = world.run(c, pid).unwrap();
+    assert!(r.finished);
+    let stats = &world.process(c, pid).unwrap().stats;
+    // Fault counts accumulate across hops: 3 taken at b + 12 at c.
+    assert_eq!(stats.imag_faults, 15, "every owed page was re-fetched");
+    // The whole distributed object graph dies with the process.
+    assert_eq!(world.segs.live(), 0);
+    for &n in &nodes {
+        assert_eq!(world.fabric.cached_pages_live(n), 0, "cache leak on {n}");
+        assert_eq!(world.fabric.standins_live(n), 0, "stand-in leak on {n}");
+    }
+}
+
+#[test]
+fn chain_memory_is_correct_end_to_end() {
+    // Reference: never migrated, same reset points.
+    let reference = {
+        let mut world = World::new(Default::default(), Default::default());
+        let a = world.add_node();
+        let pid = staged_process(&mut world, a, 10);
+        world.run_for(a, pid, 3).unwrap();
+        world.run(a, pid).unwrap();
+        world.touched_checksum(a, pid).unwrap()
+    };
+    let (mut world, nodes, managers) = three_node_world();
+    let (a, b, c) = (nodes[0], nodes[1], nodes[2]);
+    let pid = staged_process(&mut world, a, 10);
+    managers[&a]
+        .migrate_to(
+            &mut world,
+            &managers[&b],
+            pid,
+            Strategy::PureIou { prefetch: 1 },
+        )
+        .unwrap();
+    world.run_for(b, pid, 3).unwrap();
+    managers[&b]
+        .migrate_to(
+            &mut world,
+            &managers[&c],
+            pid,
+            Strategy::ResidentSet { prefetch: 0 },
+        )
+        .unwrap();
+    world.run(c, pid).unwrap();
+    assert_eq!(world.touched_checksum(c, pid).unwrap(), reference);
+}
+
+#[test]
+fn missing_cache_data_is_a_clean_error() {
+    // A fault against a segment whose backer holds nothing must surface
+    // as MissingData, not hang or panic.
+    let (mut world, a, b) = World::testbed();
+    let nms_a = world.fabric.nms_port(a).unwrap();
+    let seg = world.segs.create(nms_a, 4);
+    world.segs.add_refs(seg, 4).unwrap();
+    // Deliberately do NOT install any cache data for `seg`.
+    let mut space = AddressSpace::new();
+    space.map_imaginary(PageRange::new(PageNum(0), PageNum(4)), seg, 0);
+    let mut tb = Trace::builder();
+    tb.read(VAddr(0), 8);
+    let pid = world
+        .create_process(b, "victim", space, tb.terminate())
+        .unwrap();
+    match world.run(b, pid) {
+        Err(KernelError::Net(cor::net::NetError::MissingData { seg: s, .. })) => {
+            assert_eq!(s, seg)
+        }
+        other => panic!("expected MissingData, got {other:?}"),
+    }
+}
+
+#[test]
+fn dead_destination_port_fails_migration_cleanly() {
+    let (mut world, a, b) = World::testbed();
+    let src = MigrationManager::new(&mut world, a);
+    let dst = MigrationManager::new(&mut world, b);
+    let pid = staged_process(&mut world, a, 4);
+    // Sabotage: the destination manager's control port dies.
+    world.ports.deallocate(dst.control_port());
+    let err = src
+        .migrate_to(&mut world, &dst, pid, Strategy::PureCopy)
+        .unwrap_err();
+    assert!(
+        matches!(err, KernelError::Net(cor::net::NetError::Port(_))),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn unknown_workload_and_process_errors() {
+    let (world, a, _) = World::testbed();
+    assert!(world.process(a, cor::kernel::ProcessId(999)).is_err());
+    assert!(world.node(cor::ipc::NodeId(42)).is_err());
+    assert!(cor::workloads::by_name("NoSuch").is_none());
+}
+
+#[test]
+fn backer_that_loses_data_mid_run_surfaces_missing_data() {
+    use cor::kernel::backer::{PageStore, VecStore};
+    use cor::mem::page::Frame;
+    use cor::mem::SegmentId;
+
+    /// A store that serves one request and then "crashes" (loses data).
+    struct Flaky {
+        inner: VecStore,
+        served: u64,
+    }
+    impl PageStore for Flaky {
+        fn fetch(&mut self, seg: SegmentId, offset: u64, count: u64) -> Option<Vec<Frame>> {
+            if self.served >= 1 {
+                return None;
+            }
+            self.served += 1;
+            self.inner.fetch(seg, offset, count)
+        }
+        fn death(&mut self, seg: SegmentId) {
+            self.inner.death(seg);
+        }
+        fn pages_held(&self) -> u64 {
+            self.inner.pages_held()
+        }
+    }
+
+    let (mut world, a, b) = World::testbed();
+    let backing = world.ports.allocate(a);
+    let seg = world.segs.create(backing, 3);
+    world.segs.add_refs(seg, 3).unwrap();
+    let mut inner = VecStore::new();
+    inner.insert(seg, (0..3).map(|_| Frame::zeroed()).collect());
+    world.register_backer(backing, a, Box::new(Flaky { inner, served: 0 }));
+    let mut space = AddressSpace::new();
+    space.map_imaginary(PageRange::new(PageNum(0), PageNum(3)), seg, 0);
+    let mut tb = Trace::builder();
+    tb.read(VAddr(0), 3 * PAGE_SIZE);
+    let pid = world
+        .create_process(b, "flaked", space, tb.terminate())
+        .unwrap();
+    // First page fetch succeeds; the second hits the "crash".
+    match world.run(b, pid) {
+        Err(KernelError::Net(cor::net::NetError::MissingData { .. })) => {}
+        other => panic!("expected MissingData after the backer crash, got {other:?}"),
+    }
+    assert_eq!(
+        world.process(b, pid).unwrap().stats.imag_faults,
+        1,
+        "exactly one fetch succeeded before the failure"
+    );
+}
