@@ -173,7 +173,7 @@ impl MigrationManager {
             precopy_rounds.push(rimas_report.wire_bytes);
             precopy_round_times.push(rimas_transfer);
             for &bytes in &precopy_plan {
-                let round = Message::new(MsgKind::Rimas, dest.control_port)
+                let round = Message::new(MsgKind::PreCopyRound, dest.control_port)
                     .with_no_ious(true)
                     .push(MsgItem::Inline(vec![0u8; bytes as usize]));
                 let t0 = world.clock.now();
@@ -191,13 +191,22 @@ impl MigrationManager {
                 "context message missing at destination",
             ))
         };
-        let core_rx = world.ports.dequeue(dest.control_port)?.ok_or_else(no_ctx)?;
-        let rimas_rx = world.ports.dequeue(dest.control_port)?.ok_or_else(no_ctx)?;
-        if core_rx.kind != MsgKind::Core || rimas_rx.kind != MsgKind::Rimas {
-            return Err(no_ctx());
+        // Classify arrivals by kind rather than by position: an unreliable
+        // wire may reorder the Core and RIMAS context messages or slot
+        // pre-copy rounds between them. Taking the first of each kind and
+        // ignoring the rest makes reconstruction idempotent.
+        let mut core_rx = None;
+        let mut rimas_rx = None;
+        while let Some(m) = world.ports.dequeue(dest.control_port)? {
+            match m.kind {
+                MsgKind::Core if core_rx.is_none() => core_rx = Some(m),
+                MsgKind::Rimas if rimas_rx.is_none() => rimas_rx = Some(m),
+                MsgKind::PreCopyRound => {} // synthetic dirty-round payload
+                _ => {}                     // duplicates or stray traffic
+            }
         }
-        // Drain the synthetic pre-copy rounds.
-        while world.ports.dequeue(dest.control_port)?.is_some() {}
+        let core_rx = core_rx.ok_or_else(no_ctx)?;
+        let rimas_rx = rimas_rx.ok_or_else(no_ctx)?;
         let carried_pages = rimas_rx.carried_pages();
         let owed_pages = rimas_rx.owed_pages();
         let excised_rx = ExcisedProcess {

@@ -10,10 +10,11 @@
 //!   summary     §4.4 aggregate savings
 //!   speedups    §4.3.2 transfer speedups
 //!   ablation    pre-copy ablation (ours)
+//!   loss-sweep  completion time vs wire drop rate (ours)
 //!   all         everything above, in order
 //! ```
 
-use cor_experiments::{figures, runner::Matrix, summary, tables};
+use cor_experiments::{figures, loss, runner::Matrix, summary, tables};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +37,7 @@ fn main() {
         "summary" => emit(summary::aggregates(&mut matrix, &workloads)),
         "speedups" => emit(summary::transfer_speedups(&mut matrix, &workloads)),
         "ablation" => emit(summary::ablation(&workloads)),
+        "loss-sweep" => emit(loss::loss_sweep(&workloads)),
         "cow-study" => emit(summary::cow_study()),
         "sensitivity" => emit(summary::sensitivity()),
         "modern" => emit(summary::modern_study(&workloads)),
@@ -71,12 +73,14 @@ fn main() {
             emit(summary::sensitivity());
             emit(summary::modern_study(&workloads));
             emit(summary::policy_demo());
+            emit(loss::loss_sweep(&workloads));
         }
         other => {
             eprintln!("unknown command: {other}");
             eprintln!(
                 "commands: table4-1..table4-5, fig4-1..fig4-5, constants, summary, \
-                 speedups, ablation, cow-study, sensitivity, modern, trace [name], policy, csv, check, all"
+                 speedups, ablation, loss-sweep, cow-study, sensitivity, modern, \
+                 trace [name], policy, csv, check, all"
             );
             std::process::exit(2);
         }

@@ -5,7 +5,7 @@ use std::collections::{HashMap, HashSet};
 use cor_kernel::World;
 use cor_mem::PageNum;
 use cor_migrate::{MigrationManager, MigrationReport, Strategy};
-use cor_sim::{Ledger, LedgerCategory, SimDuration, SimTime};
+use cor_sim::{Ledger, LedgerCategory, ReliabilityStats, SimDuration, SimTime};
 use cor_workloads::Workload;
 
 use crate::PREFETCHES;
@@ -49,6 +49,11 @@ pub struct Trial {
     /// |resident set ∪ remotely-touched real pages| — the Table 4-3
     /// resident-set column numerator.
     pub rs_union_pages: u64,
+    /// Wire bytes spent on retransmissions and injected duplicates (zero
+    /// on a lossless wire).
+    pub retransmit_bytes: u64,
+    /// Fault-injection and recovery counters for the whole trial.
+    pub reliability: ReliabilityStats,
     /// The full categorized wire ledger (Figure 4-5 time series).
     pub ledger: Ledger,
     /// Trial end time.
@@ -181,6 +186,8 @@ pub fn run_trial_with(
         real_pages: real_set.len() as u64,
         total_pages,
         rs_union_pages: rs_union,
+        retransmit_bytes: world.fabric.ledger.total_for(LedgerCategory::Retransmit),
+        reliability: world.fabric.reliability.clone(),
         ledger: world.fabric.ledger.clone(),
         end_time: world.clock.now(),
     }

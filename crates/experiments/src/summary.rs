@@ -377,6 +377,7 @@ pub fn modern_params() -> (cor_kernel::CostModel, cor_net::WireParams) {
         msg_cpu_fixed: SimDuration::from_micros(2),
         msg_cpu_per_byte_ns: 1,
         local_delivery: SimDuration::from_micros(5),
+        ..cor_net::WireParams::default()
     };
     (costs, wire)
 }

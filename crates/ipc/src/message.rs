@@ -32,6 +32,10 @@ pub enum MsgKind {
     MigrateRequest,
     /// Acknowledgement from a MigrationManager.
     MigrateAck,
+    /// One dirty-page retransmission round of a pre-copy migration. Kept
+    /// distinct from [`MsgKind::Rimas`] so the destination can classify
+    /// context messages by kind even when the wire reorders them.
+    PreCopyRound,
     /// Application-defined kind (the copy-on-reference facility is generic;
     /// any program may use it, paper §6).
     User(u32),
@@ -107,6 +111,12 @@ pub struct Message {
     pub dest: PortId,
     /// Optional reply port.
     pub reply: Option<PortId>,
+    /// Protocol sequence number, carried inside the fixed
+    /// [`HEADER_SIZE`]-byte header (so it adds no wire bytes). Requests
+    /// stamp a fresh value and replies echo it, letting handlers pair
+    /// responses with requests and discard stale duplicates when the wire
+    /// retransmits, duplicates, or reorders. Zero means "unsequenced".
+    pub seq: u64,
     /// When set, intermediaries (NetMsgServers) must physically copy
     /// non-imaginary data to the remote site instead of caching it and
     /// substituting IOUs (paper §2.4). This is how the pure-copy migration
@@ -126,6 +136,7 @@ impl Message {
             kind,
             dest,
             reply: None,
+            seq: 0,
             no_ious: false,
             items: Vec::new(),
         }
@@ -134,6 +145,12 @@ impl Message {
     /// Builder-style: sets the reply port.
     pub fn with_reply(mut self, reply: PortId) -> Self {
         self.reply = Some(reply);
+        self
+    }
+
+    /// Builder-style: sets the header sequence number.
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
         self
     }
 
@@ -292,5 +309,18 @@ mod tests {
             .with_no_ious(true);
         assert_eq!(m.reply, Some(PortId(2)));
         assert!(m.no_ious);
+        assert_eq!(m.seq, 0, "unsequenced by default");
+    }
+
+    #[test]
+    fn seq_rides_in_the_header_for_free() {
+        let plain = Message::new(MsgKind::ImagReadRequest, PortId(1));
+        let sequenced = Message::new(MsgKind::ImagReadRequest, PortId(1)).with_seq(42);
+        assert_eq!(sequenced.seq, 42);
+        assert_eq!(
+            plain.wire_size(),
+            sequenced.wire_size(),
+            "sequence numbers live inside the fixed header"
+        );
     }
 }

@@ -9,6 +9,11 @@
 //! * `ImaginaryReadReply` — the backer's response carrying the pages.
 //! * `ImaginarySegmentDeath` — delivered to a backer when the last
 //!   reference to its segment dies.
+//!
+//! Requests carry a header sequence number ([`Message::with_seq`]) that
+//! replies echo; handlers use it to pair responses with requests and to
+//! discard stale duplicates on an unreliable wire. Death notices are
+//! naturally idempotent and go unsequenced.
 
 use cor_mem::page::Frame;
 use cor_mem::space::SegmentId;
@@ -30,6 +35,10 @@ pub enum ProtocolMsg {
         count: u64,
         /// Where to send the reply.
         reply: PortId,
+        /// Header sequence number stamped by the requester; the reply
+        /// echoes it so retransmitted or duplicated responses can be
+        /// paired and deduplicated.
+        seq: u64,
     },
     /// Reply carrying `frames.len()` pages starting `offset` pages into
     /// `seg`.
@@ -40,6 +49,9 @@ pub enum ProtocolMsg {
         offset: u64,
         /// The delivered pages (copy-on-write mappable).
         frames: Vec<Frame>,
+        /// Echo of the request's sequence number (zero for unsolicited or
+        /// legacy replies).
+        seq: u64,
     },
     /// The last reference to `seg` died; the backer may release its data.
     ImagSegmentDeath {
@@ -107,6 +119,7 @@ pub fn parse(msg: &Message) -> Option<ProtocolMsg> {
                 offset,
                 count,
                 reply: msg.reply?,
+                seq: msg.seq,
             })
         }
         MsgKind::ImagReadReply => {
@@ -124,6 +137,7 @@ pub fn parse(msg: &Message) -> Option<ProtocolMsg> {
                 seg: SegmentId(seg),
                 offset,
                 frames: frames.clone(),
+                seq: msg.seq,
             })
         }
         MsgKind::ImagSegmentDeath => {
@@ -153,6 +167,7 @@ mod tests {
                 offset,
                 count,
                 reply,
+                ..
             }) => {
                 assert_eq!(
                     (seg, offset, count, reply),
@@ -175,6 +190,7 @@ mod tests {
                 seg,
                 offset,
                 frames,
+                ..
             }) => {
                 assert_eq!((seg, offset), (SegmentId(7), 100));
                 frames[0].with(|d| assert_eq!(&d[..3], b"one"));
@@ -207,6 +223,26 @@ mod tests {
             frames.push(Frame::zeroed());
         }
         assert!(parse(&m).is_none());
+    }
+
+    #[test]
+    fn sequence_numbers_round_trip_through_parse() {
+        let req = imag_read_request(PortId(1), PortId(2), SegmentId(7), 3, 1).with_seq(99);
+        match parse(&req) {
+            Some(ProtocolMsg::ImagReadRequest { seq, .. }) => assert_eq!(seq, 99),
+            other => panic!("bad parse: {other:?}"),
+        }
+        let reply = imag_read_reply(PortId(2), SegmentId(7), 3, vec![Frame::zeroed()]).with_seq(99);
+        match parse(&reply) {
+            Some(ProtocolMsg::ImagReadReply { seq, .. }) => assert_eq!(seq, 99),
+            other => panic!("bad parse: {other:?}"),
+        }
+        // An unsequenced message parses with the zero sentinel.
+        let legacy = imag_read_request(PortId(1), PortId(2), SegmentId(7), 3, 1);
+        match parse(&legacy) {
+            Some(ProtocolMsg::ImagReadRequest { seq, .. }) => assert_eq!(seq, 0),
+            other => panic!("bad parse: {other:?}"),
+        }
     }
 
     #[test]

@@ -15,8 +15,8 @@ proptest! {
     fn protocol_request_roundtrips(seg in any::<u64>(), offset in any::<u64>(), count in 1u64..1000) {
         let m = protocol::imag_read_request(PortId(1), PortId(2), SegmentId(seg), offset, count);
         match protocol::parse(&m) {
-            Some(ProtocolMsg::ImagReadRequest { seg: s, offset: o, count: c, reply }) => {
-                prop_assert_eq!((s, o, c, reply), (SegmentId(seg), offset, count, PortId(2)));
+            Some(ProtocolMsg::ImagReadRequest { seg: s, offset: o, count: c, reply, seq }) => {
+                prop_assert_eq!((s, o, c, reply, seq), (SegmentId(seg), offset, count, PortId(2), 0));
             }
             other => prop_assert!(false, "bad parse: {:?}", other),
         }
@@ -30,7 +30,7 @@ proptest! {
             .collect();
         let m = protocol::imag_read_reply(PortId(3), SegmentId(seg), offset, frames);
         match protocol::parse(&m) {
-            Some(ProtocolMsg::ImagReadReply { seg: s, offset: o, frames }) => {
+            Some(ProtocolMsg::ImagReadReply { seg: s, offset: o, frames, .. }) => {
                 prop_assert_eq!((s, o), (SegmentId(seg), offset));
                 prop_assert_eq!(frames.len(), n);
                 for (i, f) in frames.iter().enumerate() {

@@ -32,6 +32,18 @@ pub enum KernelError {
         /// The fault that went unanswered.
         fault: Fault,
     },
+    /// The wire gave up: every transmission attempt within the retry
+    /// budget was lost. For a migrated process this usually means the
+    /// residual source node — the site still backing its untouched pages —
+    /// is unreachable, so copy-on-reference cannot make progress.
+    SourceUnreachable {
+        /// The node that was sending.
+        from: NodeId,
+        /// The node that never acknowledged.
+        to: NodeId,
+        /// Transmission attempts made before giving up.
+        attempts: u32,
+    },
     /// The process's trace is exhausted but it never executed
     /// [`crate::program::Op::Terminate`].
     TraceUnderrun(ProcessId),
@@ -69,6 +81,12 @@ impl fmt::Display for KernelError {
             KernelError::NoReply { fault } => {
                 write!(f, "no reply for imaginary fault {fault:?}")
             }
+            KernelError::SourceUnreachable { from, to, attempts } => {
+                write!(
+                    f,
+                    "node {to} unreachable from {from} after {attempts} attempts"
+                )
+            }
             KernelError::TraceUnderrun(p) => {
                 write!(f, "process {} ran out of trace without terminating", p.0)
             }
@@ -99,7 +117,15 @@ impl From<MemError> for KernelError {
 
 impl From<NetError> for KernelError {
     fn from(e: NetError) -> Self {
-        KernelError::Net(e)
+        match e {
+            // Promote exhausted-retry failures to their own kernel-level
+            // variant so migration drivers can degrade gracefully without
+            // digging through the network layer.
+            NetError::SourceUnreachable { from, to, attempts } => {
+                KernelError::SourceUnreachable { from, to, attempts }
+            }
+            e => KernelError::Net(e),
+        }
     }
 }
 

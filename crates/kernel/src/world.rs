@@ -65,6 +65,9 @@ pub struct World {
     backers: BTreeMap<PortId, BackerEntry>,
     next_pid: u64,
     next_node: u32,
+    /// Monotonic sequence stamp for pager read requests; replies echo it
+    /// so stale or duplicated responses can be recognised and dropped.
+    next_seq: u64,
 }
 
 impl World {
@@ -82,6 +85,7 @@ impl World {
             backers: BTreeMap::new(),
             next_pid: 0,
             next_node: 0,
+            next_seq: 0,
         }
     }
 
@@ -95,9 +99,17 @@ impl World {
     }
 
     /// Installs (or resets) the event journal; subsequent faults, sends
-    /// and lifecycle transitions are recorded.
+    /// and lifecycle transitions are recorded. The fabric gets its own
+    /// journal for wire-level fault-injection events (`net-*` kinds).
     pub fn enable_journal(&mut self) {
         self.journal = Some(cor_sim::Journal::new());
+        self.fabric.journal = Some(cor_sim::Journal::new());
+    }
+
+    /// The next pager request sequence number (monotonic, never zero).
+    fn next_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
     }
 
     /// Records a journal event if a journal is installed. The detail is
@@ -292,6 +304,7 @@ impl World {
                 offset,
                 count,
                 reply,
+                seq,
             }) => {
                 self.clock.advance(self.costs.backer_service);
                 let frames = entry
@@ -301,8 +314,11 @@ impl World {
                         seg,
                         offset,
                     }))?;
-                let reply_msg =
-                    protocol::imag_read_reply(reply, seg, offset, frames).with_no_ious(true);
+                // Echo the request's sequence number so the faulter can
+                // pair the reply with its request.
+                let reply_msg = protocol::imag_read_reply(reply, seg, offset, frames)
+                    .with_seq(seq)
+                    .with_no_ious(true);
                 self.send_from(entry.node, reply_msg)?;
                 Ok(())
             }
@@ -443,26 +459,41 @@ impl World {
         let count = self.contiguous_owed(node, pid, page, seg, offset, want)?;
         let pager_port = self.node(node)?.pager_port;
         let backing = self.segs.backing_port(seg)?;
-        let req =
-            protocol::imag_read_request(backing, pager_port, seg, offset, count).with_no_ious(true);
+        let seq = self.next_seq();
+        let req = protocol::imag_read_request(backing, pager_port, seg, offset, count)
+            .with_seq(seq)
+            .with_no_ious(true);
         self.send_from(node, req)?;
         self.settle()?;
-        let reply = self
-            .ports
-            .dequeue(pager_port)?
-            .ok_or(KernelError::NoReply {
-                fault: Fault::Imaginary { page, seg, offset },
-            })?;
-        let frames = match protocol::parse(&reply) {
-            Some(ProtocolMsg::ImagReadReply {
-                seg: rseg,
-                offset: roffset,
-                frames,
-            }) if rseg == seg && roffset == offset => frames,
-            _ => {
-                return Err(KernelError::NoReply {
+        // Drain the pager port until *our* reply appears. Anything else —
+        // a reply to an earlier request that was duplicated or delayed on
+        // an unreliable wire — is stale: drop it and keep looking
+        // (idempotent handling).
+        let frames = loop {
+            let reply = self
+                .ports
+                .dequeue(pager_port)?
+                .ok_or(KernelError::NoReply {
                     fault: Fault::Imaginary { page, seg, offset },
-                })
+                })?;
+            match protocol::parse(&reply) {
+                Some(ProtocolMsg::ImagReadReply {
+                    seg: rseg,
+                    offset: roffset,
+                    frames,
+                    seq: rseq,
+                }) if rseg == seg && roffset == offset && (rseq == seq || rseq == 0) => {
+                    break frames;
+                }
+                _ => {
+                    self.fabric.reliability.stale_replies.incr();
+                    self.note("stale-reply", || {
+                        format!(
+                            "pid{} dropped stale pager message while waiting for seg {} page {offset} seq {seq}",
+                            pid.0, seg.0
+                        )
+                    });
+                }
             }
         };
         self.clock.advance(

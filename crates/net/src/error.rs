@@ -23,6 +23,17 @@ pub enum NetError {
         /// The requested page offset.
         offset: u64,
     },
+    /// Every transmission attempt within the retry budget was lost: the
+    /// destination (for copy-on-reference traffic, usually the residual
+    /// source node the migrated process still depends on) is unreachable.
+    SourceUnreachable {
+        /// The sending node.
+        from: NodeId,
+        /// The node that never acknowledged.
+        to: NodeId,
+        /// Transmission attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -36,6 +47,12 @@ impl fmt::Display for NetError {
                     f,
                     "backer holds no data for segment {} page {offset}",
                     seg.0
+                )
+            }
+            NetError::SourceUnreachable { from, to, attempts } => {
+                write!(
+                    f,
+                    "node {to} unreachable from {from} after {attempts} attempts"
                 )
             }
         }

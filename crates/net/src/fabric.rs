@@ -1,6 +1,6 @@
 //! The distributed-system data path: wire + NetMsgServers.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use cor_ipc::message::{Message, MsgItem, MsgKind};
 use cor_ipc::port::{PortId, PortRegistry};
@@ -9,10 +9,10 @@ use cor_ipc::segment::SegmentRegistry;
 use cor_ipc::NodeId;
 use cor_mem::page::Frame;
 use cor_mem::space::SegmentId;
-use cor_sim::{Clock, Ledger, LedgerCategory, SimDuration};
+use cor_sim::{Clock, Journal, Ledger, LedgerCategory, Pcg32, ReliabilityStats, SimDuration, SimTime};
 
 use crate::error::NetError;
-use crate::params::WireParams;
+use crate::params::{LinkFaults, WireParams};
 
 /// Outcome of one `send`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,8 @@ struct PendingRelay {
     final_reply: PortId,
     stand_in: SegmentId,
     stand_in_offset: u64,
+    /// The original request's sequence number, echoed on the renamed reply.
+    seq: u64,
 }
 
 /// Per-node NetMsgServer state.
@@ -86,18 +88,39 @@ pub struct Fabric {
     pub params: WireParams,
     /// Categorized record of every wire transmission.
     pub ledger: Ledger,
+    /// Fault-injection and recovery counters. All zero on a perfect wire.
+    pub reliability: ReliabilityStats,
+    /// Optional event log of injected faults and recovery actions
+    /// (`net-drop`, `net-dup`, `net-jitter`, `net-reorder`,
+    /// `net-unreachable`, `net-stale`). Install a [`Journal`] to record.
+    pub journal: Option<Journal>,
     nodes: HashMap<NodeId, NmsState>,
     node_order: BTreeSet<NodeId>,
     stats: FabricStats,
+    /// Dedicated injection RNG, created lazily from the plan's seed.
+    rng: Option<Pcg32>,
+    /// Per-directed-link transmission sequence counters.
+    link_seq: HashMap<(NodeId, NodeId), u64>,
+    /// Per-directed-link sequence numbers already accepted by the
+    /// receiver's link layer; a repeat delivery of a seen number is
+    /// suppressed (duplicate drop). Only populated when faults are active.
+    delivered: HashMap<(NodeId, NodeId), HashSet<u64>>,
+    /// Deliveries held back by reorder injection, released (FIFO) by the
+    /// next non-reordered send or by [`Fabric::pump`].
+    limbo: Vec<Message>,
 }
 
 fn category_for(kind: MsgKind) -> LedgerCategory {
     match kind {
         MsgKind::ImagReadRequest | MsgKind::ImagReadReply => LedgerCategory::FaultSupport,
-        MsgKind::Core | MsgKind::Rimas => LedgerCategory::Bulk,
+        MsgKind::Core | MsgKind::Rimas | MsgKind::PreCopyRound => LedgerCategory::Bulk,
         _ => LedgerCategory::Control,
     }
 }
+
+/// Injection RNG stream selector, so fault draws never collide with any
+/// workload RNG seeded from the same number.
+const FAULT_STREAM: u64 = 0xFA_17;
 
 impl Fabric {
     /// Creates a fabric with the given wire parameters.
@@ -105,9 +128,22 @@ impl Fabric {
         Fabric {
             params,
             ledger: Ledger::new(),
+            reliability: ReliabilityStats::default(),
+            journal: None,
             nodes: HashMap::new(),
             node_order: BTreeSet::new(),
             stats: FabricStats::default(),
+            rng: None,
+            link_seq: HashMap::new(),
+            delivered: HashMap::new(),
+            limbo: Vec::new(),
+        }
+    }
+
+    /// Records a fault-layer journal event if a journal is installed.
+    fn note(&mut self, at: SimTime, kind: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(j) = &mut self.journal {
+            j.record(at, kind, detail());
         }
     }
 
@@ -235,40 +271,147 @@ impl Fabric {
                 ));
             }
         }
-        // 2. Transmission.
+        // 2. Transmission, through the fault-injection layer. The link
+        // layer guarantees exactly-once-or-error delivery: a dropped
+        // attempt stalls the sender for a timeout, then retransmits with
+        // exponential backoff until the retry budget runs out.
+        let faults: Option<LinkFaults> = match &self.params.faults {
+            Some(plan) => {
+                if self.rng.is_none() {
+                    self.rng = Some(Pcg32::with_stream(plan.seed, FAULT_STREAM));
+                }
+                Some(plan.for_link(from, dest_home)).filter(|f| !f.is_clean())
+            }
+            None => None,
+        };
         let payload = msg.wire_size();
         let runs = msg
             .items
             .iter()
             .filter(|i| matches!(i, MsgItem::Pages { .. }))
             .count() as u64;
-        let xmit_start = clock.now();
-        if detached {
-            clock.advance(self.params.local_delivery);
-        } else {
-            clock.advance(self.params.xmit_time(payload, runs));
-        }
         let wire_bytes = self.params.wire_bytes(payload);
-        // Record the bytes spread across the transmission interval (in
-        // one-second chunks) so rate-over-time views see the flow, not a
-        // spike at completion.
-        let span = clock.now().since(xmit_start);
-        let chunks = (span.as_micros() / 1_000_000).clamp(1, 600);
-        let per = wire_bytes / chunks;
-        let category = category_for(msg.kind);
-        for i in 1..=chunks {
-            let at = xmit_start + span.saturating_mul(i) / chunks;
-            let bytes = if i == chunks {
-                wire_bytes - per * (chunks - 1)
-            } else {
-                per
-            };
-            self.ledger.record(at, bytes, category);
-        }
         let cpu = self.params.handling_cpu(payload);
-        self.charge_cpu(from, cpu);
-        self.charge_cpu(dest_home, cpu);
+        let category = category_for(msg.kind);
+        let kind = msg.kind;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let xmit_start = clock.now();
+            if detached {
+                clock.advance(self.params.local_delivery);
+            } else {
+                clock.advance(self.params.xmit_time(payload, runs));
+            }
+            // The first attempt's bytes keep their semantic category;
+            // every further attempt is pure retransmission overhead.
+            let cat = if attempts == 1 {
+                category
+            } else {
+                LedgerCategory::Retransmit
+            };
+            self.record_spread(xmit_start, clock.now(), wire_bytes, cat);
+            self.charge_cpu(from, cpu); // the sender pays for every attempt
+            let dropped = match faults {
+                Some(f) if f.drop > 0.0 => self
+                    .rng
+                    .as_mut()
+                    .expect("injection rng exists when faults are active")
+                    .chance(f.drop),
+                _ => false,
+            };
+            if !dropped {
+                break;
+            }
+            self.reliability.drops_injected.incr();
+            self.note(clock.now(), "net-drop", || {
+                format!("{kind:?} {from}->{dest_home} attempt {attempts} lost")
+            });
+            if attempts >= self.params.retry_budget {
+                self.reliability.unreachable_failures.incr();
+                self.note(clock.now(), "net-unreachable", || {
+                    format!("{kind:?} {from}->{dest_home} abandoned after {attempts} attempts")
+                });
+                return Err(NetError::SourceUnreachable {
+                    from,
+                    to: dest_home,
+                    attempts,
+                });
+            }
+            // Ack timeout, doubling per consecutive loss. Detached sends
+            // retransmit in the background without stalling the caller.
+            let backoff = self
+                .params
+                .retry_timeout
+                .saturating_mul(1u64 << (attempts - 1).min(16));
+            if !detached {
+                clock.advance(backoff);
+            }
+            self.reliability.timeout_stalls.incr();
+            self.reliability.stall_time += backoff;
+            self.reliability.retransmissions.incr();
+        }
+        // Link-layer sequence bookkeeping (only maintained under faults:
+        // a perfect wire cannot duplicate).
+        let link = (from, dest_home);
+        let link_seq = if faults.is_some() {
+            let next = self.link_seq.entry(link).or_insert(0);
+            *next += 1;
+            let seq = *next;
+            self.delivered.entry(link).or_default().insert(seq);
+            seq
+        } else {
+            0
+        };
+        // Delay jitter on the successful delivery.
+        if let Some(f) = faults {
+            if f.jitter > SimDuration::ZERO {
+                let extra_us = self
+                    .rng
+                    .as_mut()
+                    .expect("injection rng exists when faults are active")
+                    .range(0, f.jitter.as_micros() + 1);
+                if extra_us > 0 {
+                    if !detached {
+                        clock.advance(SimDuration::from_micros(extra_us));
+                    }
+                    self.note(clock.now(), "net-jitter", || {
+                        format!("{kind:?} {from}->{dest_home} delayed {extra_us}us")
+                    });
+                }
+            }
+        }
+        self.charge_cpu(dest_home, cpu); // the receiver pays once
         self.stats.msgs_remote += 1;
+        // Duplicate injection: the wire repeats the delivery in full (the
+        // copy pays wire bytes and header inspection), and the receiver's
+        // link layer recognises the already-seen sequence number and
+        // suppresses it.
+        if let Some(f) = faults {
+            if f.duplicate > 0.0
+                && self
+                    .rng
+                    .as_mut()
+                    .expect("injection rng exists when faults are active")
+                    .chance(f.duplicate)
+            {
+                self.reliability.duplicates_injected.incr();
+                self.ledger
+                    .record(clock.now(), wire_bytes, LedgerCategory::Retransmit);
+                self.charge_cpu(dest_home, self.params.msg_cpu_fixed);
+                let seen = self
+                    .delivered
+                    .get(&link)
+                    .is_some_and(|s| s.contains(&link_seq));
+                debug_assert!(seen, "first delivery must have recorded its sequence");
+                if seen {
+                    self.reliability.duplicate_drops.incr();
+                    self.note(clock.now(), "net-dup", || {
+                        format!("{kind:?} {from}->{dest_home} duplicate seq {link_seq} suppressed")
+                    });
+                }
+            }
+        }
         // 3. Incoming translation: rights, then stand-ins for IOUs.
         // Receive and ownership rights carried in a message move with it:
         // their ports are now served from the destination, and every
@@ -286,12 +429,59 @@ impl Fabric {
             }
         }
         self.create_standins(ports, segs, dest_home, &mut msg)?;
-        ports.enqueue(msg.dest, msg)?;
+        // 4. Reorder injection: hold this delivery back so traffic sent
+        // later overtakes it; any non-reordered delivery (or a pump)
+        // releases the held messages afterwards.
+        let reordered = match faults {
+            Some(f) if f.reorder > 0.0 => self
+                .rng
+                .as_mut()
+                .expect("injection rng exists when faults are active")
+                .chance(f.reorder),
+            _ => false,
+        };
+        if reordered {
+            self.reliability.reorders_injected.incr();
+            self.note(clock.now(), "net-reorder", || {
+                format!("{kind:?} {from}->{dest_home} held in limbo")
+            });
+            self.limbo.push(msg);
+        } else {
+            ports.enqueue(msg.dest, msg)?;
+            self.flush_limbo(ports)?;
+        }
         Ok(SendReport {
             wire_bytes,
             elapsed: clock.now().since(start),
             remote: true,
         })
+    }
+
+    /// Records `bytes` spread across the transmission interval (in
+    /// one-second chunks) so rate-over-time views see the flow, not a
+    /// spike at completion.
+    fn record_spread(&mut self, from: SimTime, to: SimTime, bytes: u64, category: LedgerCategory) {
+        let span = to.since(from);
+        let chunks = (span.as_micros() / 1_000_000).clamp(1, 600);
+        let per = bytes / chunks;
+        for i in 1..=chunks {
+            let at = from + span.saturating_mul(i) / chunks;
+            let b = if i == chunks {
+                bytes - per * (chunks - 1)
+            } else {
+                per
+            };
+            self.ledger.record(at, b, category);
+        }
+    }
+
+    /// Releases every delivery held back by reorder injection, in the
+    /// order the wire originally carried them.
+    fn flush_limbo(&mut self, ports: &mut PortRegistry) -> Result<(), NetError> {
+        for held in std::mem::take(&mut self.limbo) {
+            ports.enqueue(held.dest, held)?;
+        }
+        Ok(())
     }
 
     fn cache_page_items(
@@ -435,15 +625,19 @@ impl Fabric {
                     offset,
                     count,
                     reply,
+                    seq,
                 }) => {
-                    self.handle_read_request(clock, ports, segs, node, seg, offset, count, reply)?;
+                    self.handle_read_request(
+                        clock, ports, segs, node, seg, offset, count, reply, seq,
+                    )?;
                 }
                 Some(ProtocolMsg::ImagReadReply {
                     seg,
                     offset,
                     frames,
+                    seq,
                 }) => {
-                    self.handle_relayed_reply(clock, ports, segs, node, seg, offset, frames)?;
+                    self.handle_relayed_reply(clock, ports, segs, node, seg, offset, frames, seq)?;
                 }
                 Some(ProtocolMsg::ImagSegmentDeath { seg }) => {
                     self.handle_death(clock, ports, segs, node, seg)?;
@@ -465,6 +659,7 @@ impl Fabric {
         offset: u64,
         count: u64,
         reply: PortId,
+        seq: u64,
     ) -> Result<(), NetError> {
         let nms = self
             .nodes
@@ -476,14 +671,17 @@ impl Fabric {
                 return Err(NetError::MissingData { seg, offset });
             }
             let frames: Vec<Frame> = cache[offset as usize..end as usize].to_vec();
-            let reply_msg =
-                protocol::imag_read_reply(reply, seg, offset, frames).with_no_ious(true);
+            let reply_msg = protocol::imag_read_reply(reply, seg, offset, frames)
+                .with_seq(seq)
+                .with_no_ious(true);
             self.send(clock, ports, segs, node, reply_msg)?;
             return Ok(());
         }
         if let Some(fwd) = nms.forward.get(&seg).copied() {
             // Forward toward the origin; the reply comes back to us so we
-            // can rename it to the stand-in before final delivery.
+            // can rename it to the stand-in before final delivery. The
+            // forwarded request keeps the original sequence number, so the
+            // final renamed reply still pairs with the faulter's request.
             let my_port = nms.port;
             nms.pending.insert(
                 (fwd.orig_seg, fwd.orig_base + offset),
@@ -491,6 +689,7 @@ impl Fabric {
                     final_reply: reply,
                     stand_in: seg,
                     stand_in_offset: offset,
+                    seq,
                 },
             );
             let backer = segs.backing_port(fwd.orig_seg)?;
@@ -501,6 +700,7 @@ impl Fabric {
                 fwd.orig_base + offset,
                 count,
             )
+            .with_seq(seq)
             .with_no_ious(true);
             self.send(clock, ports, segs, node, req)?;
             return Ok(());
@@ -518,6 +718,7 @@ impl Fabric {
         seg: SegmentId,
         offset: u64,
         frames: Vec<Frame>,
+        seq: u64,
     ) -> Result<(), NetError> {
         let nms = self
             .nodes
@@ -530,8 +731,19 @@ impl Fabric {
                 relay.stand_in_offset,
                 frames,
             )
+            .with_seq(relay.seq)
             .with_no_ious(true);
             self.send(clock, ports, segs, node, renamed)?;
+            Ok(())
+        } else if seq != 0 || self.params.faults.is_some() {
+            // A reply with no pending relay is stale: the request it
+            // answers was already satisfied (e.g. a duplicated or
+            // reordered response). Drop it — idempotent handling.
+            self.reliability.stale_replies.incr();
+            let at = clock.now();
+            self.note(at, "net-stale", || {
+                format!("reply for seg {} page {offset} seq {seq} had no pending relay", seg.0)
+            });
             Ok(())
         } else {
             Err(NetError::MissingData { seg, offset })
@@ -575,6 +787,9 @@ impl Fabric {
         let nodes: Vec<NodeId> = self.node_order.iter().copied().collect();
         let mut processed = 0;
         loop {
+            // Release anything reorder injection is still holding, so a
+            // pump always drains the wire completely.
+            self.flush_limbo(ports)?;
             let mut quiescent = true;
             for &node in &nodes {
                 let port = self.nms_port(node)?;
@@ -654,6 +869,7 @@ impl Fabric {
     pub fn reset_accounting(&mut self) {
         self.ledger = Ledger::new();
         self.stats = FabricStats::default();
+        self.reliability = ReliabilityStats::default();
         for n in self.nodes.values_mut() {
             n.cpu = SimDuration::ZERO;
         }
@@ -822,6 +1038,7 @@ mod tests {
                 seg,
                 offset,
                 frames,
+                ..
             }) => {
                 assert_eq!(seg, stand_in, "reply renamed to the stand-in");
                 assert_eq!(offset, 2);
@@ -967,5 +1184,326 @@ mod tests {
         // Guards the documented Accent behaviour: data below a page is
         // physically copied, larger data is remapped.
         assert_eq!(INLINE_THRESHOLD, 512);
+    }
+
+    use crate::params::{FaultPlan, LinkFaults};
+
+    fn faulty_world(faults: LinkFaults, seed: u64) -> (World, NodeId, NodeId) {
+        let (mut w, a, b) = world();
+        w.fabric.params.faults = Some(FaultPlan::uniform(seed, faults));
+        (w, a, b)
+    }
+
+    #[test]
+    fn clean_fault_plan_changes_nothing() {
+        // A plan whose rates are all zero must behave byte- and
+        // time-identically to no plan at all.
+        let run = |faults: Option<FaultPlan>| {
+            let (mut w, a, b) = world();
+            w.fabric.params.faults = faults;
+            let dest = w.ports.allocate(b);
+            let msg = Message::new(MsgKind::User(1), dest)
+                .push(MsgItem::Inline(vec![0; 5000]))
+                .with_no_ious(true);
+            let rep = w
+                .fabric
+                .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+                .unwrap();
+            (rep, w.clock.now(), w.fabric.ledger.total())
+        };
+        let clean = run(Some(FaultPlan::uniform(42, LinkFaults::default())));
+        let none = run(None);
+        assert_eq!(clean, none);
+    }
+
+    #[test]
+    fn drops_force_retransmission_and_charge_retransmit_bytes() {
+        let (mut w, a, b) = faulty_world(LinkFaults::dropping(0.3), 7);
+        let dest = w.ports.allocate(b);
+        let mut retransmissions = 0;
+        for i in 0..40 {
+            let msg = Message::new(MsgKind::User(i), dest)
+                .push(MsgItem::Inline(vec![0; 2000]))
+                .with_no_ious(true);
+            w.fabric
+                .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+                .unwrap();
+        }
+        retransmissions += w.fabric.reliability.retransmissions.get();
+        assert!(
+            retransmissions > 5,
+            "at 30% drop over 40 sends, retransmissions must occur (got {retransmissions})"
+        );
+        assert_eq!(
+            w.fabric.reliability.drops_injected.get(),
+            w.fabric.reliability.retransmissions.get(),
+            "every drop below the budget becomes a retransmission"
+        );
+        assert!(
+            w.fabric.ledger.total_for(LedgerCategory::Retransmit) > 0,
+            "retried attempts land in the Retransmit category"
+        );
+        assert_eq!(
+            w.fabric.reliability.timeout_stalls.get(),
+            w.fabric.reliability.retransmissions.get()
+        );
+        assert!(w.fabric.reliability.stall_time > SimDuration::ZERO);
+        assert_eq!(w.ports.queue_len(dest), 40, "every message got through");
+    }
+
+    #[test]
+    fn total_loss_surfaces_source_unreachable() {
+        let (mut w, a, b) = faulty_world(LinkFaults::dropping(1.0), 1);
+        w.fabric.params.retry_budget = 4;
+        let dest = w.ports.allocate(b);
+        let msg = Message::new(MsgKind::User(1), dest).with_no_ious(true);
+        let err = w
+            .fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::SourceUnreachable {
+                from: a,
+                to: b,
+                attempts: 4
+            }
+        );
+        assert_eq!(w.fabric.reliability.unreachable_failures.get(), 1);
+        assert_eq!(w.fabric.reliability.drops_injected.get(), 4);
+        assert_eq!(
+            w.fabric.reliability.retransmissions.get(),
+            3,
+            "the final drop is abandoned, not retransmitted"
+        );
+        assert_eq!(w.ports.queue_len(dest), 0, "nothing was delivered");
+    }
+
+    #[test]
+    fn backoff_doubles_per_consecutive_loss() {
+        let (mut w, a, b) = faulty_world(LinkFaults::dropping(1.0), 1);
+        w.fabric.params.retry_budget = 4;
+        let dest = w.ports.allocate(b);
+        let msg = Message::new(MsgKind::User(1), dest).with_no_ious(true);
+        let t0 = w.clock.now();
+        let _ = w
+            .fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap_err();
+        let elapsed = w.clock.now().since(t0);
+        // Three timeouts at 1x, 2x, 4x the base plus four transmissions.
+        let stalls = w.fabric.params.retry_timeout.saturating_mul(1 + 2 + 4);
+        assert_eq!(w.fabric.reliability.stall_time, stalls);
+        assert!(elapsed > stalls, "elapsed includes stalls and xmit time");
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_by_sequence_tracking() {
+        let faults = LinkFaults {
+            duplicate: 1.0,
+            ..LinkFaults::default()
+        };
+        let (mut w, a, b) = faulty_world(faults, 3);
+        let dest = w.ports.allocate(b);
+        for i in 0..5 {
+            let msg = Message::new(MsgKind::User(i), dest)
+                .push(MsgItem::Inline(vec![0; 1000]))
+                .with_no_ious(true);
+            w.fabric
+                .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+                .unwrap();
+        }
+        assert_eq!(w.fabric.reliability.duplicates_injected.get(), 5);
+        assert_eq!(
+            w.fabric.reliability.duplicate_drops.get(),
+            5,
+            "every duplicate is recognised and suppressed"
+        );
+        assert_eq!(
+            w.ports.queue_len(dest),
+            5,
+            "exactly one copy of each message is delivered"
+        );
+        assert!(w.fabric.ledger.total_for(LedgerCategory::Retransmit) > 0);
+    }
+
+    #[test]
+    fn reordered_messages_arrive_late_but_arrive() {
+        // Reorder the first message with certainty, then none after.
+        let faults = LinkFaults {
+            reorder: 1.0,
+            ..LinkFaults::default()
+        };
+        let (mut w, a, b) = faulty_world(faults, 11);
+        let dest = w.ports.allocate(b);
+        let first = Message::new(MsgKind::User(1), dest).with_no_ious(true);
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, first)
+            .unwrap();
+        assert_eq!(
+            w.ports.queue_len(dest),
+            0,
+            "reordered message held in limbo"
+        );
+        w.fabric.params.faults = Some(FaultPlan::uniform(11, LinkFaults::default()));
+        let second = Message::new(MsgKind::User(2), dest).with_no_ious(true);
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, second)
+            .unwrap();
+        assert_eq!(w.ports.queue_len(dest), 2, "limbo flushed after delivery");
+        let got = w.ports.dequeue(dest).unwrap().unwrap();
+        assert_eq!(got.kind, MsgKind::User(2), "later message overtook");
+        let got = w.ports.dequeue(dest).unwrap().unwrap();
+        assert_eq!(got.kind, MsgKind::User(1));
+        assert_eq!(w.fabric.reliability.reorders_injected.get(), 1);
+    }
+
+    #[test]
+    fn pump_releases_limbo() {
+        let faults = LinkFaults {
+            reorder: 1.0,
+            ..LinkFaults::default()
+        };
+        let (mut w, a, b) = faulty_world(faults, 11);
+        let dest = w.ports.allocate(b);
+        let msg = Message::new(MsgKind::User(1), dest).with_no_ious(true);
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        assert_eq!(w.ports.queue_len(dest), 0);
+        w.fabric
+            .pump(&mut w.clock, &mut w.ports, &mut w.segs)
+            .unwrap();
+        assert_eq!(w.ports.queue_len(dest), 1, "pump flushes limbo");
+    }
+
+    #[test]
+    fn jitter_delays_but_preserves_delivery() {
+        let faults = LinkFaults {
+            jitter: SimDuration::from_millis(50),
+            ..LinkFaults::default()
+        };
+        let run = |faults| {
+            let (mut w, a, b) = world();
+            w.fabric.params.faults = faults;
+            let dest = w.ports.allocate(b);
+            for i in 0..10 {
+                let msg = Message::new(MsgKind::User(i), dest).with_no_ious(true);
+                w.fabric
+                    .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+                    .unwrap();
+            }
+            (w.clock.now(), w.ports.queue_len(dest))
+        };
+        let (t_jitter, n_jitter) = run(Some(FaultPlan::uniform(5, faults)));
+        let (t_clean, n_clean) = run(None);
+        assert_eq!(n_jitter, n_clean, "jitter never loses messages");
+        assert!(t_jitter > t_clean, "jitter adds latency");
+        assert!(
+            t_jitter.since(t_clean) <= SimDuration::from_millis(500),
+            "bounded by 10 draws of at most 50 ms"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_fault_sequences() {
+        let run = |seed| {
+            let (mut w, a, b) = faulty_world(LinkFaults::dropping(0.3), seed);
+            let dest = w.ports.allocate(b);
+            for i in 0..30 {
+                let msg = Message::new(MsgKind::User(i), dest).with_no_ious(true);
+                w.fabric
+                    .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+                    .unwrap();
+            }
+            (
+                w.fabric.reliability.clone(),
+                w.clock.now(),
+                w.fabric.ledger.total(),
+            )
+        };
+        assert_eq!(run(99), run(99), "same seed, same faults");
+        assert_ne!(
+            run(99).0,
+            run(100).0,
+            "different seeds draw different faults"
+        );
+    }
+
+    #[test]
+    fn fault_round_trip_survives_heavy_loss() {
+        // The COR fault path (request forwarded through a stand-in chain,
+        // reply renamed) completes under 30% drop + duplicates.
+        let faults = LinkFaults {
+            drop: 0.3,
+            duplicate: 0.2,
+            ..LinkFaults::default()
+        };
+        let (mut w, a, b) = faulty_world(faults, 21);
+        let dest = w.ports.allocate(b);
+        let frames: Vec<Frame> = (0..4)
+            .map(|i| Frame::new(page_from_bytes(&[0x40 + i as u8])))
+            .collect();
+        let msg = Message::new(MsgKind::Rimas, dest).push(MsgItem::Pages {
+            base_page: 0,
+            frames,
+        });
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        let got = w.ports.dequeue(dest).unwrap().unwrap();
+        let MsgItem::Iou { seg: stand_in, .. } = got.items[0] else {
+            panic!("expected Iou");
+        };
+        let pager_port = w.ports.allocate(b);
+        let backer = w.segs.backing_port(stand_in).unwrap();
+        let req = protocol::imag_read_request(backer, pager_port, stand_in, 2, 1)
+            .with_seq(7)
+            .with_no_ious(true);
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, b, req)
+            .unwrap();
+        w.fabric
+            .pump(&mut w.clock, &mut w.ports, &mut w.segs)
+            .unwrap();
+        let reply = w
+            .ports
+            .dequeue(pager_port)
+            .unwrap()
+            .expect("reply expected despite loss");
+        match protocol::parse(&reply) {
+            Some(ProtocolMsg::ImagReadReply {
+                seg,
+                offset,
+                frames,
+                seq,
+            }) => {
+                assert_eq!(seg, stand_in);
+                assert_eq!(offset, 2);
+                assert_eq!(seq, 7, "reply echoes the request's sequence number");
+                frames[0].with(|d| assert_eq!(d[0], 0x42));
+            }
+            other => panic!("bad reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn journal_records_injected_faults() {
+        let (mut w, a, b) = faulty_world(LinkFaults::dropping(0.3), 7);
+        w.fabric.journal = Some(Journal::new());
+        let dest = w.ports.allocate(b);
+        for i in 0..20 {
+            let msg = Message::new(MsgKind::User(i), dest).with_no_ious(true);
+            w.fabric
+                .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+                .unwrap();
+        }
+        let j = w.fabric.journal.as_ref().unwrap();
+        assert_eq!(
+            j.of_kind("net-drop").count() as u64,
+            w.fabric.reliability.drops_injected.get(),
+            "every injected drop is journaled"
+        );
+        assert!(j.of_kind("net-drop").count() > 0);
     }
 }

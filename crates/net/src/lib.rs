@@ -29,6 +29,17 @@
 //!   last reference to a stand-in dies, its claims against the origin
 //!   segment are released, cache entries are dropped, and
 //!   `ImaginarySegmentDeath` notices propagate to the original backer.
+//!
+//! * **Unreliable wires.** An optional, fully deterministic fault-injection
+//!   layer ([`FaultPlan`] on [`WireParams`]) drops, duplicates, delays and
+//!   reorders remote deliveries per directed link, driven by a seeded
+//!   `cor-sim` RNG. The link layer recovers with sequence numbers,
+//!   timeout-driven exponential-backoff retransmission and receiver-side
+//!   duplicate suppression; a message that exhausts its retry budget
+//!   surfaces as [`NetError::SourceUnreachable`]. Every injected fault is
+//!   journaled and counted in [`cor_sim::ReliabilityStats`], and
+//!   retransmitted bytes land in their own ledger category so lossless
+//!   runs reproduce lossless byte counts exactly.
 
 pub mod error;
 pub mod fabric;
@@ -36,4 +47,4 @@ pub mod params;
 
 pub use error::NetError;
 pub use fabric::{Fabric, FabricStats, SendReport};
-pub use params::WireParams;
+pub use params::{FaultPlan, LinkFaults, WireParams};

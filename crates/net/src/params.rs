@@ -16,7 +16,106 @@
 //!   translating the process's port rights at the destination → 12 ms per
 //!   right with a few dozen rights per process.
 
+use cor_ipc::NodeId;
 use cor_sim::SimDuration;
+
+/// Fault rates for one directed link, applied per transmission attempt by
+/// the fabric's fault-injection layer. All rates are probabilities in
+/// `[0, 1]`; the all-zero default is a perfect wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability that a transmission attempt is destroyed in flight.
+    /// The sender times out and retransmits with exponential backoff, up
+    /// to [`WireParams::retry_budget`] attempts.
+    pub drop: f64,
+    /// Probability that a delivered message is repeated on the wire. The
+    /// copy pays full wire bytes (charged to the `Retransmit` ledger
+    /// category) and is then suppressed by receiver-side sequence
+    /// tracking.
+    pub duplicate: f64,
+    /// Probability that a delivered message is held back and released
+    /// only when later traffic (or a pump) flushes the link — i.e. it
+    /// arrives *after* messages sent later.
+    pub reorder: f64,
+    /// Maximum extra delivery delay; each delivery adds a uniform draw
+    /// from `[0, jitter]` to its latency.
+    pub jitter: SimDuration,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            jitter: SimDuration::ZERO,
+        }
+    }
+}
+
+impl LinkFaults {
+    /// A link that only drops, at rate `p`.
+    pub fn dropping(p: f64) -> Self {
+        LinkFaults {
+            drop: p,
+            ..LinkFaults::default()
+        }
+    }
+
+    /// `true` when every rate is zero — injection can be skipped entirely.
+    pub fn is_clean(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.jitter == SimDuration::ZERO
+    }
+}
+
+/// A deterministic fault-injection plan: a seed for the injection RNG, a
+/// default fault profile, and optional per-directed-link overrides.
+/// Identical plans over identical traffic produce identical faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injection RNG (a dedicated `cor-sim` PCG stream).
+    pub seed: u64,
+    /// Faults applied to every link without an override.
+    pub all: LinkFaults,
+    /// Per-directed-link overrides, keyed by `(from, to)`.
+    pub links: Vec<((NodeId, NodeId), LinkFaults)>,
+}
+
+impl FaultPlan {
+    /// A plan applying `faults` to every link.
+    pub fn uniform(seed: u64, faults: LinkFaults) -> Self {
+        FaultPlan {
+            seed,
+            all: faults,
+            links: Vec::new(),
+        }
+    }
+
+    /// A plan that drops every message at rate `p` on every link.
+    pub fn dropping(seed: u64, p: f64) -> Self {
+        FaultPlan::uniform(seed, LinkFaults::dropping(p))
+    }
+
+    /// Builder-style: overrides the faults on the directed link
+    /// `from → to`.
+    pub fn with_link(mut self, from: NodeId, to: NodeId, faults: LinkFaults) -> Self {
+        self.links.push(((from, to), faults));
+        self
+    }
+
+    /// The faults in effect on the directed link `from → to`.
+    pub fn for_link(&self, from: NodeId, to: NodeId) -> LinkFaults {
+        self.links
+            .iter()
+            .rev() // later overrides win
+            .find(|((f, t), _)| *f == from && *t == to)
+            .map(|(_, lf)| *lf)
+            .unwrap_or(self.all)
+    }
+}
 
 /// Link and NetMsgServer cost parameters.
 #[derive(Debug, Clone)]
@@ -51,6 +150,17 @@ pub struct WireParams {
     pub msg_cpu_per_byte_ns: u64,
     /// Latency of a purely local (same node) message delivery.
     pub local_delivery: SimDuration,
+    /// Maximum transmission attempts per message (first send plus
+    /// retransmissions) before the sender gives up with
+    /// [`SourceUnreachable`](crate::NetError::SourceUnreachable).
+    pub retry_budget: u32,
+    /// Base retransmission timeout: the wait after the first lost attempt.
+    /// Each further loss doubles it (exponential backoff).
+    pub retry_timeout: SimDuration,
+    /// Optional deterministic fault-injection plan. `None` (the default)
+    /// is a perfect wire with behaviour byte-identical to a fabric built
+    /// before fault injection existed.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for WireParams {
@@ -67,6 +177,9 @@ impl Default for WireParams {
             msg_cpu_fixed: SimDuration::from_micros(150),
             msg_cpu_per_byte_ns: 11_000,
             local_delivery: SimDuration::from_millis(2),
+            retry_budget: 10,
+            retry_timeout: SimDuration::from_millis(25),
+            faults: None,
         }
     }
 }
@@ -139,6 +252,26 @@ mod tests {
         let p = WireParams::default();
         let t = p.xmit_time(142_336, 1).as_secs_f64();
         assert!((6.0..11.0).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn default_wire_is_perfect() {
+        let p = WireParams::default();
+        assert!(p.faults.is_none(), "fault injection is strictly opt-in");
+        assert!(p.retry_budget >= 2);
+        assert!(p.retry_timeout > SimDuration::ZERO);
+        assert!(LinkFaults::default().is_clean());
+    }
+
+    #[test]
+    fn fault_plan_link_overrides_win() {
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        let plan = FaultPlan::dropping(7, 0.10).with_link(a, b, LinkFaults::dropping(0.5));
+        assert_eq!(plan.for_link(a, b).drop, 0.5, "override applies");
+        assert_eq!(plan.for_link(b, a).drop, 0.10, "reverse direction untouched");
+        assert_eq!(plan.for_link(a, c).drop, 0.10, "others use the default");
+        let plan = plan.with_link(a, b, LinkFaults::dropping(0.9));
+        assert_eq!(plan.for_link(a, b).drop, 0.9, "later override wins");
     }
 
     #[test]

@@ -50,14 +50,20 @@ pub enum LedgerCategory {
     /// Protocol control traffic: acknowledgements, segment death notices,
     /// migration commands.
     Control,
+    /// Bytes that crossed the wire more than once: link-layer
+    /// retransmissions after an injected drop and injected duplicate
+    /// deliveries. Zero on a lossless wire, so the other categories always
+    /// reproduce the lossless byte counts exactly.
+    Retransmit,
 }
 
 impl LedgerCategory {
     /// All categories, in display order.
-    pub const ALL: [LedgerCategory; 3] = [
+    pub const ALL: [LedgerCategory; 4] = [
         LedgerCategory::Bulk,
         LedgerCategory::FaultSupport,
         LedgerCategory::Control,
+        LedgerCategory::Retransmit,
     ];
 
     fn index(self) -> usize {
@@ -65,6 +71,7 @@ impl LedgerCategory {
             LedgerCategory::Bulk => 0,
             LedgerCategory::FaultSupport => 1,
             LedgerCategory::Control => 2,
+            LedgerCategory::Retransmit => 3,
         }
     }
 }
@@ -75,6 +82,7 @@ impl fmt::Display for LedgerCategory {
             LedgerCategory::Bulk => "bulk",
             LedgerCategory::FaultSupport => "fault-support",
             LedgerCategory::Control => "control",
+            LedgerCategory::Retransmit => "retransmit",
         };
         f.write_str(s)
     }
@@ -92,10 +100,23 @@ pub struct LedgerEntry {
 }
 
 /// An append-only record of categorized byte traffic over virtual time.
+///
+/// # Examples
+///
+/// ```
+/// use cor_sim::{Ledger, LedgerCategory, SimTime};
+///
+/// let mut ledger = Ledger::new();
+/// ledger.record(SimTime::from_millis(1), 512, LedgerCategory::Bulk);
+/// ledger.record(SimTime::from_millis(2), 64, LedgerCategory::FaultSupport);
+/// assert_eq!(ledger.total(), 576);
+/// assert_eq!(ledger.total_for(LedgerCategory::Bulk), 512);
+/// assert_eq!(ledger.total_for(LedgerCategory::Retransmit), 0);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
     entries: Vec<LedgerEntry>,
-    totals: [u64; 3],
+    totals: [u64; 4],
 }
 
 impl Ledger {
@@ -149,6 +170,56 @@ impl Ledger {
             }
         }
         out
+    }
+}
+
+/// Counters for the unreliable-wire machinery: injected faults on one side,
+/// the recovery work they forced on the other. A lossless run leaves every
+/// field zero.
+///
+/// # Examples
+///
+/// ```
+/// use cor_sim::{ReliabilityStats, SimDuration};
+///
+/// let mut r = ReliabilityStats::default();
+/// r.drops_injected.incr();
+/// r.retransmissions.incr();
+/// r.timeout_stalls.incr();
+/// r.stall_time += SimDuration::from_millis(25);
+/// assert_eq!(r.retransmissions.get(), 1);
+/// assert!(r.any_faults_injected());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Transmission attempts the fault plan destroyed in flight.
+    pub drops_injected: Counter,
+    /// Deliveries the fault plan repeated on the wire.
+    pub duplicates_injected: Counter,
+    /// Deliveries the fault plan held back past later traffic.
+    pub reorders_injected: Counter,
+    /// Link-layer retransmissions (attempts beyond the first) forced by
+    /// drops.
+    pub retransmissions: Counter,
+    /// Duplicate deliveries suppressed by receiver-side sequence tracking.
+    pub duplicate_drops: Counter,
+    /// Stale or already-satisfied protocol replies dropped by idempotent
+    /// handlers above the link layer.
+    pub stale_replies: Counter,
+    /// Retransmission timeouts that expired (one per backoff wait).
+    pub timeout_stalls: Counter,
+    /// Total virtual time senders spent stalled in retransmission backoff.
+    pub stall_time: SimDuration,
+    /// Sends abandoned after the retry budget was exhausted.
+    pub unreachable_failures: Counter,
+}
+
+impl ReliabilityStats {
+    /// `true` if the fault plan injected anything at all.
+    pub fn any_faults_injected(&self) -> bool {
+        self.drops_injected.get() > 0
+            || self.duplicates_injected.get() > 0
+            || self.reorders_injected.get() > 0
     }
 }
 
@@ -306,6 +377,39 @@ mod tests {
         assert_eq!(bins[0], 30);
         assert_eq!(bins[1], 30);
         assert_eq!(bins[2], 0);
+    }
+
+    #[test]
+    fn retransmit_category_is_separate_and_displayed() {
+        let mut l = Ledger::new();
+        l.record(SimTime::from_millis(1), 100, LedgerCategory::Bulk);
+        l.record(SimTime::from_millis(2), 100, LedgerCategory::Retransmit);
+        assert_eq!(l.total_for(LedgerCategory::Retransmit), 100);
+        assert_eq!(l.total_for(LedgerCategory::Bulk), 100);
+        assert_eq!(l.total(), 200);
+        assert_eq!(LedgerCategory::Retransmit.to_string(), "retransmit");
+        assert_eq!(LedgerCategory::ALL.len(), 4);
+    }
+
+    #[test]
+    fn reliability_stats_track_injection_and_recovery() {
+        let mut r = ReliabilityStats::default();
+        assert!(!r.any_faults_injected());
+        r.drops_injected.add(3);
+        r.retransmissions.add(3);
+        r.timeout_stalls.add(3);
+        r.stall_time += SimDuration::from_millis(25 + 50 + 100);
+        r.duplicates_injected.incr();
+        r.duplicate_drops.incr();
+        r.reorders_injected.incr();
+        r.stale_replies.incr();
+        r.unreachable_failures.incr();
+        assert!(r.any_faults_injected());
+        assert_eq!(r.drops_injected.get(), r.retransmissions.get());
+        assert_eq!(r.duplicates_injected.get(), r.duplicate_drops.get());
+        assert_eq!(r.stall_time, SimDuration::from_millis(175));
+        let copy = r.clone();
+        assert_eq!(copy, r, "stats compare for determinism checks");
     }
 
     #[test]
