@@ -16,7 +16,7 @@ fn fig4_1(c: &mut Criterion) {
     let w = cor_workloads::pasmac::pm_end();
     for pf in [0u64, 1, 15] {
         g.bench_function(format!("pm_end_pf{pf}"), |b| {
-            b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: pf })))
+            b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: pf }, 1)))
         });
     }
     g.finish();
@@ -29,10 +29,10 @@ fn fig4_2(c: &mut Criterion) {
     g.sample_size(10);
     let w = cor_workloads::pasmac::pm_start();
     g.bench_function("pm_start_copy", |b| {
-        b.iter(|| black_box(full_trial(&w, Strategy::PureCopy)))
+        b.iter(|| black_box(full_trial(&w, Strategy::PureCopy, 1)))
     });
     g.bench_function("pm_start_iou1", |b| {
-        b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: 1 })))
+        b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: 1 }, 1)))
     });
     g.finish();
 }
@@ -45,7 +45,7 @@ fn fig4_3_and_4_4(c: &mut Criterion) {
     g.sample_size(10);
     let w = cor_workloads::lisp::lisp_del();
     g.bench_function("lisp_del_iou0", |b| {
-        b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: 0 })))
+        b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: 0 }, 1)))
     });
     g.finish();
 }
@@ -86,6 +86,7 @@ fn ablation(c: &mut Criterion) {
                     max_rounds: 5,
                     stop_pages: 8,
                 },
+                1,
             ))
         })
     });

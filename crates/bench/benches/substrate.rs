@@ -153,12 +153,31 @@ fn bench_ipc(c: &mut Criterion) {
     });
 }
 
+/// Pool scaling on a real matrix cell: one Minprog IOU trial per worker,
+/// serial vs pooled. Perfect scaling holds per-replica time flat as the
+/// replica count grows with the thread count.
+fn bench_pool_scaling(c: &mut Criterion) {
+    use cor_bench::full_trial;
+    use cor_migrate::Strategy;
+    let mut g = c.benchmark_group("pool_scaling");
+    g.sample_size(10);
+    let w = cor_workloads::minprog::workload();
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    for (name, n) in [("serial_1x", 1), ("pooled_nx", threads)] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: 1 }, n)))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     substrate,
     bench_rng,
     bench_event_queue,
     bench_amap,
     bench_space_ops,
-    bench_ipc
+    bench_ipc,
+    bench_pool_scaling
 );
 criterion_main!(substrate);

@@ -15,7 +15,7 @@ fn table4_1_and_4_2(c: &mut Criterion) {
     let mut g = c.benchmark_group("table4_1_composition");
     g.sample_size(10);
     for w in cor_workloads::all() {
-        g.bench_function(w.name(), |b| b.iter(|| black_box(build_only(&w))));
+        g.bench_function(w.name(), |b| b.iter(|| black_box(build_only(&w, 1))));
     }
     g.finish();
 }
@@ -30,7 +30,7 @@ fn table4_3(c: &mut Criterion) {
         cor_workloads::pasmac::pm_start(),
     ] {
         g.bench_function(w.name(), |b| {
-            b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: 0 })))
+            b.iter(|| black_box(full_trial(&w, Strategy::PureIou { prefetch: 0 }, 1)))
         });
     }
     g.finish();
@@ -68,7 +68,7 @@ fn table4_5(c: &mut Criterion) {
         ("resident_set", Strategy::ResidentSet { prefetch: 0 }),
         ("pure_copy", Strategy::PureCopy),
     ] {
-        g.bench_function(name, |b| b.iter(|| black_box(full_trial(&w, s))));
+        g.bench_function(name, |b| b.iter(|| black_box(full_trial(&w, s, 1))));
     }
     g.finish();
 }

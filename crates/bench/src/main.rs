@@ -1,0 +1,184 @@
+//! The `cor-bench` runner: real wall-clock measurement of the experiment
+//! engine, emitted as machine-readable JSON.
+//!
+//! ```text
+//! cor-bench [--threads N] [--baseline] [--out PATH]
+//! ```
+//!
+//! Runs the full paper matrix (every representative under every studied
+//! strategy) on `N` worker threads, timing each cell and the whole run
+//! with the OS monotonic clock, and writes `BENCH_wallclock.json` (or
+//! `PATH`) recording per-cell wall-clock, whole-matrix wall-clock, the
+//! thread count, and a peak-RSS proxy (`VmHWM` from `/proc/self/status`
+//! where available). With `--baseline`, a serial reference run is timed
+//! first and the report gains the measured speedup plus a byte-identical
+//! check of the serial and pooled CSV renderings.
+
+use std::time::Instant;
+
+use cor_experiments::runner::{self, Matrix};
+use cor_pool::Pool;
+
+/// Peak resident set size in kilobytes, read from the kernel's `VmHWM`
+/// accounting. `None` off Linux or when the proc file is unreadable.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+struct CellTiming {
+    workload: &'static str,
+    strategy: String,
+    wallclock_s: f64,
+}
+
+/// Times every cell of the paper matrix on `threads` workers. Returns the
+/// per-cell timings (in deterministic cell order) and the whole-matrix
+/// wall-clock seconds.
+fn time_matrix(
+    workloads: &[cor_workloads::Workload],
+    threads: usize,
+) -> (Vec<CellTiming>, f64) {
+    let strategies = Matrix::paper_strategies();
+    let cells: Vec<(usize, cor_migrate::Strategy)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| strategies.iter().map(move |&s| (i, s)))
+        .collect();
+    let pool = Pool::new(threads);
+    let t0 = Instant::now();
+    let jobs: Vec<_> = cells
+        .iter()
+        .map(|&(i, s)| {
+            let w = &workloads[i];
+            move || {
+                let c0 = Instant::now();
+                let trial = runner::run_trial(w, s);
+                (c0.elapsed().as_secs_f64(), trial.total_bytes)
+            }
+        })
+        .collect();
+    let results = pool.run(jobs);
+    let total = t0.elapsed().as_secs_f64();
+    let timings = cells
+        .iter()
+        .zip(&results)
+        .map(|(&(i, s), &(secs, _))| CellTiming {
+            workload: workloads[i].name(),
+            strategy: s.to_string(),
+            wallclock_s: secs,
+        })
+        .collect();
+    (timings, total)
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads: Option<usize> = None;
+    let mut baseline = false;
+    let mut out = String::from("BENCH_wallclock.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                threads = args.get(i + 1).and_then(|v| v.parse().ok());
+                if threads.is_none() {
+                    eprintln!("--threads requires a positive integer");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--baseline" => {
+                baseline = true;
+                i += 1;
+            }
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                };
+                out = path.clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: cor-bench [--threads N] [--baseline] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let threads = threads.unwrap_or_else(|| Pool::from_env().threads());
+    let workloads = cor_workloads::all();
+
+    // Optional serial reference: timed first, and its CSV rendering must
+    // match the pooled rendering byte for byte.
+    let serial = baseline.then(|| {
+        let t0 = Instant::now();
+        let csv = runner::matrix_csv(&mut Matrix::new(), &workloads);
+        (t0.elapsed().as_secs_f64(), csv)
+    });
+
+    let (cells, matrix_s) = time_matrix(&workloads, threads);
+
+    if let Some((serial_s, serial_csv)) = &serial {
+        let pooled_csv = runner::matrix_csv(&mut Matrix::with_threads(threads), &workloads);
+        assert_eq!(
+            serial_csv, &pooled_csv,
+            "pooled matrix CSV must be byte-identical to serial"
+        );
+        eprintln!(
+            "serial {serial_s:.2}s, {threads} threads {matrix_s:.2}s, speedup {:.2}x, output identical",
+            serial_s / matrix_s
+        );
+    } else {
+        eprintln!("{threads} threads: matrix in {matrix_s:.2}s");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"matrix_wallclock_s\": {},\n",
+        json_f64(matrix_s)
+    ));
+    match &serial {
+        Some((serial_s, _)) => {
+            json.push_str(&format!(
+                "  \"serial_wallclock_s\": {},\n  \"speedup\": {},\n",
+                json_f64(*serial_s),
+                json_f64(serial_s / matrix_s)
+            ));
+        }
+        None => {
+            json.push_str("  \"serial_wallclock_s\": null,\n  \"speedup\": null,\n");
+        }
+    }
+    match peak_rss_kb() {
+        Some(kb) => json.push_str(&format!("  \"peak_rss_kb\": {kb},\n")),
+        None => json.push_str("  \"peak_rss_kb\": null,\n"),
+    }
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"strategy\": \"{}\", \"wallclock_s\": {}}}{}\n",
+            c.workload,
+            c.strategy,
+            json_f64(c.wallclock_s),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+}

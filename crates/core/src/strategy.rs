@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// How a process's address space travels to the new execution site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Brute force: every RealMem page crosses the wire at migration time
     /// (the RIMAS message is sent with `NoIOUs` set).

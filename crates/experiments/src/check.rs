@@ -57,6 +57,17 @@ fn bound(label: impl Into<String>, measured: f64, lo: f64, hi: f64) -> Check {
 /// *measured* dynamics: utilizations, timings, savings, and the claims of
 /// §4.3–§4.5.
 pub fn run_checks(matrix: &mut Matrix, workloads: &[Workload]) -> Vec<Check> {
+    // Every strategy the gate consults, computed up front so missing
+    // cells fan out across the matrix's pool.
+    matrix.prefill(
+        workloads,
+        &[
+            Strategy::PureCopy,
+            Strategy::PureIou { prefetch: 0 },
+            Strategy::PureIou { prefetch: 1 },
+            Strategy::ResidentSet { prefetch: 0 },
+        ],
+    );
     let mut checks = Vec::new();
 
     // Table 4-3: remote utilization, per representative (±2% of Real).

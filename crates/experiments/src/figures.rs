@@ -20,6 +20,9 @@ fn per_cell<F: FnMut(&mut Matrix, &Workload, Strategy) -> String>(
     workloads: &[Workload],
     mut cell: F,
 ) -> TextTable {
+    // Every figure consumes the full strategy row, so compute missing
+    // cells concurrently before the serial render walk.
+    matrix.prefill(workloads, &Matrix::paper_strategies());
     let mut t = TextTable::new(&header_row());
     for w in workloads {
         let mut row = vec![w.name().to_string()];
@@ -71,6 +74,7 @@ pub fn fig4_1(matrix: &mut Matrix, workloads: &[Workload]) -> String {
 /// Figure 4-2: percent end-to-end speedup over pure-copy (address-space
 /// transfer + remote execution), per strategy and prefetch.
 pub fn fig4_2(matrix: &mut Matrix, workloads: &[Workload]) -> String {
+    matrix.prefill(workloads, &Matrix::paper_strategies());
     let mut out = String::from(
         "Figure 4-2: Percent Speedup of IOU and RS Strategies over Pure-Copy\n\
          (transfer + remote execution; negative = slowdown)\n\n",
@@ -150,6 +154,14 @@ pub fn fig4_4(matrix: &mut Matrix, workloads: &[Workload]) -> String {
 /// fault support.
 pub fn fig4_5(matrix: &mut Matrix) -> String {
     let w = cor_workloads::lisp::lisp_del();
+    matrix.prefill(
+        std::slice::from_ref(&w),
+        &[
+            Strategy::PureIou { prefetch: 0 },
+            Strategy::ResidentSet { prefetch: 0 },
+            Strategy::PureCopy,
+        ],
+    );
     let mut out = String::from(
         "Figure 4-5: Byte Transfer Rates for Lisp-Del (bin = 5 s)\n\
          '#' bulk + control traffic, 'o' imaginary fault support\n\n",

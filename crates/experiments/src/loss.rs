@@ -12,6 +12,7 @@
 
 use cor_migrate::Strategy;
 use cor_net::{FaultPlan, WireParams};
+use cor_pool::Pool;
 use cor_workloads::Workload;
 
 use crate::render::{commas, secs, TextTable};
@@ -25,12 +26,15 @@ pub const DROP_RATES_PCT: [u32; 6] = [0, 2, 5, 10, 15, 20];
 const SWEEP_SEED: u64 = 0x10E5;
 
 /// Runs the sweep over `workloads` (the first entry named `Minprog`, or
-/// the first workload) and renders the table.
+/// the first workload) and renders the table. Every `(rate, strategy)`
+/// cell is an independent seeded simulation, so the cells fan out across
+/// `pool`; rows are emitted serially in sweep order, making the table
+/// byte-identical at any thread count.
 ///
 /// # Panics
 ///
 /// Panics if `workloads` is empty or a trial fails internally.
-pub fn loss_sweep(workloads: &[Workload]) -> String {
+pub fn loss_sweep(workloads: &[Workload], pool: &Pool) -> String {
     let w = workloads
         .iter()
         .find(|w| w.name() == "Minprog")
@@ -44,26 +48,38 @@ pub fn loss_sweep(workloads: &[Workload]) -> String {
         "stall s",
         "dup drops",
     ]);
-    for &pct in &DROP_RATES_PCT {
-        for strategy in [Strategy::PureCopy, Strategy::PureIou { prefetch: 1 }] {
-            let mut wire = WireParams::default();
-            if pct > 0 {
-                wire.faults = Some(FaultPlan::dropping(
-                    SWEEP_SEED + pct as u64,
-                    pct as f64 / 100.0,
-                ));
+    let cells: Vec<(u32, Strategy)> = DROP_RATES_PCT
+        .iter()
+        .flat_map(|&pct| {
+            [Strategy::PureCopy, Strategy::PureIou { prefetch: 1 }].map(|s| (pct, s))
+        })
+        .collect();
+    let jobs: Vec<_> = cells
+        .iter()
+        .map(|&(pct, strategy)| {
+            move || {
+                let mut wire = WireParams::default();
+                if pct > 0 {
+                    wire.faults = Some(FaultPlan::dropping(
+                        SWEEP_SEED + pct as u64,
+                        pct as f64 / 100.0,
+                    ));
+                }
+                run_trial_with(w, strategy, cor_kernel::CostModel::default(), wire)
             }
-            let trial = run_trial_with(w, strategy, cor_kernel::CostModel::default(), wire);
-            t.row(vec![
-                format!("{pct}"),
-                strategy.family().to_string(),
-                secs(trial.end_to_end().as_secs_f64()),
-                trial.reliability.retransmissions.get().to_string(),
-                commas(trial.retransmit_bytes),
-                secs(trial.reliability.stall_time.as_secs_f64()),
-                trial.reliability.duplicate_drops.get().to_string(),
-            ]);
-        }
+        })
+        .collect();
+    let trials = pool.run(jobs);
+    for ((pct, strategy), trial) in cells.iter().zip(&trials) {
+        t.row(vec![
+            format!("{pct}"),
+            strategy.family().to_string(),
+            secs(trial.end_to_end().as_secs_f64()),
+            trial.reliability.retransmissions.get().to_string(),
+            commas(trial.retransmit_bytes),
+            secs(trial.reliability.stall_time.as_secs_f64()),
+            trial.reliability.duplicate_drops.get().to_string(),
+        ]);
     }
     format!(
         "Loss sweep (ours): {} completion vs per-attempt drop rate\n\
@@ -82,12 +98,22 @@ mod tests {
     #[test]
     fn loss_sweep_renders_and_is_deterministic() {
         let workloads = vec![cor_workloads::minprog::workload()];
-        let once = loss_sweep(&workloads);
+        let serial = Pool::serial();
+        let once = loss_sweep(&workloads, &serial);
         assert!(once.contains("drop%"));
         // One row per (rate x strategy) plus header and rule.
         let rows = once.lines().filter(|l| l.contains("pure-")).count();
         assert_eq!(rows, DROP_RATES_PCT.len() * 2);
-        assert_eq!(once, loss_sweep(&workloads), "sweep is reproducible");
+        assert_eq!(
+            once,
+            loss_sweep(&workloads, &serial),
+            "sweep is reproducible"
+        );
+        assert_eq!(
+            once,
+            loss_sweep(&workloads, &Pool::new(4)),
+            "pooled sweep is byte-identical to serial"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The `experiments` binary: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments <command>
+//! experiments [--threads N] <command>
 //!
 //! commands:
 //!   table4-1 table4-2 table4-3 table4-4 table4-5
@@ -13,14 +13,32 @@
 //!   loss-sweep  completion time vs wire drop rate (ours)
 //!   all         everything above, in order
 //! ```
+//!
+//! Independent trial cells run concurrently on `N` worker threads
+//! (`--threads N`, or the `COR_THREADS` environment variable, defaulting
+//! to the machine's parallelism). Every output is byte-identical at any
+//! thread count: each cell is its own deterministic simulation, and all
+//! rendering happens serially in cell order.
 
 use cor_experiments::{figures, loss, runner::Matrix, summary, tables};
+use cor_pool::Pool;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let pool = match args.iter().position(|a| a == "--threads") {
+        Some(i) => {
+            let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                eprintln!("--threads requires a positive integer");
+                std::process::exit(2);
+            };
+            args.drain(i..=i + 1);
+            Pool::new(n)
+        }
+        None => Pool::from_env(),
+    };
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let workloads = cor_workloads::all();
-    let mut matrix = Matrix::new();
+    let mut matrix = Matrix::with_pool(pool);
     let emit = |s: String| println!("{s}");
     match cmd {
         "table4-1" => emit(tables::table4_1(&workloads)),
@@ -36,11 +54,11 @@ fn main() {
         "constants" => emit(summary::constants()),
         "summary" => emit(summary::aggregates(&mut matrix, &workloads)),
         "speedups" => emit(summary::transfer_speedups(&mut matrix, &workloads)),
-        "ablation" => emit(summary::ablation(&workloads)),
-        "loss-sweep" => emit(loss::loss_sweep(&workloads)),
+        "ablation" => emit(summary::ablation(&workloads, &pool)),
+        "loss-sweep" => emit(loss::loss_sweep(&workloads, &pool)),
         "cow-study" => emit(summary::cow_study()),
-        "sensitivity" => emit(summary::sensitivity()),
-        "modern" => emit(summary::modern_study(&workloads)),
+        "sensitivity" => emit(summary::sensitivity(&pool)),
+        "modern" => emit(summary::modern_study(&workloads, &pool)),
         "trace" => emit(summary::trace_demo(
             args.get(1).map(String::as_str).unwrap_or("Minprog"),
         )),
@@ -68,17 +86,18 @@ fn main() {
             emit(summary::constants());
             emit(summary::transfer_speedups(&mut matrix, &workloads));
             emit(summary::aggregates(&mut matrix, &workloads));
-            emit(summary::ablation(&workloads));
+            emit(summary::ablation(&workloads, &pool));
             emit(summary::cow_study());
-            emit(summary::sensitivity());
-            emit(summary::modern_study(&workloads));
+            emit(summary::sensitivity(&pool));
+            emit(summary::modern_study(&workloads, &pool));
             emit(summary::policy_demo());
-            emit(loss::loss_sweep(&workloads));
+            emit(loss::loss_sweep(&workloads, &pool));
         }
         other => {
             eprintln!("unknown command: {other}");
             eprintln!(
-                "commands: table4-1..table4-5, fig4-1..fig4-5, constants, summary, \
+                "usage: experiments [--threads N] <command>\n\
+                 commands: table4-1..table4-5, fig4-1..fig4-5, constants, summary, \
                  speedups, ablation, loss-sweep, cow-study, sensitivity, modern, \
                  trace [name], policy, csv, check, all"
             );

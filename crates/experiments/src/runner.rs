@@ -106,8 +106,11 @@ impl Trial {
 }
 
 /// Renders the complete paper matrix (7 representatives × 11 strategy
-/// cells) as CSV for downstream analysis.
+/// cells) as CSV for downstream analysis. Missing cells are computed in
+/// parallel on the matrix's pool; rendering is serial and in cell order,
+/// so the output is byte-identical at any thread count.
 pub fn matrix_csv(matrix: &mut Matrix, workloads: &[Workload]) -> String {
+    matrix.prefill(workloads, &Matrix::paper_strategies());
     let mut out = String::from(Trial::csv_header());
     out.push('\n');
     for w in workloads {
@@ -196,24 +199,92 @@ pub fn run_trial_with(
 /// The full experiment matrix: every representative under pure-copy and
 /// under pure-IOU / resident-set at each studied prefetch value, computed
 /// lazily and cached.
-#[derive(Default)]
+///
+/// Each cell is an independent simulation on its own [`World`], so missing
+/// cells can be computed concurrently ([`Matrix::prefill`]) on a
+/// [`cor_pool::Pool`]; the cache is keyed by `(&'static str, Strategy)` —
+/// both `Copy` — so a cache hit allocates nothing.
 pub struct Matrix {
-    cache: HashMap<(String, String), Trial>,
+    cache: HashMap<(&'static str, Strategy), Trial>,
+    pool: cor_pool::Pool,
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::new()
+    }
 }
 
 impl Matrix {
-    /// Creates an empty (lazy) matrix.
+    /// Creates an empty (lazy) matrix that computes cells serially.
     pub fn new() -> Self {
-        Matrix::default()
+        Matrix::with_pool(cor_pool::Pool::serial())
+    }
+
+    /// Creates an empty matrix whose [`Matrix::prefill`] fans missing
+    /// cells across `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Matrix::with_pool(cor_pool::Pool::new(threads))
+    }
+
+    /// Creates an empty matrix backed by an explicit pool.
+    pub fn with_pool(pool: cor_pool::Pool) -> Self {
+        Matrix {
+            cache: HashMap::new(),
+            pool,
+        }
+    }
+
+    /// Worker threads used by [`Matrix::prefill`].
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether no cell has been computed yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
     }
 
     /// Returns the trial for `(workload, strategy)`, running it on first
-    /// use.
+    /// use. The lookup key is built from borrowed data — a hit performs no
+    /// allocation.
     pub fn trial(&mut self, workload: &Workload, strategy: Strategy) -> &Trial {
-        let key = (workload.name().to_string(), strategy.to_string());
         self.cache
-            .entry(key)
+            .entry((workload.name(), strategy))
             .or_insert_with(|| run_trial(workload, strategy))
+    }
+
+    /// Computes every missing `(workload, strategy)` cell, fanning the
+    /// independent trials across the matrix's pool. Results are inserted
+    /// in deterministic cell order (workload-major), so the cache — and
+    /// everything rendered from it — is identical to a serial fill.
+    pub fn prefill(&mut self, workloads: &[Workload], strategies: &[Strategy]) {
+        let missing: Vec<(usize, Strategy)> = workloads
+            .iter()
+            .enumerate()
+            .flat_map(|(i, w)| {
+                strategies
+                    .iter()
+                    .filter(|&&s| !self.cache.contains_key(&(w.name(), s)))
+                    .map(move |&s| (i, s))
+            })
+            .collect();
+        let jobs: Vec<_> = missing
+            .iter()
+            .map(|&(i, s)| {
+                let w = &workloads[i];
+                move || run_trial(w, s)
+            })
+            .collect();
+        let trials = self.pool.run(jobs);
+        for (&(i, s), trial) in missing.iter().zip(trials) {
+            self.cache.insert((workloads[i].name(), s), trial);
+        }
     }
 
     /// All strategies of the paper's matrix for one workload: pure-copy,
@@ -257,7 +328,27 @@ mod tests {
         let a = m.trial(&w, Strategy::PureCopy).end_time;
         let b = m.trial(&w, Strategy::PureCopy).end_time;
         assert_eq!(a, b);
-        assert_eq!(m.cache.len(), 1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn prefill_skips_cached_cells_and_fills_the_rest() {
+        let w = vec![cor_workloads::minprog::workload()];
+        let strategies = [Strategy::PureCopy, Strategy::PureIou { prefetch: 0 }];
+        let mut m = Matrix::with_threads(2);
+        let first = m.trial(&w[0], Strategy::PureCopy).end_time;
+        m.prefill(&w, &strategies);
+        assert_eq!(m.len(), 2);
+        // The cached cell was not recomputed (same end_time instance).
+        assert_eq!(m.trial(&w[0], Strategy::PureCopy).end_time, first);
+    }
+
+    #[test]
+    fn parallel_matrix_csv_is_byte_identical_to_serial() {
+        let workloads = vec![cor_workloads::minprog::workload()];
+        let serial = matrix_csv(&mut Matrix::new(), &workloads);
+        let parallel = matrix_csv(&mut Matrix::with_threads(4), &workloads);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

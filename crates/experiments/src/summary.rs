@@ -3,6 +3,7 @@
 use cor_kernel::World;
 use cor_mem::{AddressSpace, PageNum, PageRange, VAddr, PAGE_SIZE};
 use cor_migrate::Strategy;
+use cor_pool::Pool;
 use cor_workloads::Workload;
 
 use crate::render::{secs, TextTable};
@@ -67,6 +68,10 @@ pub fn constants() -> String {
 /// The §4.4 aggregates: average byte-traffic and message-handling savings
 /// of pure-IOU (no prefetch) over pure-copy across the representatives.
 pub fn aggregates(matrix: &mut Matrix, workloads: &[Workload]) -> String {
+    matrix.prefill(
+        workloads,
+        &[Strategy::PureCopy, Strategy::PureIou { prefetch: 0 }],
+    );
     let mut byte_savings = Vec::new();
     let mut msg_savings = Vec::new();
     let mut t = TextTable::new(&[
@@ -108,7 +113,20 @@ pub fn aggregates(matrix: &mut Matrix, workloads: &[Workload]) -> String {
 
 /// Our ablation: V-system-style pre-copy against the paper's strategies,
 /// by downtime, end-to-end time, and wire traffic.
-pub fn ablation(workloads: &[Workload]) -> String {
+pub fn ablation(workloads: &[Workload], pool: &Pool) -> String {
+    const STRATEGIES: [Strategy; 3] = [
+        Strategy::PureCopy,
+        Strategy::PureIou { prefetch: 1 },
+        Strategy::PreCopy {
+            max_rounds: 5,
+            stop_pages: 8,
+        },
+    ];
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| STRATEGIES.map(|s| move || crate::runner::run_trial(w, s)))
+        .collect();
+    let trials = pool.run(jobs);
     let mut t = TextTable::new(&[
         "process",
         "copy down",
@@ -118,16 +136,10 @@ pub fn ablation(workloads: &[Workload]) -> String {
         "precopy bytes",
         "rounds",
     ]);
-    for w in workloads {
-        let copy = crate::runner::run_trial(w, Strategy::PureCopy);
-        let iou = crate::runner::run_trial(w, Strategy::PureIou { prefetch: 1 });
-        let pre = crate::runner::run_trial(
-            w,
-            Strategy::PreCopy {
-                max_rounds: 5,
-                stop_pages: 8,
-            },
-        );
+    for (i, w) in workloads.iter().enumerate() {
+        let [copy, iou, pre] = &trials[3 * i..3 * i + 3] else {
+            unreachable!("three trials per workload");
+        };
         t.row(vec![
             w.name().into(),
             secs(copy.migration.downtime().as_secs_f64()),
@@ -221,6 +233,10 @@ pub fn cow_study() -> String {
 /// Per-representative migration speedup headline (§4.3.2): how many times
 /// faster the pure-IOU address-space transfer is than pure-copy.
 pub fn transfer_speedups(matrix: &mut Matrix, workloads: &[Workload]) -> String {
+    matrix.prefill(
+        workloads,
+        &[Strategy::PureIou { prefetch: 0 }, Strategy::PureCopy],
+    );
     let mut t = TextTable::new(&["process", "copy/iou transfer ratio", "paper ratio"]);
     for w in workloads {
         let iou = matrix
@@ -252,34 +268,44 @@ pub fn transfer_speedups(matrix: &mut Matrix, workloads: &[Workload]) -> String 
 /// process RealMem" for the 1987 cost ratios; this sweep derives the
 /// whole surface — end-to-end speedup of pure-IOU (pf=1) over pure-copy
 /// as a function of touched fraction and access locality.
-pub fn sensitivity() -> String {
+pub fn sensitivity(pool: &Pool) -> String {
     use cor_workloads::synth::SynthSpec;
+    const TOUCHED: [f64; 7] = [0.05, 0.15, 0.25, 0.35, 0.5, 0.7, 0.9];
+    // One job per (touched, locality) point; each builds its own synthetic
+    // workload and compares pure-copy vs IOU end-to-end on its own worlds.
+    let jobs: Vec<_> = TOUCHED
+        .iter()
+        .flat_map(|&touched| {
+            [0.95, 0.1].map(|locality| {
+                move || -> f64 {
+                    let w = SynthSpec {
+                        name: "sweep",
+                        seed: 42,
+                        real_pages: 600,
+                        realzero_pages: 600,
+                        runs: 12,
+                        resident_pages: 150,
+                        touched_fraction: touched,
+                        locality,
+                        compute_ms: 20_000,
+                        write_fraction: 0.2,
+                    }
+                    .build();
+                    let copy = crate::runner::run_trial(&w, Strategy::PureCopy);
+                    let iou = crate::runner::run_trial(&w, Strategy::PureIou { prefetch: 1 });
+                    let c = copy.end_to_end().as_secs_f64();
+                    let i = iou.end_to_end().as_secs_f64();
+                    100.0 * (c - i) / c
+                }
+            })
+        })
+        .collect();
+    let speedups = pool.run(jobs);
     let mut t = TextTable::new(&["touched%", "seq speedup%", "random speedup%"]);
     let mut breakeven: Option<f64> = None;
     let mut prev_positive = true;
-    for &touched in &[0.05f64, 0.15, 0.25, 0.35, 0.5, 0.7, 0.9] {
-        let run = |locality: f64| -> f64 {
-            let w = SynthSpec {
-                name: "sweep",
-                seed: 42,
-                real_pages: 600,
-                realzero_pages: 600,
-                runs: 12,
-                resident_pages: 150,
-                touched_fraction: touched,
-                locality,
-                compute_ms: 20_000,
-                write_fraction: 0.2,
-            }
-            .build();
-            let copy = crate::runner::run_trial(&w, Strategy::PureCopy);
-            let iou = crate::runner::run_trial(&w, Strategy::PureIou { prefetch: 1 });
-            let c = copy.end_to_end().as_secs_f64();
-            let i = iou.end_to_end().as_secs_f64();
-            100.0 * (c - i) / c
-        };
-        let seq = run(0.95);
-        let rnd = run(0.1);
+    for (i, &touched) in TOUCHED.iter().enumerate() {
+        let (seq, rnd) = (speedups[2 * i], speedups[2 * i + 1]);
         if prev_positive && rnd < 0.0 && breakeven.is_none() {
             breakeven = Some(touched);
         }
@@ -388,8 +414,19 @@ pub fn modern_params() -> (cor_kernel::CostModel, cor_net::WireParams) {
 /// which is exactly why post-copy/lazy migration (CRIU lazy-pages, QEMU
 /// post-copy) remains standard today: the transfer-time savings survive
 /// and the remote-execution penalty shrank.
-pub fn modern_study(workloads: &[Workload]) -> String {
+pub fn modern_study(workloads: &[Workload], pool: &Pool) -> String {
     let (costs, wire) = modern_params();
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| {
+            [Strategy::PureIou { prefetch: 1 }, Strategy::PureCopy].map(|s| {
+                let costs = costs.clone();
+                let wire = wire.clone();
+                move || crate::runner::run_trial_with(w, s, costs, wire)
+            })
+        })
+        .collect();
+    let trials = pool.run(jobs);
     let mut t = TextTable::new(&[
         "process",
         "IOU xfer",
@@ -398,15 +435,8 @@ pub fn modern_study(workloads: &[Workload]) -> String {
         "copy exec",
         "IOU e2e gain%",
     ]);
-    for w in workloads {
-        let iou = crate::runner::run_trial_with(
-            w,
-            Strategy::PureIou { prefetch: 1 },
-            costs.clone(),
-            wire.clone(),
-        );
-        let copy =
-            crate::runner::run_trial_with(w, Strategy::PureCopy, costs.clone(), wire.clone());
+    for (i, w) in workloads.iter().enumerate() {
+        let (iou, copy) = (&trials[2 * i], &trials[2 * i + 1]);
         let iou_e2e = iou.end_to_end().as_secs_f64();
         let copy_e2e = copy.end_to_end().as_secs_f64();
         t.row(vec![

@@ -69,6 +69,13 @@ pub fn table4_2(workloads: &[Workload]) -> String {
 /// Table 4-3: percent of address space accessed at the new site, for
 /// pure-IOU and resident-set (no prefetch).
 pub fn table4_3(matrix: &mut Matrix, workloads: &[Workload]) -> String {
+    matrix.prefill(
+        workloads,
+        &[
+            Strategy::PureIou { prefetch: 0 },
+            Strategy::ResidentSet { prefetch: 0 },
+        ],
+    );
     let mut t = TextTable::new(&[
         "process",
         "IOU %Real",
@@ -113,6 +120,7 @@ pub fn table4_3(matrix: &mut Matrix, workloads: &[Workload]) -> String {
 /// Table 4-4: process excision times (AMap construction, RIMAS creation,
 /// overall), plus the insertion-time range of §4.3.1.
 pub fn table4_4(matrix: &mut Matrix, workloads: &[Workload]) -> String {
+    matrix.prefill(workloads, &[Strategy::PureIou { prefetch: 0 }]);
     let mut t = TextTable::new(&[
         "process",
         "AMap",
@@ -164,6 +172,14 @@ pub fn table4_4(matrix: &mut Matrix, workloads: &[Workload]) -> String {
 /// Table 4-5: RIMAS (address space) transfer times under the three
 /// strategies.
 pub fn table4_5(matrix: &mut Matrix, workloads: &[Workload]) -> String {
+    matrix.prefill(
+        workloads,
+        &[
+            Strategy::PureIou { prefetch: 0 },
+            Strategy::ResidentSet { prefetch: 0 },
+            Strategy::PureCopy,
+        ],
+    );
     let mut t = TextTable::new(&["process", "Pure-IOU", "RS", "Copy", "paper(IOU/RS/Copy)"]);
     for w in workloads {
         let iou = matrix

@@ -189,13 +189,16 @@ impl Message {
 
     /// All port rights carried in the body.
     pub fn rights(&self) -> Vec<PortRight> {
-        self.items
-            .iter()
-            .flat_map(|i| match i {
-                MsgItem::Rights(r) => r.clone(),
-                _ => Vec::new(),
-            })
-            .collect()
+        self.rights_iter().copied().collect()
+    }
+
+    /// Iterates the port rights carried in the body without allocating
+    /// (the send path walks rights on every remote delivery).
+    pub fn rights_iter(&self) -> impl Iterator<Item = &PortRight> {
+        self.items.iter().flat_map(|i| match i {
+            MsgItem::Rights(r) => r.as_slice(),
+            _ => &[],
+        })
     }
 
     /// The first AMap item, if any.

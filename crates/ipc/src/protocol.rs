@@ -153,6 +153,47 @@ pub fn parse(msg: &Message) -> Option<ProtocolMsg> {
     }
 }
 
+/// Parses a well-known protocol message by value, moving bulk payload out
+/// instead of cloning it: an `ImaginaryReadReply`'s frames are taken from
+/// the message (one `Vec` move) rather than cloned (a `Vec` allocation
+/// plus a reference-count bump per page). Returns the message unconsumed
+/// when it is not a well-formed protocol message, so callers can still
+/// forward or queue it.
+///
+/// # Errors
+///
+/// The original message, when it fails to parse.
+pub fn parse_owned(mut msg: Message) -> Result<ProtocolMsg, Message> {
+    if msg.kind != MsgKind::ImagReadReply {
+        // Requests and death notices carry only integers; the borrowing
+        // parser already extracts them without touching the heap.
+        return parse(&msg).ok_or(msg);
+    }
+    let header = match msg.items.first() {
+        Some(MsgItem::Inline(bytes)) => decode3(bytes),
+        _ => None,
+    };
+    let Some((seg, offset, n)) = header else {
+        return Err(msg);
+    };
+    let valid = matches!(
+        msg.items.get(1),
+        Some(MsgItem::Pages { frames, .. }) if frames.len() as u64 == n
+    );
+    if !valid {
+        return Err(msg);
+    }
+    let MsgItem::Pages { frames, .. } = msg.items.swap_remove(1) else {
+        unreachable!("item 1 verified to be Pages above");
+    };
+    Ok(ProtocolMsg::ImagReadReply {
+        seg: SegmentId(seg),
+        offset,
+        frames,
+        seq: msg.seq,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +239,41 @@ mod tests {
             }
             other => panic!("bad parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_owned_moves_frames_without_cloning() {
+        let m = imag_read_reply(
+            PortId(2),
+            SegmentId(7),
+            100,
+            vec![Frame::new(page_from_bytes(b"one"))],
+        )
+        .with_seq(5);
+        match parse_owned(m) {
+            Ok(ProtocolMsg::ImagReadReply {
+                seg,
+                offset,
+                frames,
+                seq,
+            }) => {
+                assert_eq!((seg, offset, seq), (SegmentId(7), 100, 5));
+                assert!(
+                    !frames[0].is_shared(),
+                    "the frame was moved, not cloned: no alias remains"
+                );
+                frames[0].with(|d| assert_eq!(&d[..3], b"one"));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+        // Non-protocol and malformed messages come back unconsumed.
+        let foreign = Message::new(MsgKind::User(5), PortId(0));
+        assert!(matches!(parse_owned(foreign), Err(m) if m.kind == MsgKind::User(5)));
+        let mut bad = imag_read_reply(PortId(2), SegmentId(7), 0, vec![Frame::zeroed()]);
+        if let MsgItem::Pages { frames, .. } = &mut bad.items[1] {
+            frames.push(Frame::zeroed());
+        }
+        assert!(matches!(parse_owned(bad), Err(m) if m.items.len() == 2));
     }
 
     #[test]

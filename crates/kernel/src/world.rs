@@ -102,8 +102,16 @@ impl World {
     /// and lifecycle transitions are recorded. The fabric gets its own
     /// journal for wire-level fault-injection events (`net-*` kinds).
     pub fn enable_journal(&mut self) {
-        self.journal = Some(cor_sim::Journal::new());
-        self.fabric.journal = Some(cor_sim::Journal::new());
+        self.enable_journal_at(cor_sim::JournalLevel::Full);
+    }
+
+    /// Installs (or resets) the event journal at a chosen recording level.
+    /// At [`JournalLevel::Off`](cor_sim::JournalLevel) the journals stay
+    /// installed but mute: every `record_with` call returns before
+    /// formatting its detail, so instrumented hot paths cost one branch.
+    pub fn enable_journal_at(&mut self, level: cor_sim::JournalLevel) {
+        self.journal = Some(cor_sim::Journal::with_level(level));
+        self.fabric.journal = Some(cor_sim::Journal::with_level(level));
     }
 
     /// The next pager request sequence number (monotonic, never zero).
@@ -117,7 +125,7 @@ impl World {
     pub fn note(&mut self, kind: &'static str, detail: impl FnOnce() -> String) {
         if let Some(j) = &mut self.journal {
             let at = self.clock.now();
-            j.record(at, kind, detail());
+            j.record_with(at, kind, detail);
         }
     }
 
@@ -476,8 +484,10 @@ impl World {
                 .ok_or(KernelError::NoReply {
                     fault: Fault::Imaginary { page, seg, offset },
                 })?;
-            match protocol::parse(&reply) {
-                Some(ProtocolMsg::ImagReadReply {
+            // Owned parse: the reply's frames move out of the message
+            // instead of being cloned.
+            match protocol::parse_owned(reply) {
+                Ok(ProtocolMsg::ImagReadReply {
                     seg: rseg,
                     offset: roffset,
                     frames,
@@ -510,7 +520,11 @@ impl World {
                 .processes
                 .get_mut(&pid)
                 .ok_or(KernelError::UnknownProcess(pid))?;
-            for (i, frame) in frames.iter().enumerate() {
+            // Install the delivered frames by reference count, not by
+            // 512-byte snapshot: the page is mapped copy-on-write against
+            // the sender's cache, and a later write performs the deferred
+            // copy (Accent's own message semantics, paper §2.1).
+            for (i, frame) in frames.into_iter().enumerate() {
                 let target = page.offset(i as u64);
                 if matches!(
                     process.space.page_state(target),
@@ -518,7 +532,7 @@ impl World {
                 ) {
                     process
                         .space
-                        .satisfy_imaginary(target, frame.snapshot(), &mut n.disk)?;
+                        .satisfy_imaginary_frame(target, frame, &mut n.disk)?;
                     installed += 1;
                     if i > 0 {
                         process.stats.prefetched_pages += 1;

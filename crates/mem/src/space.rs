@@ -401,6 +401,30 @@ impl AddressSpace {
         Ok(())
     }
 
+    /// Services an imaginary fault with an already-framed page, sharing
+    /// the frame by reference count instead of copying 512 bytes. The
+    /// fetch path hands the reply message's frame straight in; a later
+    /// write performs the deferred copy through the normal copy-on-write
+    /// machinery ([`AddressSpace::check_write`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadState`] if the page is not imaginary.
+    pub fn satisfy_imaginary_frame(
+        &mut self,
+        page: PageNum,
+        frame: Frame,
+        disk: &mut Disk,
+    ) -> Result<(), MemError> {
+        match self.pages.get(&page) {
+            Some(PageState::Imaginary { .. }) => {}
+            _ => return Err(MemError::BadState(page, "not imaginary")),
+        }
+        self.pages.remove(&page);
+        self.install_frame(page, frame, disk);
+        Ok(())
+    }
+
     /// Installs `frame` for `page` unconditionally (used when building
     /// processes and reconstructing them at insertion). The page is
     /// validated if it was not already. May page out an LRU victim.
@@ -731,6 +755,31 @@ mod tests {
         assert_eq!(&buf, b"owed");
         // Page 10 is still imaginary.
         assert_eq!(s.classify(p(10)), Access::Imag);
+    }
+
+    #[test]
+    fn satisfy_imaginary_frame_shares_until_written() {
+        let mut s = AddressSpace::new();
+        let mut d = Disk::new();
+        s.map_imaginary(PageRange::new(p(0), p(1)), SegmentId(1), 0);
+        let frame = Frame::new(crate::page::page_from_bytes(b"wire"));
+        let senders_copy = frame.clone();
+        s.satisfy_imaginary_frame(p(0), frame, &mut d).unwrap();
+        let mut buf = [0u8; 4];
+        s.check_read(p(0)).unwrap();
+        s.read(p(0).base(), &mut buf).unwrap();
+        assert_eq!(&buf, b"wire", "no byte copy needed to read");
+        assert_eq!(s.cow_copies(), 0, "install itself copies nothing");
+        // A write triggers the deferred copy; the sender's cache survives.
+        s.check_write(p(0)).unwrap();
+        assert_eq!(s.cow_copies(), 1);
+        s.write(p(0).base(), b"MINE").unwrap();
+        senders_copy.with(|d| assert_eq!(&d[..4], b"wire"));
+        // Non-imaginary pages are rejected just like satisfy_imaginary.
+        assert!(matches!(
+            s.satisfy_imaginary_frame(p(0), Frame::zeroed(), &mut d),
+            Err(MemError::BadState(_, _))
+        ));
     }
 
     #[test]

@@ -143,7 +143,7 @@ impl Fabric {
     /// Records a fault-layer journal event if a journal is installed.
     fn note(&mut self, at: SimTime, kind: &'static str, detail: impl FnOnce() -> String) {
         if let Some(j) = &mut self.journal {
-            j.record(at, kind, detail());
+            j.record_with(at, kind, detail);
         }
     }
 
@@ -416,10 +416,10 @@ impl Fabric {
         // Receive and ownership rights carried in a message move with it:
         // their ports are now served from the destination, and every
         // outstanding send right keeps working (location transparency).
-        let rights = msg.rights();
-        if !rights.is_empty() {
-            clock.advance(self.params.per_right.saturating_mul(rights.len() as u64));
-            for right in &rights {
+        let n_rights = msg.rights_iter().count() as u64;
+        if n_rights > 0 {
+            clock.advance(self.params.per_right.saturating_mul(n_rights));
+            for right in msg.rights_iter() {
                 if matches!(
                     right.right,
                     cor_ipc::Right::Receive | cor_ipc::Right::Ownership
@@ -619,8 +619,10 @@ impl Fabric {
         let mut unhandled = Vec::new();
         while let Some(msg) = ports.dequeue(port)? {
             clock.advance(self.params.nms_service);
-            match protocol::parse(&msg) {
-                Some(ProtocolMsg::ImagReadRequest {
+            // Parse by value: relayed replies hand their frames through
+            // without cloning the page vector.
+            match protocol::parse_owned(msg) {
+                Ok(ProtocolMsg::ImagReadRequest {
                     seg,
                     offset,
                     count,
@@ -631,7 +633,7 @@ impl Fabric {
                         clock, ports, segs, node, seg, offset, count, reply, seq,
                     )?;
                 }
-                Some(ProtocolMsg::ImagReadReply {
+                Ok(ProtocolMsg::ImagReadReply {
                     seg,
                     offset,
                     frames,
@@ -639,10 +641,10 @@ impl Fabric {
                 }) => {
                     self.handle_relayed_reply(clock, ports, segs, node, seg, offset, frames, seq)?;
                 }
-                Some(ProtocolMsg::ImagSegmentDeath { seg }) => {
+                Ok(ProtocolMsg::ImagSegmentDeath { seg }) => {
                     self.handle_death(clock, ports, segs, node, seg)?;
                 }
-                None => unhandled.push(msg),
+                Err(msg) => unhandled.push(msg),
             }
         }
         Ok(unhandled)

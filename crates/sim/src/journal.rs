@@ -7,6 +7,23 @@
 
 use crate::time::SimTime;
 
+/// How much a [`Journal`] records.
+///
+/// The level is a second gate on top of the `Option<Journal>` holders
+/// already use: an installed journal at [`JournalLevel::Off`] accepts
+/// [`Journal::record_with`] calls without running the detail closure, so
+/// hot paths pay one branch instead of a `format!` allocation per event.
+/// Experiment sweeps run with the level off; tests and trace tooling run
+/// with it on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum JournalLevel {
+    /// Drop every record without formatting its detail.
+    Off,
+    /// Record everything (the default, preserving historical behavior).
+    #[default]
+    Full,
+}
+
 /// One journal record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JournalEvent {
@@ -34,17 +51,55 @@ pub struct JournalEvent {
 #[derive(Debug, Clone, Default)]
 pub struct Journal {
     events: Vec<JournalEvent>,
+    level: JournalLevel,
 }
 
 impl Journal {
-    /// Creates an empty journal.
+    /// Creates an empty journal recording at [`JournalLevel::Full`].
     pub fn new() -> Self {
         Journal::default()
     }
 
-    /// Appends an event.
+    /// Creates an empty journal recording at `level`.
+    pub fn with_level(level: JournalLevel) -> Self {
+        Journal {
+            events: Vec::new(),
+            level,
+        }
+    }
+
+    /// The current recording level.
+    pub fn level(&self) -> JournalLevel {
+        self.level
+    }
+
+    /// Changes the recording level; already-recorded events are kept.
+    pub fn set_level(&mut self, level: JournalLevel) {
+        self.level = level;
+    }
+
+    /// Appends an event with an already-formatted detail.
+    ///
+    /// Prefer [`Journal::record_with`] on hot paths — it skips the detail
+    /// formatting entirely when the level is [`JournalLevel::Off`].
     pub fn record(&mut self, at: SimTime, kind: &'static str, detail: String) {
-        self.events.push(JournalEvent { at, kind, detail });
+        self.record_with(at, kind, || detail);
+    }
+
+    /// Appends an event, formatting the detail lazily.
+    ///
+    /// The closure only runs when the journal's level admits the record,
+    /// so a muted journal costs one branch per call site and zero
+    /// allocations.
+    pub fn record_with(&mut self, at: SimTime, kind: &'static str, detail: impl FnOnce() -> String) {
+        if self.level == JournalLevel::Off {
+            return;
+        }
+        self.events.push(JournalEvent {
+            at,
+            kind,
+            detail: detail(),
+        });
     }
 
     /// All events in record order.
@@ -115,6 +170,22 @@ mod tests {
         assert!(tail.contains("n7") && tail.contains("n9"));
         assert!(!tail.contains("n6"));
         assert_eq!(tail.lines().count(), 3);
+    }
+
+    #[test]
+    fn off_level_skips_formatting() {
+        let mut j = Journal::with_level(JournalLevel::Off);
+        let mut formatted = false;
+        j.record_with(SimTime::ZERO, "hot", || {
+            formatted = true;
+            "expensive".into()
+        });
+        assert!(!formatted, "detail closure must not run at Off");
+        assert!(j.is_empty());
+
+        j.set_level(JournalLevel::Full);
+        j.record_with(SimTime::ZERO, "hot", || "cheap".into());
+        assert_eq!(j.len(), 1);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod time;
 
 pub use clock::Clock;
 pub use event::{EventQueue, ScheduledEvent};
-pub use journal::{Journal, JournalEvent};
+pub use journal::{Journal, JournalEvent, JournalLevel};
 pub use metrics::{Counter, Histogram, Ledger, LedgerCategory, ReliabilityStats, TimeSeries};
 pub use rng::Pcg32;
 pub use time::{SimDuration, SimTime};
