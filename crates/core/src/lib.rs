@@ -29,7 +29,14 @@
 //!   accounting: everything Tables 4-4/4-5 and Figures 4-1 through 4-5
 //!   need.
 
+//!
+//! * [`drain::Drainer`] — background residual-dependency draining: between
+//!   foreground slices, owed pages are prefetched across the wire or
+//!   flushed to the source's crash-survivable disk backer, shrinking the
+//!   window in which a source crash orphans the migrated process.
+
 pub mod context;
+pub mod drain;
 pub mod excise;
 pub mod insert;
 pub mod manager;
@@ -38,6 +45,7 @@ pub mod report;
 pub mod strategy;
 
 pub use context::ExcisedProcess;
+pub use drain::{DrainReport, Drainer};
 pub use excise::excise_process;
 pub use insert::insert_process;
 pub use manager::MigrationManager;

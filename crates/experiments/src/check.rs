@@ -249,6 +249,52 @@ pub fn run_checks(matrix: &mut Matrix, workloads: &[Workload]) -> Vec<Check> {
         100.0,
     ));
 
+    // Survivability (ours): the crash sweep's headline claims. §4.4
+    // concedes residual dependencies kill migrated processes with their
+    // source; the sweep must show (a) pure-copy is immune, (b) fast
+    // draining makes the lazy strategies immune too, (c) no draining
+    // actually loses something (the hazard is real), and (d) every
+    // survivor is byte-identical to its crash-free twin.
+    let outcomes = crate::survivability::survival_outcomes(workloads, &matrix.pool());
+    let pct = |num: usize, den: usize| 100.0 * num as f64 / den.max(1) as f64;
+    let copy: Vec<_> = outcomes
+        .iter()
+        .filter(|o| matches!(o.strategy, Strategy::PureCopy))
+        .collect();
+    checks.push(rel(
+        "survivability pure-copy survival %",
+        pct(copy.iter().filter(|o| o.survived).count(), copy.len()),
+        100.0,
+        0.0,
+    ));
+    let fast: Vec<_> = outcomes.iter().filter(|o| o.drain_rate == 64).collect();
+    checks.push(rel(
+        "survivability drain-64 survival %",
+        pct(fast.iter().filter(|o| o.survived).count(), fast.len()),
+        100.0,
+        0.0,
+    ));
+    let undrained_orphans = outcomes
+        .iter()
+        .filter(|o| o.drain_rate == 0 && !o.survived)
+        .count();
+    checks.push(bound(
+        "survivability no-drain orphan count (>=1)",
+        undrained_orphans as f64,
+        1.0,
+        outcomes.len() as f64,
+    ));
+    let survivors: Vec<_> = outcomes.iter().filter(|o| o.survived).collect();
+    checks.push(rel(
+        "survivability survivor byte-identity %",
+        pct(
+            survivors.iter().filter(|o| o.checksum_match).count(),
+            survivors.len(),
+        ),
+        100.0,
+        0.0,
+    ));
+
     checks
 }
 

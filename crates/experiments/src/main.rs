@@ -11,6 +11,8 @@
 //!   speedups    §4.3.2 transfer speedups
 //!   ablation    pre-copy ablation (ours)
 //!   loss-sweep  completion time vs wire drop rate (ours)
+//!   survivability      crash time × strategy × drain rate sweep (ours)
+//!   survivability-csv  the same sweep as CSV for downstream analysis
 //!   all         everything above, in order
 //! ```
 //!
@@ -20,7 +22,7 @@
 //! thread count: each cell is its own deterministic simulation, and all
 //! rendering happens serially in cell order.
 
-use cor_experiments::{figures, loss, runner::Matrix, summary, tables};
+use cor_experiments::{figures, loss, runner::Matrix, summary, survivability, tables};
 use cor_pool::Pool;
 
 fn main() {
@@ -56,6 +58,8 @@ fn main() {
         "speedups" => emit(summary::transfer_speedups(&mut matrix, &workloads)),
         "ablation" => emit(summary::ablation(&workloads, &pool)),
         "loss-sweep" => emit(loss::loss_sweep(&workloads, &pool)),
+        "survivability" => emit(survivability::survivability(&workloads, &pool)),
+        "survivability-csv" => print!("{}", survivability::survivability_csv(&workloads, &pool)),
         "cow-study" => emit(summary::cow_study()),
         "sensitivity" => emit(summary::sensitivity(&pool)),
         "modern" => emit(summary::modern_study(&workloads, &pool)),
@@ -92,14 +96,15 @@ fn main() {
             emit(summary::modern_study(&workloads, &pool));
             emit(summary::policy_demo());
             emit(loss::loss_sweep(&workloads, &pool));
+            emit(survivability::survivability(&workloads, &pool));
         }
         other => {
             eprintln!("unknown command: {other}");
             eprintln!(
                 "usage: experiments [--threads N] <command>\n\
                  commands: table4-1..table4-5, fig4-1..fig4-5, constants, summary, \
-                 speedups, ablation, loss-sweep, cow-study, sensitivity, modern, \
-                 trace [name], policy, csv, check, all"
+                 speedups, ablation, loss-sweep, survivability, survivability-csv, \
+                 cow-study, sensitivity, modern, trace [name], policy, csv, check, all"
             );
             std::process::exit(2);
         }

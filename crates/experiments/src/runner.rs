@@ -240,6 +240,12 @@ impl Matrix {
         self.pool.threads()
     }
 
+    /// The pool backing this matrix (pools are `Copy`: a thread budget,
+    /// not live workers).
+    pub fn pool(&self) -> cor_pool::Pool {
+        self.pool
+    }
+
     /// Number of cached cells.
     pub fn len(&self) -> usize {
         self.cache.len()

@@ -195,6 +195,22 @@ impl PortRegistry {
         }
     }
 
+    /// Drops every message queued on ports homed at `node`, keeping the
+    /// ports themselves alive. Models a node crash: in-flight deliveries
+    /// die with the machine, but port *names* (and remote send rights)
+    /// survive — a rebooted or recovered node can be addressed again.
+    /// Returns the number of messages dropped.
+    pub fn purge_node(&mut self, node: NodeId) -> usize {
+        let mut dropped = 0;
+        for e in self.ports.values_mut() {
+            if e.alive && e.home == node {
+                dropped += e.queue.len();
+                e.queue.clear();
+            }
+        }
+        dropped
+    }
+
     /// Whether the port is alive.
     pub fn is_alive(&self, port: PortId) -> bool {
         self.ports.get(&port).is_some_and(|e| e.alive)
@@ -266,5 +282,23 @@ mod tests {
     fn unknown_port_is_dead() {
         let r = PortRegistry::new();
         assert_eq!(r.home(PortId(42)), Err(PortError::Dead(PortId(42))));
+    }
+
+    #[test]
+    fn purge_node_drops_queues_but_keeps_ports() {
+        let mut r = PortRegistry::new();
+        let p0 = r.allocate(NodeId(0));
+        let p1 = r.allocate(NodeId(0));
+        let q = r.allocate(NodeId(1));
+        r.enqueue(p0, Message::new(MsgKind::User(0), p0)).unwrap();
+        r.enqueue(p1, Message::new(MsgKind::User(1), p1)).unwrap();
+        r.enqueue(p1, Message::new(MsgKind::User(2), p1)).unwrap();
+        r.enqueue(q, Message::new(MsgKind::User(3), q)).unwrap();
+        assert_eq!(r.purge_node(NodeId(0)), 3);
+        assert_eq!(r.queue_len(p0), 0);
+        assert_eq!(r.queue_len(p1), 0);
+        assert_eq!(r.queue_len(q), 1, "other nodes' queues untouched");
+        assert!(r.is_alive(p0) && r.is_alive(p1), "names survive the crash");
+        assert!(r.enqueue(p0, Message::new(MsgKind::User(4), p0)).is_ok());
     }
 }

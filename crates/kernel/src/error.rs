@@ -66,6 +66,19 @@ pub enum KernelError {
         /// The distantly-accessible address.
         addr: VAddr,
     },
+    /// A node this process residually depended on crashed, and at least one
+    /// owed page could not be recovered from the crashed node's
+    /// crash-survivable disk backer. The process has been terminated
+    /// cleanly (its remaining references released); the error reports the
+    /// damage rather than panicking or hanging.
+    OrphanedProcess {
+        /// The orphaned (now terminated) process.
+        pid: ProcessId,
+        /// The crashed node that still owed pages.
+        node: NodeId,
+        /// Owed pages that are gone for good.
+        lost_pages: u64,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -103,6 +116,17 @@ impl fmt::Display for KernelError {
                     pid.0
                 )
             }
+            KernelError::OrphanedProcess {
+                pid,
+                node,
+                lost_pages,
+            } => {
+                write!(
+                    f,
+                    "process {} orphaned: {node} crashed holding {lost_pages} unrecoverable pages",
+                    pid.0
+                )
+            }
         }
     }
 }
@@ -124,6 +148,13 @@ impl From<NetError> for KernelError {
             NetError::SourceUnreachable { from, to, attempts } => {
                 KernelError::SourceUnreachable { from, to, attempts }
             }
+            // A known-dead peer is the same condition reached without
+            // burning a retry budget; `attempts: 0` marks the fast-fail.
+            NetError::NodeDown { from, to } => KernelError::SourceUnreachable {
+                from,
+                to,
+                attempts: 0,
+            },
             e => KernelError::Net(e),
         }
     }

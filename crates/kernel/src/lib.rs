@@ -23,6 +23,15 @@
 //! User-level backers (like the MigrationManager when it actively manages
 //! an excised address space) plug in through the [`backer::PageStore`]
 //! trait.
+//!
+//! **Crash tolerance.** [`World::residual_dependencies`] names the nodes
+//! a migrated process still owes pages from (through multi-hop stand-in
+//! chains); [`World::drain_round`] shrinks that set in the background
+//! under a [`DrainPolicy`] (wire prefetch or flush-to-disk); and when a
+//! dependency *does* crash, the imaginary-fault path climbs a recovery
+//! ladder — the crashed node's crash-survivable disk backer first, then
+//! clean orphan termination surfacing
+//! [`KernelError::OrphanedProcess`] — never a panic or a hang.
 
 pub mod backer;
 pub mod costs;
@@ -38,4 +47,4 @@ pub use error::KernelError;
 pub use node::Node;
 pub use process::{ExecStats, Pcb, Process, ProcessId, RunStatus};
 pub use program::{Op, Trace};
-pub use world::{ExecReport, World};
+pub use world::{DrainMode, DrainPolicy, ExecReport, World};

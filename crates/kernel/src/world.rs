@@ -32,6 +32,50 @@ pub struct ExecReport {
     pub finished: bool,
 }
 
+/// How a background drain round makes owed pages crash-safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainMode {
+    /// Pull owed pages across the wire (an ordinary prefetch fetch),
+    /// removing the dependency outright. Costs wire traffic.
+    Prefetch,
+    /// Copy owed pages from the backing site's volatile cache (or
+    /// user-level backer) onto that site's crash-survivable disk backer
+    /// ("flush to Sesame"). The pages stay owed, but a crash can no
+    /// longer lose them. Costs only disk service at the backer.
+    FlushToDisk,
+}
+
+/// An opt-in background IOU draining policy: each idle round makes up to
+/// `pages_per_round` owed pages crash-safe in the chosen [`DrainMode`],
+/// monotonically shrinking [`World::residual_dependencies`]. All drain
+/// traffic is ledgered under [`cor_sim::LedgerCategory::Drain`] so the
+/// paper's byte categories are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainPolicy {
+    /// The draining mechanism.
+    pub mode: DrainMode,
+    /// Page budget per round (zero disables draining).
+    pub pages_per_round: u64,
+}
+
+impl DrainPolicy {
+    /// A prefetch-mode policy.
+    pub fn prefetch(pages_per_round: u64) -> Self {
+        DrainPolicy {
+            mode: DrainMode::Prefetch,
+            pages_per_round,
+        }
+    }
+
+    /// A flush-to-disk policy.
+    pub fn flush(pages_per_round: u64) -> Self {
+        DrainPolicy {
+            mode: DrainMode::FlushToDisk,
+            pages_per_round,
+        }
+    }
+}
+
 struct BackerEntry {
     node: NodeId,
     store: Box<dyn PageStore>,
@@ -442,9 +486,9 @@ impl World {
                 self.note("fault", || format!("DiskIn pid{} page {}", pid.0, page.0));
                 Ok(())
             }
-            Fault::Imaginary { page, seg, offset } => {
-                self.handle_imaginary_fault(node, pid, page, seg, offset)
-            }
+            Fault::Imaginary { page, seg, offset } => self
+                .handle_imaginary_fault(node, pid, page, seg, offset)
+                .map(|_| ()),
             Fault::Addressing { addr } => Err(KernelError::AddressingViolation { pid, addr }),
         }
     }
@@ -452,7 +496,11 @@ impl World {
     /// The copy-on-reference fault path (paper §2.2): an IPC round trip to
     /// the segment's backing port, through the NetMsgServers when the
     /// backer is remote, with `self.prefetch` extra contiguous pages
-    /// requested.
+    /// requested. Returns the number of pages installed.
+    ///
+    /// When the backing site has crashed the fetch falls through to the
+    /// recovery ladder ([`World::crash_recover_or_orphan`]): the crashed
+    /// node's disk backer first, clean orphan termination second.
     fn handle_imaginary_fault(
         &mut self,
         node: NodeId,
@@ -460,7 +508,7 @@ impl World {
         page: PageNum,
         seg: SegmentId,
         offset: u64,
-    ) -> Result<(), KernelError> {
+    ) -> Result<u64, KernelError> {
         let fault_start = self.clock.now();
         self.clock.advance(self.costs.fault_dispatch);
         let want = self.prefetch + 1;
@@ -471,19 +519,27 @@ impl World {
         let req = protocol::imag_read_request(backing, pager_port, seg, offset, count)
             .with_seq(seq)
             .with_no_ious(true);
-        self.send_from(node, req)?;
-        self.settle()?;
+        let round_trip = self
+            .send_from(node, req)
+            .and_then(|_| self.settle())
+            .map(|_| ());
+        if let Err(err) = round_trip {
+            return self.crash_recover_or_orphan(node, pid, page, seg, offset, count, err);
+        }
         // Drain the pager port until *our* reply appears. Anything else —
         // a reply to an earlier request that was duplicated or delayed on
         // an unreliable wire — is stale: drop it and keep looking
         // (idempotent handling).
         let frames = loop {
-            let reply = self
-                .ports
-                .dequeue(pager_port)?
-                .ok_or(KernelError::NoReply {
+            let Some(reply) = self.ports.dequeue(pager_port)? else {
+                // The queue ran dry without our reply: if the backing site
+                // died mid-flight this is recoverable; otherwise it is the
+                // old broken-chain error.
+                let err = KernelError::NoReply {
                     fault: Fault::Imaginary { page, seg, offset },
-                })?;
+                };
+                return self.crash_recover_or_orphan(node, pid, page, seg, offset, count, err);
+            };
             // Owned parse: the reply's frames move out of the message
             // instead of being cloned.
             match protocol::parse_owned(reply) {
@@ -566,7 +622,7 @@ impl World {
                 installed.saturating_sub(1)
             )
         });
-        Ok(())
+        Ok(installed)
     }
 
     /// Counts how many pages starting at `page` are still owed by `seg`
@@ -616,6 +672,356 @@ impl World {
             process.stats.prefetch_hits += 1;
         }
         Ok(())
+    }
+
+    // ----- crash tolerance: residual deps, draining, recovery --------------
+
+    /// The residual dependencies of `pid`: for every still-owed
+    /// (imaginary) page, the node whose *volatile* state the process
+    /// depends on — resolved through the full stand-in forwarding chain,
+    /// multi-hop included. Pages whose bytes already sit in the backer's
+    /// crash-survivable disk backer are crash-recoverable and therefore
+    /// not counted, which is what makes flush-draining monotonically
+    /// shrink this map. Local dependencies (pages the node owes itself)
+    /// are omitted: a node cannot outlive its own crash.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/process, or a broken backing chain.
+    pub fn residual_dependencies(
+        &self,
+        node: NodeId,
+        pid: ProcessId,
+    ) -> Result<BTreeMap<NodeId, u64>, KernelError> {
+        let mut deps = BTreeMap::new();
+        let process = self.process(node, pid)?;
+        for (_, state) in process.space.materialized_pages() {
+            if let PageState::Imaginary { seg, offset } = state {
+                // A dead segment means the references were already
+                // released (e.g. at termination): no dependency remains.
+                if self.segs.get(*seg).is_none() {
+                    continue;
+                }
+                let (backer, bseg, boff) =
+                    self.fabric
+                        .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
+                if backer != node && !self.fabric.disk_has(backer, bseg, boff) {
+                    *deps.entry(backer).or_insert(0) += 1;
+                }
+            }
+        }
+        Ok(deps)
+    }
+
+    /// One round of background IOU draining under `policy`; returns the
+    /// number of pages made crash-safe this round (zero means the
+    /// dependency set is fully drained — or nothing more is drainable).
+    /// Every drained page is counted in
+    /// [`ReliabilityStats::drained_pages`](cor_sim::ReliabilityStats) and
+    /// its traffic ledgered under [`cor_sim::LedgerCategory::Drain`], so paper
+    /// tables built from the other categories are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/process, broken chains, or (for prefetch draining
+    /// against a crashed backer) the recovery-ladder outcomes of
+    /// [`World::touch`].
+    pub fn drain_round(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        policy: DrainPolicy,
+    ) -> Result<u64, KernelError> {
+        if policy.pages_per_round == 0 {
+            return Ok(0);
+        }
+        match policy.mode {
+            DrainMode::Prefetch => self.drain_prefetch(node, pid, policy.pages_per_round),
+            DrainMode::FlushToDisk => self.drain_flush(node, pid, policy.pages_per_round),
+        }
+    }
+
+    /// The first still-owed page of `pid` whose resolved backer is remote
+    /// and not yet crash-safe on that backer's disk.
+    fn first_remote_owed(
+        &self,
+        node: NodeId,
+        pid: ProcessId,
+    ) -> Result<Option<(PageNum, SegmentId, u64)>, KernelError> {
+        let process = self.process(node, pid)?;
+        for (page, state) in process.space.materialized_pages() {
+            if let PageState::Imaginary { seg, offset } = state {
+                if self.segs.get(*seg).is_none() {
+                    continue;
+                }
+                let (backer, bseg, boff) =
+                    self.fabric
+                        .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
+                if backer != node && !self.fabric.disk_has(backer, bseg, boff) {
+                    return Ok(Some((page, *seg, *offset)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Prefetch-mode draining: pull up to `quota` owed pages across the
+    /// wire during idle time, exactly as an imaginary fault would, so the
+    /// dependency disappears outright.
+    fn drain_prefetch(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        quota: u64,
+    ) -> Result<u64, KernelError> {
+        let Some((page, seg, offset)) = self.first_remote_owed(node, pid)? else {
+            return Ok(0);
+        };
+        let saved = self.prefetch;
+        self.prefetch = quota - 1;
+        self.fabric.set_drain_accounting(true);
+        let fetched = self.handle_imaginary_fault(node, pid, page, seg, offset);
+        self.fabric.set_drain_accounting(false);
+        self.prefetch = saved;
+        let installed = fetched?;
+        self.fabric.reliability.drained_pages.add(installed);
+        self.note("drain", || {
+            format!(
+                "pid{} prefetch-drained {installed} pages of seg {} from page {offset}",
+                pid.0, seg.0
+            )
+        });
+        Ok(installed)
+    }
+
+    /// Flush-mode draining ("flush to Sesame"): copy up to `quota` owed
+    /// pages from the backing site's volatile NMS cache (or user-level
+    /// backer) onto that site's crash-survivable disk backer. The pages
+    /// stay owed — no wire transfer happens — but a crash can no longer
+    /// lose them, so they leave [`World::residual_dependencies`].
+    fn drain_flush(&mut self, node: NodeId, pid: ProcessId, quota: u64) -> Result<u64, KernelError> {
+        let targets: Vec<(NodeId, SegmentId, u64)> = {
+            let process = self.process(node, pid)?;
+            let mut t = Vec::new();
+            for (_, state) in process.space.materialized_pages() {
+                if let PageState::Imaginary { seg, offset } = state {
+                    if self.segs.get(*seg).is_none() {
+                        continue;
+                    }
+                    let (backer, bseg, boff) =
+                        self.fabric
+                            .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
+                    if backer != node && !self.fabric.disk_has(backer, bseg, boff) {
+                        t.push((backer, bseg, boff));
+                    }
+                }
+            }
+            t
+        };
+        let mut flushed = 0u64;
+        for (backer, bseg, boff) in targets {
+            if flushed >= quota {
+                break;
+            }
+            // A dead backer's volatile copy is already gone; there is
+            // nothing left to flush (prefetch-mode draining would instead
+            // climb the recovery ladder here).
+            if self.fabric.is_crashed(backer) {
+                continue;
+            }
+            let written = self.fabric.flush_cached_page_to_disk(backer, bseg, boff)
+                || self.flush_user_backed_page(backer, bseg, boff);
+            if !written {
+                continue;
+            }
+            // The flush is the *backer's* disk writing out its own cache —
+            // background work at another node that overlaps the foreground
+            // process's execution, so it costs ledger bytes but no global
+            // wall time (the destination never blocks on it).
+            let now = self.clock.now();
+            self.fabric
+                .ledger
+                .record(now, cor_mem::PAGE_SIZE, cor_sim::LedgerCategory::Drain);
+            self.fabric.reliability.drained_pages.incr();
+            flushed += 1;
+            self.note("drain", || {
+                format!("pid{} flushed seg {} page {boff} to {backer}'s disk", pid.0, bseg.0)
+            });
+        }
+        Ok(flushed)
+    }
+
+    /// Flushes one page of a *user-level*-backed segment to the backing
+    /// node's disk backer. Returns `true` if a page was written.
+    fn flush_user_backed_page(&mut self, backer: NodeId, seg: SegmentId, offset: u64) -> bool {
+        let Ok(port) = self.segs.backing_port(seg) else {
+            return false;
+        };
+        let Some(mut frames) = self
+            .backers
+            .get_mut(&port)
+            .and_then(|e| e.store.fetch(seg, offset, 1))
+        else {
+            return false;
+        };
+        if frames.is_empty() {
+            return false;
+        }
+        self.fabric
+            .disk_install_page(backer, seg, offset, frames.remove(0));
+        true
+    }
+
+    /// The crash-recovery ladder, entered when an imaginary fetch failed.
+    /// Rung 1: if the failure traces to a *crashed* backing site, read the
+    /// owed pages back from that site's crash-survivable disk backer and
+    /// install them as the reply would have. Rung 2: if the faulting page
+    /// is not on disk either, the data is gone — count the losses,
+    /// terminate the orphan cleanly (releasing its remaining references),
+    /// and surface [`KernelError::OrphanedProcess`]. Failures unrelated to
+    /// a crash propagate unchanged.
+    #[allow(clippy::too_many_arguments)]
+    fn crash_recover_or_orphan(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        page: PageNum,
+        seg: SegmentId,
+        offset: u64,
+        count: u64,
+        err: KernelError,
+    ) -> Result<u64, KernelError> {
+        let dead = match &err {
+            KernelError::SourceUnreachable { to, .. } if self.fabric.is_crashed(*to) => *to,
+            // A missing reply (the backer died after the request left) or
+            // a transport error: recoverable only if the resolved backing
+            // site is in fact down.
+            KernelError::NoReply { .. } | KernelError::Net(_) => {
+                let (backer, _, _) =
+                    self.fabric
+                        .resolve_owed(&self.ports, &self.segs, seg, offset)?;
+                // An amnesiac reboot answers the wire again but its cache
+                // and forward tables are gone — for owed pages that is the
+                // same loss as staying down, so it climbs the same ladder.
+                if self.fabric.lost_volatile_state(backer) {
+                    backer
+                } else {
+                    return Err(err);
+                }
+            }
+            _ => return Err(err),
+        };
+        // Rung 1: the crashed node's disk backer, page by page; prefetch
+        // pages beyond the faulting one are best-effort.
+        let mut recovered = Vec::new();
+        for i in 0..count {
+            let (bnode, bseg, boff) =
+                self.fabric
+                    .resolve_owed(&self.ports, &self.segs, seg, offset + i)?;
+            if bnode != dead {
+                break;
+            }
+            match self.fabric.disk_recover(bnode, bseg, boff, 1) {
+                Some(mut f) => recovered.push(f.remove(0)),
+                None => break,
+            }
+        }
+        if !recovered.is_empty() {
+            let n = recovered.len() as u64;
+            self.clock.advance(
+                self.costs.disk_service
+                    + self.costs.map_in
+                    + self.costs.map_in_extra.saturating_mul(n - 1),
+            );
+            let now = self.clock.now();
+            self.fabric.ledger.record(
+                now,
+                cor_mem::PAGE_SIZE * n,
+                cor_sim::LedgerCategory::Drain,
+            );
+            let mut installed = 0u64;
+            {
+                let nd = self.node_mut(node)?;
+                let process = nd
+                    .processes
+                    .get_mut(&pid)
+                    .ok_or(KernelError::UnknownProcess(pid))?;
+                for (i, frame) in recovered.into_iter().enumerate() {
+                    let target = page.offset(i as u64);
+                    if matches!(
+                        process.space.page_state(target),
+                        Some(PageState::Imaginary { .. })
+                    ) {
+                        process
+                            .space
+                            .satisfy_imaginary_frame(target, frame, &mut nd.disk)?;
+                        installed += 1;
+                    }
+                }
+                process.stats.imag_faults += 1;
+            }
+            self.fabric.reliability.pages_recovered.add(installed);
+            if installed > 0 {
+                self.fabric.release_refs(
+                    &mut self.clock,
+                    &mut self.ports,
+                    &mut self.segs,
+                    node,
+                    seg,
+                    installed,
+                )?;
+                self.settle()?;
+            }
+            self.note("recover", || {
+                format!(
+                    "pid{} recovered {installed} pages of seg {} from {dead}'s disk",
+                    pid.0, seg.0
+                )
+            });
+            return Ok(installed);
+        }
+        // Rung 2: the faulting page is unrecoverable. Tally every owed
+        // page this process will never see, then terminate it cleanly.
+        let lost = self.count_lost_pages(node, pid, dead)?;
+        self.fabric.reliability.pages_lost.add(lost);
+        self.note("orphan", || {
+            format!(
+                "pid{} orphaned: {dead} crashed holding {lost} unrecoverable pages",
+                pid.0
+            )
+        });
+        self.terminate(node, pid)?;
+        Err(KernelError::OrphanedProcess {
+            pid,
+            node: dead,
+            lost_pages: lost,
+        })
+    }
+
+    /// Owed pages of `pid` that resolve to `dead` and are not on its disk
+    /// backer: data that no rung of the recovery ladder can produce.
+    fn count_lost_pages(
+        &self,
+        node: NodeId,
+        pid: ProcessId,
+        dead: NodeId,
+    ) -> Result<u64, KernelError> {
+        let process = self.process(node, pid)?;
+        let mut lost = 0;
+        for (_, state) in process.space.materialized_pages() {
+            if let PageState::Imaginary { seg, offset } = state {
+                if self.segs.get(*seg).is_none() {
+                    continue;
+                }
+                let (bnode, bseg, boff) =
+                    self.fabric
+                        .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
+                if bnode == dead && !self.fabric.disk_has(bnode, bseg, boff) {
+                    lost += 1;
+                }
+            }
+        }
+        Ok(lost)
     }
 
     /// A *kernel-context* read of process memory (paper §2.3): the caller
@@ -1208,5 +1614,101 @@ mod tests {
         let bulk = w.fabric.ledger.total_for(LedgerCategory::Bulk);
         assert!(fs > 2 * PAGE_SIZE, "replies carry pages: {fs}");
         assert_eq!(bulk, 0, "no bulk transfer in this scenario");
+    }
+
+    #[test]
+    fn residual_dependencies_shrink_monotonically_under_prefetch_drain() {
+        let (mut w, a, b, pid, _) = owed_process(6);
+        let deps = w.residual_dependencies(b, pid).unwrap();
+        assert_eq!(deps.get(&a), Some(&6), "all six pages owed by a");
+        let drained = w.drain_round(b, pid, DrainPolicy::prefetch(2)).unwrap();
+        assert_eq!(drained, 2);
+        assert_eq!(w.residual_dependencies(b, pid).unwrap().get(&a), Some(&4));
+        while w.drain_round(b, pid, DrainPolicy::prefetch(2)).unwrap() > 0 {}
+        assert!(w.residual_dependencies(b, pid).unwrap().is_empty());
+        assert_eq!(w.fabric.reliability.drained_pages.get(), 6);
+        // Drain traffic is its own ledger category.
+        use cor_sim::LedgerCategory;
+        assert!(w.fabric.ledger.total_for(LedgerCategory::Drain) > 6 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn flush_drain_then_crash_recovers_exact_bytes_from_disk() {
+        // Reference: the same program with no crash at all.
+        let (mut w0, _, b0, pid0, _) = owed_process(4);
+        w0.run(b0, pid0).unwrap();
+        let clean = w0.touched_checksum(b0, pid0).unwrap();
+
+        let (mut w, a, b, pid, _) = owed_process(4);
+        while w.drain_round(b, pid, DrainPolicy::flush(2)).unwrap() > 0 {}
+        assert!(
+            w.residual_dependencies(b, pid).unwrap().is_empty(),
+            "flushed pages are crash-safe, so no residual dependency remains"
+        );
+        assert_eq!(w.fabric.disk_pages(a), 4);
+        let now = w.clock.now();
+        w.fabric.crash_node(now, &mut w.ports, a, false);
+        let r = w.run(b, pid).unwrap();
+        assert!(r.finished);
+        assert_eq!(w.touched_checksum(b, pid).unwrap(), clean, "byte-identical");
+        assert_eq!(w.fabric.reliability.pages_recovered.get(), 4);
+        assert_eq!(w.fabric.reliability.pages_lost.get(), 0);
+    }
+
+    #[test]
+    fn crash_without_drain_orphans_the_process_cleanly() {
+        let (mut w, a, b, pid, _) = owed_process(5);
+        let now = w.clock.now();
+        w.fabric.crash_node(now, &mut w.ports, a, false);
+        match w.run(b, pid) {
+            Err(KernelError::OrphanedProcess {
+                pid: p,
+                node,
+                lost_pages,
+            }) => {
+                assert_eq!(p, pid);
+                assert_eq!(node, a);
+                assert_eq!(lost_pages, 5, "every owed page is gone");
+            }
+            other => panic!("expected OrphanedProcess, got {other:?}"),
+        }
+        // Clean termination: status updated, references released, and the
+        // world still settles.
+        assert_eq!(w.process(b, pid).unwrap().pcb.status, RunStatus::Terminated);
+        assert_eq!(w.fabric.reliability.pages_lost.get(), 5);
+        assert!(w.fabric.reliability.crash_fast_fails.get() >= 1);
+        w.settle().unwrap();
+    }
+
+    #[test]
+    fn partial_drain_recovers_the_flushed_prefix_then_orphans() {
+        let (mut w, a, b, pid, _) = owed_process(5);
+        // Flush only pages 0 and 1, then lose node a.
+        assert_eq!(w.drain_round(b, pid, DrainPolicy::flush(2)).unwrap(), 2);
+        let now = w.clock.now();
+        w.fabric.crash_node(now, &mut w.ports, a, false);
+        match w.run(b, pid) {
+            Err(KernelError::OrphanedProcess { lost_pages, .. }) => {
+                assert_eq!(lost_pages, 3, "unflushed tail is lost");
+            }
+            other => panic!("expected OrphanedProcess, got {other:?}"),
+        }
+        assert_eq!(w.fabric.reliability.pages_recovered.get(), 2);
+        assert_eq!(w.fabric.reliability.pages_lost.get(), 3);
+    }
+
+    #[test]
+    fn drain_round_is_a_noop_for_local_and_exhausted_dependencies() {
+        let (mut w, a, _) = World::testbed();
+        let mut space = AddressSpace::new();
+        space.validate(VAddr(0), 2 * PAGE_SIZE).unwrap();
+        let mut tb = Trace::builder();
+        tb.write(VAddr(0), 8);
+        let pid = w.create_process(a, "local", space, tb.terminate()).unwrap();
+        // Purely local process: nothing to drain in either mode.
+        assert_eq!(w.drain_round(a, pid, DrainPolicy::prefetch(4)).unwrap(), 0);
+        assert_eq!(w.drain_round(a, pid, DrainPolicy::flush(4)).unwrap(), 0);
+        assert_eq!(w.drain_round(a, pid, DrainPolicy::flush(0)).unwrap(), 0);
+        assert_eq!(w.fabric.reliability.drained_pages.get(), 0);
     }
 }

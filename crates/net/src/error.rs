@@ -34,6 +34,15 @@ pub enum NetError {
         /// Transmission attempts made before giving up.
         attempts: u32,
     },
+    /// The destination node is marked crashed: the send fails fast with no
+    /// transmission attempts and no retransmit backoff — there is no point
+    /// retrying against a known-dead peer.
+    NodeDown {
+        /// The sending node.
+        from: NodeId,
+        /// The crashed destination node.
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -54,6 +63,9 @@ impl fmt::Display for NetError {
                     f,
                     "node {to} unreachable from {from} after {attempts} attempts"
                 )
+            }
+            NetError::NodeDown { from, to } => {
+                write!(f, "node {to} is down (crashed); send from {from} aborted")
             }
         }
     }

@@ -1,6 +1,6 @@
 //! The distributed-system data path: wire + NetMsgServers.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use cor_ipc::message::{Message, MsgItem, MsgKind};
 use cor_ipc::port::{PortId, PortRegistry};
@@ -12,7 +12,7 @@ use cor_mem::space::SegmentId;
 use cor_sim::{Clock, Journal, Ledger, LedgerCategory, Pcg32, ReliabilityStats, SimDuration, SimTime};
 
 use crate::error::NetError;
-use crate::params::{LinkFaults, WireParams};
+use crate::params::{CrashTrigger, LinkFaults, WireParams};
 
 /// Outcome of one `send`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,7 +92,8 @@ pub struct Fabric {
     pub reliability: ReliabilityStats,
     /// Optional event log of injected faults and recovery actions
     /// (`net-drop`, `net-dup`, `net-jitter`, `net-reorder`,
-    /// `net-unreachable`, `net-stale`). Install a [`Journal`] to record.
+    /// `net-unreachable`, `net-stale`, `net-crash`, `net-node-down`,
+    /// `net-death-lost`). Install a [`Journal`] to record.
     pub journal: Option<Journal>,
     nodes: HashMap<NodeId, NmsState>,
     node_order: BTreeSet<NodeId>,
@@ -108,6 +109,28 @@ pub struct Fabric {
     /// Deliveries held back by reorder injection, released (FIFO) by the
     /// next non-reordered send or by [`Fabric::pump`].
     limbo: Vec<Message>,
+    /// Nodes currently down. Sends toward them fail fast with
+    /// [`NetError::NodeDown`]; their NetMsgServers answer nothing.
+    crashed: HashSet<NodeId>,
+    /// Nodes that crashed at least once, including amnesiac reboots: their
+    /// volatile NetMsgServer state (cache, forwards, relays) is gone even
+    /// if they answer the wire again. The recovery ladder consults this to
+    /// tell "the backer forgot" from "the chain was always broken".
+    ever_crashed: HashSet<NodeId>,
+    /// Crash-plan events that already fired (by event index).
+    crash_fired: HashSet<usize>,
+    /// Remote messages carried per node (sent or received), feeding
+    /// `AfterMessages` crash triggers.
+    node_msgs: HashMap<NodeId, u64>,
+    /// Per-node crash-survivable disk backers ("Sesame" in the paper's
+    /// flush variation): pages flushed here by the drain machinery outlive
+    /// the node's crash and serve post-crash recovery reads. Keyed by
+    /// `(segment, offset)`; deterministic iteration order.
+    disk: HashMap<NodeId, BTreeMap<(u64, u64), Frame>>,
+    /// While set, wire traffic is ledgered as [`LedgerCategory::Drain`]
+    /// instead of its semantic category, so background draining and
+    /// recovery never pollute the paper's byte accounting.
+    drain_accounting: bool,
 }
 
 fn category_for(kind: MsgKind) -> LedgerCategory {
@@ -137,6 +160,12 @@ impl Fabric {
             link_seq: HashMap::new(),
             delivered: HashMap::new(),
             limbo: Vec::new(),
+            crashed: HashSet::new(),
+            ever_crashed: HashSet::new(),
+            crash_fired: HashSet::new(),
+            node_msgs: HashMap::new(),
+            disk: HashMap::new(),
+            drain_accounting: false,
         }
     }
 
@@ -245,6 +274,9 @@ impl Fabric {
         detached: bool,
     ) -> Result<SendReport, NetError> {
         let dest_home = ports.home(msg.dest)?;
+        if self.params.crashes.is_some() {
+            self.poll_time_crashes(clock.now(), ports);
+        }
         self.stats.msgs_total += 1;
         if dest_home == from {
             clock.advance(self.params.local_delivery);
@@ -260,6 +292,11 @@ impl Fabric {
         }
         if !self.nodes.contains_key(&dest_home) {
             return Err(NetError::UnknownNode(dest_home));
+        }
+        // Fast-fail against a known-dead peer: no transmission attempt and
+        // no retransmit backoff — there is nobody to acknowledge.
+        if self.crashed.contains(&dest_home) {
+            return Err(self.node_down(clock.now(), from, dest_home, msg.kind));
         }
         let start = clock.now();
         // 1. Outgoing translation: cache page runs and substitute IOUs.
@@ -292,7 +329,11 @@ impl Fabric {
             .count() as u64;
         let wire_bytes = self.params.wire_bytes(payload);
         let cpu = self.params.handling_cpu(payload);
-        let category = category_for(msg.kind);
+        let category = if self.drain_accounting {
+            LedgerCategory::Drain
+        } else {
+            category_for(msg.kind)
+        };
         let kind = msg.kind;
         let mut attempts = 0u32;
         loop {
@@ -350,6 +391,15 @@ impl Fabric {
             self.reliability.timeout_stalls.incr();
             self.reliability.stall_time += backoff;
             self.reliability.retransmissions.incr();
+            // If the peer died while we were backing off, abort at once
+            // rather than burning the rest of the retry budget against a
+            // known-dead node.
+            if self.params.crashes.is_some() {
+                self.poll_time_crashes(clock.now(), ports);
+                if self.crashed.contains(&dest_home) {
+                    return Err(self.node_down(clock.now(), from, dest_home, kind));
+                }
+            }
         }
         // Link-layer sequence bookkeeping (only maintained under faults:
         // a perfect wire cannot duplicate).
@@ -450,6 +500,12 @@ impl Fabric {
             ports.enqueue(msg.dest, msg)?;
             self.flush_limbo(ports)?;
         }
+        // Count the carried message against both endpoints last, so an
+        // `AfterMessages` trigger reached by this very delivery purges it
+        // (it died on the crashing node) before anyone consumes it.
+        if self.params.crashes.is_some() {
+            self.count_carried(clock.now(), ports, from, dest_home);
+        }
         Ok(SendReport {
             wire_bytes,
             elapsed: clock.now().since(start),
@@ -479,6 +535,15 @@ impl Fabric {
     /// order the wire originally carried them.
     fn flush_limbo(&mut self, ports: &mut PortRegistry) -> Result<(), NetError> {
         for held in std::mem::take(&mut self.limbo) {
+            if !self.crashed.is_empty() {
+                if let Ok(home) = ports.home(held.dest) {
+                    if self.crashed.contains(&home) {
+                        // The delivery outlived its destination.
+                        self.reliability.crash_dropped_messages.incr();
+                        continue;
+                    }
+                }
+            }
             ports.enqueue(held.dest, held)?;
         }
         Ok(())
@@ -593,7 +658,18 @@ impl Fabric {
         if segs.release_refs(seg, pages)? {
             self.stats.deaths_sent += 1;
             let death = protocol::imag_segment_death(backer, seg).with_no_ious(true);
-            self.send_detached(clock, ports, segs, from, death)?;
+            match self.send_detached(clock, ports, segs, from, death) {
+                Ok(_) => {}
+                Err(NetError::NodeDown { to, .. }) => {
+                    // The backer died with its node: there is nobody left
+                    // to notify, and its cached pages are already gone.
+                    // The local bookkeeping above is all that matters.
+                    self.note(clock.now(), "net-death-lost", || {
+                        format!("death notice for seg {} suppressed: {to} is down", seg.0)
+                    });
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }
@@ -616,6 +692,17 @@ impl Fabric {
         node: NodeId,
     ) -> Result<Vec<Message>, NetError> {
         let port = self.nms_port(node)?;
+        if self.params.crashes.is_some() {
+            self.poll_time_crashes(clock.now(), ports);
+        }
+        if self.crashed.contains(&node) {
+            // A dead NetMsgServer answers nothing; anything that somehow
+            // reached its queue dies with the node.
+            while ports.dequeue(port)?.is_some() {
+                self.reliability.crash_dropped_messages.incr();
+            }
+            return Ok(Vec::new());
+        }
         let mut unhandled = Vec::new();
         while let Some(msg) = ports.dequeue(port)? {
             clock.advance(self.params.nms_service);
@@ -789,11 +876,17 @@ impl Fabric {
         let nodes: Vec<NodeId> = self.node_order.iter().copied().collect();
         let mut processed = 0;
         loop {
+            if self.params.crashes.is_some() {
+                self.poll_time_crashes(clock.now(), ports);
+            }
             // Release anything reorder injection is still holding, so a
             // pump always drains the wire completely.
             self.flush_limbo(ports)?;
             let mut quiescent = true;
             for &node in &nodes {
+                if self.crashed.contains(&node) {
+                    continue; // a dead node serves nothing
+                }
                 let port = self.nms_port(node)?;
                 let pending = ports.queue_len(port);
                 if pending > 0 {
@@ -841,6 +934,216 @@ impl Fabric {
             }
         }
         Err(NetError::MissingData { seg, offset: 0 })
+    }
+
+    /// Whether `node` is currently down.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// `true` if `node` has lost its volatile NetMsgServer state to a
+    /// crash at any point — including crashes followed by an amnesiac
+    /// reboot, after which the node answers the wire but remembers
+    /// nothing. Owed pages it backed are recoverable only from its disk.
+    pub fn lost_volatile_state(&self, node: NodeId) -> bool {
+        self.ever_crashed.contains(&node)
+    }
+
+    /// Crashes `node` at instant `now`: every message queued on any of its
+    /// ports is dropped, limbo traffic headed to it is lost, and its
+    /// volatile NetMsgServer state (cache, forward tables, pending relays)
+    /// is wiped. With `reboot_amnesiac` the node immediately answers the
+    /// wire again — minus everything it knew; otherwise it stays down and
+    /// sends toward it fail fast with [`NetError::NodeDown`]. The node's
+    /// [disk backer](Fabric::disk_install_page) survives either way.
+    ///
+    /// Usually driven by the [`CrashPlan`](crate::CrashPlan) on
+    /// [`WireParams`], but callable directly by tests and experiments.
+    pub fn crash_node(
+        &mut self,
+        now: SimTime,
+        ports: &mut PortRegistry,
+        node: NodeId,
+        reboot_amnesiac: bool,
+    ) {
+        let Some(nms) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        nms.cache.clear();
+        nms.forward.clear();
+        nms.pending.clear();
+        let mut dropped = ports.purge_node(node) as u64;
+        // Limbo entries headed to the node die in flight too.
+        let before = self.limbo.len();
+        self.limbo
+            .retain(|m| ports.home(m.dest).map(|h| h != node).unwrap_or(true));
+        dropped += (before - self.limbo.len()) as u64;
+        if !reboot_amnesiac {
+            self.crashed.insert(node);
+        }
+        self.ever_crashed.insert(node);
+        self.reliability.node_crashes.incr();
+        self.reliability.crash_dropped_messages.add(dropped);
+        self.note(now, "net-crash", || {
+            format!(
+                "{node} {} ({dropped} in-flight messages lost)",
+                if reboot_amnesiac {
+                    "crashed and rebooted amnesiac"
+                } else {
+                    "crashed"
+                }
+            )
+        });
+    }
+
+    /// Fires any pending `AtTime` crash triggers at or before `now`.
+    fn poll_time_crashes(&mut self, now: SimTime, ports: &mut PortRegistry) {
+        let Some(plan) = self.params.crashes.clone() else {
+            return;
+        };
+        for (idx, event) in plan.events.iter().enumerate() {
+            if self.crash_fired.contains(&idx) {
+                continue;
+            }
+            if let Some(at) = plan.fire_time(idx) {
+                if now >= at {
+                    self.crash_fired.insert(idx);
+                    self.crash_node(now, ports, event.node, event.reboot_amnesiac);
+                }
+            }
+        }
+    }
+
+    /// Counts one carried remote message against both endpoints and fires
+    /// any `AfterMessages` crash triggers they just reached.
+    fn count_carried(&mut self, now: SimTime, ports: &mut PortRegistry, from: NodeId, to: NodeId) {
+        *self.node_msgs.entry(from).or_insert(0) += 1;
+        *self.node_msgs.entry(to).or_insert(0) += 1;
+        let Some(plan) = self.params.crashes.clone() else {
+            return;
+        };
+        for (idx, event) in plan.events.iter().enumerate() {
+            if self.crash_fired.contains(&idx) {
+                continue;
+            }
+            let CrashTrigger::AfterMessages(n) = event.trigger else {
+                continue;
+            };
+            if self.node_msgs.get(&event.node).copied().unwrap_or(0) >= n {
+                self.crash_fired.insert(idx);
+                self.crash_node(now, ports, event.node, event.reboot_amnesiac);
+            }
+        }
+    }
+
+    /// The fast-fail path: records and reports a send aborted because the
+    /// peer is known dead — no transmission attempt, no backoff.
+    fn node_down(&mut self, now: SimTime, from: NodeId, to: NodeId, kind: MsgKind) -> NetError {
+        self.reliability.crash_fast_fails.incr();
+        self.note(now, "net-node-down", || {
+            format!("{kind:?} {from}->{to} aborted: peer is down")
+        });
+        NetError::NodeDown { from, to }
+    }
+
+    /// Installs one page in `node`'s crash-survivable disk backer. Used by
+    /// the kernel's flush-draining and by tests; survives
+    /// [`Fabric::crash_node`].
+    pub fn disk_install_page(&mut self, node: NodeId, seg: SegmentId, offset: u64, frame: Frame) {
+        self.disk
+            .entry(node)
+            .or_default()
+            .insert((seg.0, offset), frame);
+    }
+
+    /// Whether `node`'s disk backer holds `seg`'s page at `offset`.
+    pub fn disk_has(&self, node: NodeId, seg: SegmentId, offset: u64) -> bool {
+        self.disk
+            .get(&node)
+            .is_some_and(|d| d.contains_key(&(seg.0, offset)))
+    }
+
+    /// Reads `count` consecutive pages of `seg` starting at `offset` from
+    /// `node`'s disk backer; `None` if any page is missing.
+    pub fn disk_recover(
+        &self,
+        node: NodeId,
+        seg: SegmentId,
+        offset: u64,
+        count: u64,
+    ) -> Option<Vec<Frame>> {
+        let disk = self.disk.get(&node)?;
+        (offset..offset + count)
+            .map(|o| disk.get(&(seg.0, o)).cloned())
+            .collect()
+    }
+
+    /// Pages held by `node`'s disk backer.
+    pub fn disk_pages(&self, node: NodeId) -> u64 {
+        self.disk.get(&node).map(|d| d.len() as u64).unwrap_or(0)
+    }
+
+    /// Copies one cached page (if the NMS cache of `node` holds it) into
+    /// `node`'s disk backer. Returns `true` if a page was written.
+    pub fn flush_cached_page_to_disk(&mut self, node: NodeId, seg: SegmentId, offset: u64) -> bool {
+        let Some(frame) = self
+            .nodes
+            .get(&node)
+            .and_then(|n| n.cache.get(&seg))
+            .and_then(|c| c.get(offset as usize))
+            .cloned()
+        else {
+            return false;
+        };
+        self.disk_install_page(node, seg, offset, frame);
+        true
+    }
+
+    /// While enabled, every wire transmission is ledgered as
+    /// [`LedgerCategory::Drain`] regardless of message kind (retransmits
+    /// keep their own category). The kernel brackets background draining
+    /// and crash-recovery work with this so the paper's byte categories
+    /// stay clean.
+    pub fn set_drain_accounting(&mut self, on: bool) {
+        self.drain_accounting = on;
+    }
+
+    /// Resolves where the data behind `seg` at page `offset` ultimately
+    /// lives, following the NMS stand-in forwarding chain and translating
+    /// the offset at each hop. Returns the terminal `(node, segment,
+    /// offset)` — the coordinates the crash-recovery ladder and the
+    /// flush-drainer need. The chain may legitimately end at a crashed
+    /// node.
+    ///
+    /// # Errors
+    ///
+    /// Dead segments or ports along the chain.
+    pub fn resolve_owed(
+        &self,
+        ports: &PortRegistry,
+        segs: &SegmentRegistry,
+        seg: SegmentId,
+        offset: u64,
+    ) -> Result<(NodeId, SegmentId, u64), NetError> {
+        let mut current = seg;
+        let mut off = offset;
+        // The chain length is bounded by the number of nodes.
+        for _ in 0..=self.nodes.len() {
+            let port = segs.backing_port(current)?;
+            let home = ports.home(port)?;
+            match self.nodes.get(&home) {
+                Some(nms) if nms.port == port => {
+                    if let Some(f) = nms.forward.get(&current) {
+                        off += f.orig_base;
+                        current = f.orig_seg;
+                        continue;
+                    }
+                    return Ok((home, current, off)); // the NMS cache holds it
+                }
+                _ => return Ok((home, current, off)), // a user-level backer
+            }
+        }
+        Err(NetError::MissingData { seg, offset })
     }
 
     /// Aggregate statistics.
@@ -1507,5 +1810,246 @@ mod tests {
             "every injected drop is journaled"
         );
         assert!(j.of_kind("net-drop").count() > 0);
+    }
+
+    #[test]
+    fn crashed_peer_fails_fast_without_backoff() {
+        // Regression test for the fast-fail latency: a send toward a node
+        // already marked crashed must abort instantly, not walk the full
+        // exponential-backoff ladder the way SourceUnreachable does.
+        let (mut w, a, b) = world();
+        w.fabric.crash_node(w.clock.now(), &mut w.ports, b, false);
+        assert!(w.fabric.is_crashed(b));
+        let dest = w.ports.allocate(b);
+        let before = w.clock.now();
+        let err = w
+            .fabric
+            .send(
+                &mut w.clock,
+                &mut w.ports,
+                &mut w.segs,
+                a,
+                Message::new(MsgKind::User(1), dest).with_no_ious(true),
+            )
+            .unwrap_err();
+        assert_eq!(err, NetError::NodeDown { from: a, to: b });
+        assert_eq!(w.clock.now(), before, "fast-fail consumes no virtual time");
+        assert_eq!(w.fabric.reliability.crash_fast_fails.get(), 1);
+        assert_eq!(w.fabric.reliability.stall_time, SimDuration::ZERO);
+        assert_eq!(w.fabric.reliability.retransmissions.get(), 0);
+    }
+
+    #[test]
+    fn at_time_crash_fires_and_purges_queues() {
+        let (mut w, a, b) = world();
+        w.fabric.journal = Some(Journal::new());
+        w.fabric.params.crashes = Some(crate::CrashPlan::at_time(
+            1,
+            b,
+            SimTime::from_millis(500),
+        ));
+        let dest = w.ports.allocate(b);
+        // Delivered before the crash instant: sits in b's queue.
+        w.fabric
+            .send(
+                &mut w.clock,
+                &mut w.ports,
+                &mut w.segs,
+                a,
+                Message::new(MsgKind::User(1), dest).with_no_ious(true),
+            )
+            .unwrap();
+        assert_eq!(w.ports.queue_len(dest), 1);
+        w.clock.advance(SimDuration::from_secs(1));
+        // First network activity past the fire time lands the crash.
+        let err = w
+            .fabric
+            .send(
+                &mut w.clock,
+                &mut w.ports,
+                &mut w.segs,
+                a,
+                Message::new(MsgKind::User(2), dest).with_no_ious(true),
+            )
+            .unwrap_err();
+        assert_eq!(err, NetError::NodeDown { from: a, to: b });
+        assert!(w.fabric.is_crashed(b));
+        assert_eq!(w.ports.queue_len(dest), 0, "in-flight delivery died");
+        assert_eq!(w.fabric.reliability.node_crashes.get(), 1);
+        assert_eq!(w.fabric.reliability.crash_dropped_messages.get(), 1);
+        let j = w.fabric.journal.as_ref().unwrap();
+        assert_eq!(j.of_kind("net-crash").count(), 1);
+        assert_eq!(j.of_kind("net-node-down").count(), 1);
+    }
+
+    #[test]
+    fn mid_backoff_crash_aborts_instead_of_exhausting_retries() {
+        // Peer dies while the sender is in retransmission backoff: the
+        // retry loop must notice and abort instead of burning the full
+        // budget (about 12.8 s of stall at the default parameters).
+        let (mut w, a, b) = faulty_world(LinkFaults::dropping(1.0), 3);
+        w.fabric.params.crashes = Some(crate::CrashPlan::at_time(
+            1,
+            b,
+            SimTime::from_millis(40),
+        ));
+        let dest = w.ports.allocate(b);
+        let err = w
+            .fabric
+            .send(
+                &mut w.clock,
+                &mut w.ports,
+                &mut w.segs,
+                a,
+                Message::new(MsgKind::User(1), dest).with_no_ious(true),
+            )
+            .unwrap_err();
+        assert_eq!(err, NetError::NodeDown { from: a, to: b });
+        let budget = w.fabric.params.retry_budget;
+        assert!(
+            w.fabric.reliability.retransmissions.get() < budget as u64 - 1,
+            "aborted early, not at budget exhaustion"
+        );
+        assert_eq!(w.fabric.reliability.unreachable_failures.get(), 0);
+        assert!(
+            w.fabric.reliability.stall_time < SimDuration::from_secs(1),
+            "stalled {:?}, expected far below the full backoff ladder",
+            w.fabric.reliability.stall_time
+        );
+    }
+
+    #[test]
+    fn after_messages_trigger_kills_the_node() {
+        let (mut w, a, b) = world();
+        w.fabric.params.crashes = Some(crate::CrashPlan::after_messages(1, b, 3));
+        let dest = w.ports.allocate(b);
+        for i in 0..3 {
+            w.fabric
+                .send(
+                    &mut w.clock,
+                    &mut w.ports,
+                    &mut w.segs,
+                    a,
+                    Message::new(MsgKind::User(i), dest).with_no_ious(true),
+                )
+                .unwrap();
+        }
+        assert!(w.fabric.is_crashed(b), "third carried message was fatal");
+        assert_eq!(
+            w.ports.queue_len(dest),
+            0,
+            "everything still queued on b died with it"
+        );
+        let err = w
+            .fabric
+            .send(
+                &mut w.clock,
+                &mut w.ports,
+                &mut w.segs,
+                a,
+                Message::new(MsgKind::User(9), dest).with_no_ious(true),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::NodeDown { .. }));
+    }
+
+    #[test]
+    fn amnesiac_reboot_answers_but_forgets() {
+        let (mut w, a, b) = world();
+        let seg = w.segs.create(w.fabric.nms_port(b).unwrap(), 2);
+        w.segs.add_refs(seg, 2).unwrap();
+        w.fabric
+            .install_cache(b, seg, vec![Frame::zeroed(), Frame::zeroed()])
+            .unwrap();
+        w.fabric.crash_node(w.clock.now(), &mut w.ports, b, true);
+        assert!(!w.fabric.is_crashed(b), "amnesiac node is back up");
+        assert_eq!(w.fabric.cached_pages_live(b), 0, "but its memory is gone");
+        // It answers the wire again — with MissingData for forgotten state.
+        let pager = w.ports.allocate(a);
+        let req = protocol::imag_read_request(w.fabric.nms_port(b).unwrap(), pager, seg, 0, 1)
+            .with_no_ious(true);
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, req)
+            .unwrap();
+        let err = w
+            .fabric
+            .pump(&mut w.clock, &mut w.ports, &mut w.segs)
+            .unwrap_err();
+        assert_eq!(err, NetError::MissingData { seg, offset: 0 });
+    }
+
+    #[test]
+    fn disk_backer_survives_the_crash() {
+        let (mut w, _, b) = world();
+        let seg = w.segs.create(w.fabric.nms_port(b).unwrap(), 4);
+        w.fabric
+            .disk_install_page(b, seg, 0, Frame::new(page_from_bytes(&[0xAA])));
+        w.fabric
+            .disk_install_page(b, seg, 1, Frame::new(page_from_bytes(&[0xBB])));
+        w.fabric.crash_node(w.clock.now(), &mut w.ports, b, false);
+        assert!(w.fabric.is_crashed(b));
+        assert_eq!(w.fabric.disk_pages(b), 2, "disk outlives the node");
+        assert!(w.fabric.disk_has(b, seg, 0));
+        assert!(!w.fabric.disk_has(b, seg, 2));
+        let frames = w.fabric.disk_recover(b, seg, 0, 2).expect("both pages");
+        frames[0].with(|d| assert_eq!(d[0], 0xAA));
+        frames[1].with(|d| assert_eq!(d[0], 0xBB));
+        assert!(
+            w.fabric.disk_recover(b, seg, 0, 3).is_none(),
+            "a hole anywhere in the range fails the whole read"
+        );
+    }
+
+    #[test]
+    fn resolve_owed_tracks_offsets_through_standins() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        let frames: Vec<Frame> = (0..4).map(|_| Frame::zeroed()).collect();
+        let msg = Message::new(MsgKind::Rimas, dest).push(MsgItem::Pages {
+            base_page: 0,
+            frames,
+        });
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+            .unwrap();
+        let got = w.ports.dequeue(dest).unwrap().unwrap();
+        let MsgItem::Iou { seg: stand_in, .. } = got.items[0] else {
+            panic!("expected Iou");
+        };
+        let (node, seg, off) = w
+            .fabric
+            .resolve_owed(&w.ports, &w.segs, stand_in, 2)
+            .unwrap();
+        assert_eq!(node, a, "the data really lives in a's NMS cache");
+        assert_ne!(seg, stand_in, "resolution followed the forward entry");
+        assert_eq!(off, 2);
+        // The resolution agrees with ultimate_backer on the node.
+        assert_eq!(
+            w.fabric.ultimate_backer(&w.ports, &w.segs, stand_in).unwrap(),
+            node
+        );
+    }
+
+    #[test]
+    fn drain_accounting_redirects_the_ledger() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        w.fabric.set_drain_accounting(true);
+        w.fabric
+            .send(
+                &mut w.clock,
+                &mut w.ports,
+                &mut w.segs,
+                a,
+                Message::new(MsgKind::ImagReadRequest, dest).with_no_ious(true),
+            )
+            .unwrap();
+        w.fabric.set_drain_accounting(false);
+        assert!(w.fabric.ledger.total_for(LedgerCategory::Drain) > 0);
+        assert_eq!(
+            w.fabric.ledger.total_for(LedgerCategory::FaultSupport),
+            0,
+            "drained traffic stays out of the paper's categories"
+        );
     }
 }

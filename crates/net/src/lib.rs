@@ -40,6 +40,15 @@
 //!   journaled and counted in [`cor_sim::ReliabilityStats`], and
 //!   retransmitted bytes land in their own ledger category so lossless
 //!   runs reproduce lossless byte counts exactly.
+//!
+//! * **Node crashes.** A [`CrashPlan`] on [`WireParams`] (the whole-node
+//!   sibling of [`FaultPlan`]) kills named nodes at chosen virtual times
+//!   or message counts, with optional amnesiac reboot. A crashed node
+//!   loses every in-flight message and its volatile NMS state; sends
+//!   toward it fail *fast* with [`NetError::NodeDown`] — no retransmit
+//!   backoff against a known-dead peer. Pages flushed to a node's
+//!   crash-survivable disk backer ([`Fabric::disk_install_page`]) outlive
+//!   the crash and serve the kernel's post-crash recovery reads.
 
 pub mod error;
 pub mod fabric;
@@ -47,4 +56,4 @@ pub mod params;
 
 pub use error::NetError;
 pub use fabric::{Fabric, FabricStats, SendReport};
-pub use params::{FaultPlan, LinkFaults, WireParams};
+pub use params::{CrashEvent, CrashPlan, CrashTrigger, FaultPlan, LinkFaults, WireParams};

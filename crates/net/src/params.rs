@@ -17,7 +17,12 @@
 //!   right with a few dozen rights per process.
 
 use cor_ipc::NodeId;
-use cor_sim::SimDuration;
+use cor_sim::{Pcg32, SimDuration, SimTime};
+
+/// Dedicated PCG stream for crash-plan jitter draws, disjoint from the
+/// fault-injection stream so adding a crash plan never perturbs the
+/// drop/duplicate/reorder draws of an existing fault plan.
+pub(crate) const CRASH_STREAM: u64 = 0xDEAD;
 
 /// Fault rates for one directed link, applied per transmission attempt by
 /// the fabric's fault-injection layer. All rates are probabilities in
@@ -117,6 +122,116 @@ impl FaultPlan {
     }
 }
 
+/// When a planned crash fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashTrigger {
+    /// The node dies at this virtual instant (plus the plan's seeded
+    /// slack, if any). Fires lazily: the fabric checks the clock at every
+    /// send, service and pump step, so the crash lands at the first
+    /// network activity at or after the chosen time.
+    AtTime(SimTime),
+    /// The node dies after carrying its `n`-th remote message (sent or
+    /// received). The `n`-th message itself is delivered at the link
+    /// layer, but anything still queued on the node — including that
+    /// message, if nobody consumed it yet — dies with it.
+    AfterMessages(u64),
+}
+
+/// One planned node crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The node that dies.
+    pub node: NodeId,
+    /// When it dies.
+    pub trigger: CrashTrigger,
+    /// `false`: the node stays down for the rest of the run. `true`: the
+    /// node reboots instantly but amnesiac — its NetMsgServer cache,
+    /// forward tables, pending relays and every queued message are gone,
+    /// yet it answers the wire again (stale requests then surface
+    /// `MissingData` rather than `NodeDown`).
+    pub reboot_amnesiac: bool,
+}
+
+/// A deterministic whole-node crash plan: the crash-injection sibling of
+/// [`FaultPlan`]. Identical plans over identical traffic kill identical
+/// nodes at identical instants; the seed only feeds the optional
+/// [`slack`](CrashPlan::slack) jitter on `AtTime` triggers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashPlan {
+    /// Seed for the crash-jitter RNG (a dedicated `cor-sim` PCG stream).
+    pub seed: u64,
+    /// Extra delay added to every `AtTime` trigger: a per-event uniform
+    /// draw from `[0, slack]`, derived from `seed` and the event's index.
+    /// `ZERO` (the default) makes `AtTime` fire exactly on time.
+    pub slack: SimDuration,
+    /// The planned crashes, applied in order of appearance.
+    pub events: Vec<CrashEvent>,
+}
+
+impl CrashPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        CrashPlan {
+            seed,
+            slack: SimDuration::ZERO,
+            events: Vec::new(),
+        }
+    }
+
+    /// A plan that permanently kills `node` at virtual time `at`.
+    pub fn at_time(seed: u64, node: NodeId, at: SimTime) -> Self {
+        CrashPlan::new(seed).killing(node, CrashTrigger::AtTime(at))
+    }
+
+    /// A plan that permanently kills `node` after it carries its `n`-th
+    /// remote message.
+    pub fn after_messages(seed: u64, node: NodeId, n: u64) -> Self {
+        CrashPlan::new(seed).killing(node, CrashTrigger::AfterMessages(n))
+    }
+
+    /// Builder-style: adds a permanent crash of `node` on `trigger`.
+    pub fn killing(mut self, node: NodeId, trigger: CrashTrigger) -> Self {
+        self.events.push(CrashEvent {
+            node,
+            trigger,
+            reboot_amnesiac: false,
+        });
+        self
+    }
+
+    /// Builder-style: adds an amnesiac-reboot crash of `node` on
+    /// `trigger`.
+    pub fn rebooting(mut self, node: NodeId, trigger: CrashTrigger) -> Self {
+        self.events.push(CrashEvent {
+            node,
+            trigger,
+            reboot_amnesiac: true,
+        });
+        self
+    }
+
+    /// Builder-style: sets the seeded `AtTime` slack window.
+    pub fn with_slack(mut self, slack: SimDuration) -> Self {
+        self.slack = slack;
+        self
+    }
+
+    /// The effective fire time of event `index` (an `AtTime` trigger plus
+    /// its seeded slack draw), or `None` for message-count triggers.
+    pub fn fire_time(&self, index: usize) -> Option<SimTime> {
+        let event = self.events.get(index)?;
+        let CrashTrigger::AtTime(at) = event.trigger else {
+            return None;
+        };
+        if self.slack == SimDuration::ZERO {
+            return Some(at);
+        }
+        let mut rng = Pcg32::with_stream(self.seed ^ (index as u64).wrapping_mul(0x9E37), CRASH_STREAM);
+        let jitter = SimDuration::from_micros(rng.range(0, self.slack.as_micros() + 1));
+        Some(at + jitter)
+    }
+}
+
 /// Link and NetMsgServer cost parameters.
 #[derive(Debug, Clone)]
 pub struct WireParams {
@@ -161,6 +276,10 @@ pub struct WireParams {
     /// is a perfect wire with behaviour byte-identical to a fabric built
     /// before fault injection existed.
     pub faults: Option<FaultPlan>,
+    /// Optional deterministic whole-node crash plan. `None` (the default)
+    /// means nodes never die, and every paper-reproduction number is
+    /// byte-identical to a fabric built before crash injection existed.
+    pub crashes: Option<CrashPlan>,
 }
 
 impl Default for WireParams {
@@ -180,6 +299,7 @@ impl Default for WireParams {
             retry_budget: 10,
             retry_timeout: SimDuration::from_millis(25),
             faults: None,
+            crashes: None,
         }
     }
 }
@@ -258,6 +378,7 @@ mod tests {
     fn default_wire_is_perfect() {
         let p = WireParams::default();
         assert!(p.faults.is_none(), "fault injection is strictly opt-in");
+        assert!(p.crashes.is_none(), "crash injection is strictly opt-in");
         assert!(p.retry_budget >= 2);
         assert!(p.retry_timeout > SimDuration::ZERO);
         assert!(LinkFaults::default().is_clean());
@@ -272,6 +393,36 @@ mod tests {
         assert_eq!(plan.for_link(a, c).drop, 0.10, "others use the default");
         let plan = plan.with_link(a, b, LinkFaults::dropping(0.9));
         assert_eq!(plan.for_link(a, b).drop, 0.9, "later override wins");
+    }
+
+    #[test]
+    fn crash_plan_builders_and_fire_times() {
+        let (a, b) = (NodeId(0), NodeId(1));
+        let plan = CrashPlan::at_time(7, a, SimTime::from_secs(3))
+            .rebooting(b, CrashTrigger::AfterMessages(12));
+        assert_eq!(plan.events.len(), 2);
+        assert!(!plan.events[0].reboot_amnesiac);
+        assert!(plan.events[1].reboot_amnesiac);
+        assert_eq!(plan.fire_time(0), Some(SimTime::from_secs(3)));
+        assert_eq!(plan.fire_time(1), None, "message triggers have no time");
+        assert_eq!(plan.fire_time(9), None, "out of range");
+    }
+
+    #[test]
+    fn crash_plan_slack_is_seeded_and_bounded() {
+        let a = NodeId(0);
+        let base = SimTime::from_secs(1);
+        let plan = CrashPlan::at_time(42, a, base).with_slack(SimDuration::from_millis(500));
+        let fire = plan.fire_time(0).unwrap();
+        assert!(fire >= base);
+        assert!(fire <= base + SimDuration::from_millis(500));
+        assert_eq!(
+            fire,
+            plan.fire_time(0).unwrap(),
+            "slack draw is deterministic per plan"
+        );
+        let other = CrashPlan::at_time(43, a, base).with_slack(SimDuration::from_millis(500));
+        assert_eq!(other.fire_time(0), other.fire_time(0));
     }
 
     #[test]

@@ -55,15 +55,22 @@ pub enum LedgerCategory {
     /// deliveries. Zero on a lossless wire, so the other categories always
     /// reproduce the lossless byte counts exactly.
     Retransmit,
+    /// Residual-dependency draining and crash recovery: background
+    /// prefetch of owed pages, flushes of owed pages to a crash-survivable
+    /// disk backer, and post-crash recovery reads. Zero unless a drain
+    /// policy or crash plan is configured, so the paper's byte categories
+    /// are untouched by the robustness machinery.
+    Drain,
 }
 
 impl LedgerCategory {
     /// All categories, in display order.
-    pub const ALL: [LedgerCategory; 4] = [
+    pub const ALL: [LedgerCategory; 5] = [
         LedgerCategory::Bulk,
         LedgerCategory::FaultSupport,
         LedgerCategory::Control,
         LedgerCategory::Retransmit,
+        LedgerCategory::Drain,
     ];
 
     fn index(self) -> usize {
@@ -72,6 +79,7 @@ impl LedgerCategory {
             LedgerCategory::FaultSupport => 1,
             LedgerCategory::Control => 2,
             LedgerCategory::Retransmit => 3,
+            LedgerCategory::Drain => 4,
         }
     }
 }
@@ -83,6 +91,7 @@ impl fmt::Display for LedgerCategory {
             LedgerCategory::FaultSupport => "fault-support",
             LedgerCategory::Control => "control",
             LedgerCategory::Retransmit => "retransmit",
+            LedgerCategory::Drain => "drain",
         };
         f.write_str(s)
     }
@@ -116,7 +125,7 @@ pub struct LedgerEntry {
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
     entries: Vec<LedgerEntry>,
-    totals: [u64; 4],
+    totals: [u64; 5],
 }
 
 impl Ledger {
@@ -212,6 +221,22 @@ pub struct ReliabilityStats {
     pub stall_time: SimDuration,
     /// Sends abandoned after the retry budget was exhausted.
     pub unreachable_failures: Counter,
+    /// Whole-node crashes fired by the crash plan (or injected manually).
+    pub node_crashes: Counter,
+    /// In-flight messages lost when a node crashed: its queued deliveries
+    /// plus limbo traffic that was headed to it.
+    pub crash_dropped_messages: Counter,
+    /// Sends abandoned immediately because the peer was already marked
+    /// crashed — no transmission attempt, no backoff.
+    pub crash_fast_fails: Counter,
+    /// Owed pages drained in the background (prefetched to the dependent
+    /// node or flushed to a crash-survivable disk backer).
+    pub drained_pages: Counter,
+    /// Owed pages recovered from a crashed node's disk backer after the
+    /// crash.
+    pub pages_recovered: Counter,
+    /// Owed pages confirmed unrecoverable when a process was orphaned.
+    pub pages_lost: Counter,
 }
 
 impl ReliabilityStats {
@@ -388,7 +413,30 @@ mod tests {
         assert_eq!(l.total_for(LedgerCategory::Bulk), 100);
         assert_eq!(l.total(), 200);
         assert_eq!(LedgerCategory::Retransmit.to_string(), "retransmit");
-        assert_eq!(LedgerCategory::ALL.len(), 4);
+        assert_eq!(LedgerCategory::ALL.len(), 5);
+    }
+
+    #[test]
+    fn drain_category_is_separate_and_displayed() {
+        let mut l = Ledger::new();
+        l.record(SimTime::from_millis(1), 100, LedgerCategory::FaultSupport);
+        l.record(SimTime::from_millis(2), 75, LedgerCategory::Drain);
+        assert_eq!(l.total_for(LedgerCategory::Drain), 75);
+        assert_eq!(l.total_for(LedgerCategory::FaultSupport), 100);
+        assert_eq!(l.total(), 175);
+        assert_eq!(LedgerCategory::Drain.to_string(), "drain");
+    }
+
+    #[test]
+    fn crash_counters_stay_zero_without_a_crash_plan() {
+        let r = ReliabilityStats::default();
+        assert_eq!(r.node_crashes.get(), 0);
+        assert_eq!(r.crash_dropped_messages.get(), 0);
+        assert_eq!(r.crash_fast_fails.get(), 0);
+        assert_eq!(r.drained_pages.get(), 0);
+        assert_eq!(r.pages_recovered.get(), 0);
+        assert_eq!(r.pages_lost.get(), 0);
+        assert!(!r.any_faults_injected());
     }
 
     #[test]

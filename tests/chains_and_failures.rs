@@ -139,6 +139,61 @@ fn chain_memory_is_correct_end_to_end() {
 }
 
 #[test]
+fn crash_mid_chain_orphans_with_typed_error() {
+    // a → b → c: killing the *middle* of the forwarding chain strands both
+    // the pages b cached and the path to the pages a still holds. The
+    // process at c must die with the typed orphan error, never a panic or
+    // a hang.
+    let (mut world, nodes, managers) = three_node_world();
+    let (a, b, c) = (nodes[0], nodes[1], nodes[2]);
+    let pid = staged_process(&mut world, a, 12);
+    managers[&a]
+        .migrate_to(
+            &mut world,
+            &managers[&b],
+            pid,
+            Strategy::PureIou { prefetch: 0 },
+        )
+        .unwrap();
+    world.run_for(b, pid, 3).unwrap();
+    managers[&b]
+        .migrate_to(
+            &mut world,
+            &managers[&c],
+            pid,
+            Strategy::PureIou { prefetch: 0 },
+        )
+        .unwrap();
+    // Before the crash, the residual-dependency set sees through the
+    // chain: 9 never-fetched pages still owed by a, 3 re-cached at b.
+    let deps = world.residual_dependencies(c, pid).unwrap();
+    assert_eq!(deps.get(&a).copied(), Some(9), "deps: {deps:?}");
+    assert_eq!(deps.get(&b).copied(), Some(3), "deps: {deps:?}");
+    let now = world.clock.now();
+    world.fabric.crash_node(now, &mut world.ports, b, false);
+    match world.run(c, pid) {
+        Err(KernelError::OrphanedProcess {
+            pid: p,
+            node,
+            lost_pages,
+        }) => {
+            assert_eq!(p, pid);
+            assert_eq!(node, b, "the chain's broken link is the culprit");
+            // b's crash wiped its cache AND its forward entry toward a, so
+            // every owed page is gone: the 3 cached at b and the 9 whose
+            // only route went through b.
+            assert_eq!(lost_pages, 12);
+        }
+        other => panic!("expected OrphanedProcess, got {other:?}"),
+    }
+    assert_eq!(
+        world.fabric.reliability.pages_lost.get(),
+        12,
+        "the loss is tallied for the survivability accounting"
+    );
+}
+
+#[test]
 fn missing_cache_data_is_a_clean_error() {
     // A fault against a segment whose backer holds nothing must surface
     // as MissingData, not hang or panic.

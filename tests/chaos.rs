@@ -170,6 +170,46 @@ fn same_seed_same_journal_different_seed_diverges() {
     );
 }
 
+#[test]
+fn duplicate_reply_after_termination_is_dropped_cleanly() {
+    use cor::ipc::protocol;
+    use cor::mem::page::Frame;
+    use cor::mem::SegmentId;
+
+    let (mut world, a, b) = World::testbed();
+    // A (zero-rate) fault plan arms the wire's idempotent stale handling.
+    world.fabric.params.faults = Some(FaultPlan::uniform(11, LinkFaults::default()));
+    let src = MigrationManager::new(&mut world, a);
+    let dst = MigrationManager::new(&mut world, b);
+    let pid = build_workload(&mut world, 12);
+    src.migrate_to(&mut world, &dst, pid, Strategy::PureIou { prefetch: 0 })
+        .unwrap();
+    world.run(b, pid).unwrap();
+    assert_eq!(world.segs.live(), 0, "termination released every segment");
+    // A duplicate of an already-satisfied COR reply arrives at the source
+    // NMS after the process died — as if the wire had duplicated it and
+    // delayed the copy past termination. There is no pending relay left to
+    // pair it with; the handler must drop it, not panic or resurrect
+    // anything.
+    let nms_a = world.fabric.nms_port(a).unwrap();
+    let ghost = protocol::imag_read_reply(nms_a, SegmentId(1), 0, vec![Frame::zeroed()])
+        .with_seq(7)
+        .with_no_ious(true);
+    world.ports.enqueue(nms_a, ghost).unwrap();
+    let before = world.fabric.reliability.stale_replies.get();
+    world.settle().unwrap();
+    assert_eq!(
+        world.fabric.reliability.stale_replies.get(),
+        before + 1,
+        "the ghost reply was counted and suppressed"
+    );
+    assert_eq!(world.segs.live(), 0, "nothing was resurrected");
+    for n in [a, b] {
+        assert_eq!(world.fabric.cached_pages_live(n), 0);
+        assert_eq!(world.fabric.standins_live(n), 0);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -1,0 +1,234 @@
+//! Crash-recovery property suite: node-crash tolerance end to end.
+//!
+//! A migrated process is residually dependent on its source until every
+//! owed page has been fetched, drained, or flushed to a crash-survivable
+//! disk backer. These properties pin down what a source crash may do:
+//!
+//! 1. **Two-outcome law.** Under *any* seeded [`CrashPlan`] — any crash
+//!    time, any trigger, amnesiac reboot or not — a migrated run either
+//!    completes with its remotely touched memory byte-identical to a
+//!    crash-free run, or fails with the typed
+//!    [`KernelError::OrphanedProcess`] error. Never a panic, a hang, or
+//!    any third outcome.
+//! 2. **Drain immunity.** Fully flush-draining the dependency set before
+//!    the crash always lands in the first outcome: the bytes match.
+//! 3. **Determinism.** Identical crash plans journal identical event
+//!    sequences, rerun after rerun; the survivability sweep's CSV is
+//!    byte-identical at any worker-thread count.
+//!
+//! The `COR_CHAOS_SEED` environment variable (default 1) perturbs the
+//! crash seeds so CI can sweep distinct crash universes run over run
+//! while each stays individually reproducible.
+
+use proptest::prelude::*;
+
+use cor::kernel::program::Trace;
+use cor::kernel::{DrainPolicy, KernelError, World};
+use cor::mem::{AddressSpace, PageNum, VAddr, PAGE_SIZE};
+use cor::migrate::{Drainer, MigrationManager, Strategy};
+use cor::net::{CrashPlan, CrashTrigger};
+use cor::sim::SimDuration;
+
+/// CI-swept perturbation of every crash seed in this suite.
+fn chaos_seed() -> u64 {
+    std::env::var("COR_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Write every page, compute a while (the window a crash can land in),
+/// then read everything back and terminate.
+fn traveler_trace(pages: u64) -> Trace {
+    let mut tb = Trace::builder();
+    for i in 0..pages {
+        tb.write(PageNum(i).base(), 64);
+    }
+    for _ in 0..pages {
+        tb.compute(SimDuration::from_millis(5));
+    }
+    tb.read(VAddr(0), pages * PAGE_SIZE);
+    tb.terminate()
+}
+
+/// The same trace run start-to-finish on one node: the reference image.
+fn reference_checksum(pages: u64) -> u64 {
+    let (mut world, a, _) = World::testbed();
+    let mut space = AddressSpace::new();
+    space.validate(VAddr(0), pages * PAGE_SIZE).unwrap();
+    let pid = world
+        .create_process(a, "traveler", space, traveler_trace(pages))
+        .unwrap();
+    world.run(a, pid).unwrap();
+    world.touched_checksum(a, pid).unwrap()
+}
+
+struct CrashRun {
+    outcome: Result<u64, KernelError>,
+    journal: Vec<String>,
+}
+
+/// Builds the traveler on `a`, migrates it to `b` under `strategy`, arms
+/// `plan` against the source, and drives the process to its end — with
+/// `drain_rate` pages of background flush-draining per foreground op.
+fn run_under_plan(
+    pages: u64,
+    strategy: Strategy,
+    plan: CrashPlan,
+    drain_rate: u64,
+) -> CrashRun {
+    let (mut world, a, b) = World::testbed();
+    world.enable_journal();
+    let src = MigrationManager::new(&mut world, a);
+    let dst = MigrationManager::new(&mut world, b);
+    let mut space = AddressSpace::new();
+    space.validate(VAddr(0), pages * PAGE_SIZE).unwrap();
+    let pid = world
+        .create_process(a, "traveler", space, traveler_trace(pages))
+        .unwrap();
+    world.run_for(a, pid, pages as usize).unwrap();
+    src.migrate_to(&mut world, &dst, pid, strategy).unwrap();
+    world.reset_touch_tracking(b, pid).unwrap();
+    world.fabric.params.crashes = Some(plan);
+    let drainer = Drainer::new(DrainPolicy::flush(drain_rate)).with_interleave(1);
+    let outcome = drainer
+        .run(&mut world, b, pid)
+        .and_then(|_| world.touched_checksum(b, pid));
+    let journal = world
+        .fabric
+        .journal
+        .as_ref()
+        .map(|j| {
+            j.events()
+                .iter()
+                .map(|e| format!("{} {} {}", e.at, e.kind, e.detail))
+                .collect()
+        })
+        .unwrap_or_default();
+    CrashRun { outcome, journal }
+}
+
+const LAZY: [Strategy; 2] = [
+    Strategy::PureIou { prefetch: 0 },
+    Strategy::ResidentSet { prefetch: 0 },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The two-outcome law: any crash plan, any strategy, any drain rate —
+    /// the run matches the crash-free image or orphans with the typed
+    /// error. Nothing else.
+    #[test]
+    fn any_crash_plan_yields_matching_bytes_or_typed_orphan(
+        seed in any::<u64>(),
+        delay_ms in 0u64..3_000,
+        amnesiac in any::<bool>(),
+        pages in 8u64..24,
+        strat_idx in 0usize..2,
+        drain_rate in 0u64..8,
+    ) {
+        let strategy = LAZY[strat_idx];
+        let reference = reference_checksum(pages);
+        // The testbed's source node is always NodeId(0).
+        let a = cor::ipc::NodeId(0);
+        let trigger = CrashTrigger::AtTime(
+            cor::sim::SimTime::ZERO + SimDuration::from_millis(delay_ms),
+        );
+        let plan = if amnesiac {
+            CrashPlan::new(seed ^ chaos_seed()).rebooting(a, trigger)
+        } else {
+            CrashPlan::new(seed ^ chaos_seed()).killing(a, trigger)
+        };
+        let run = run_under_plan(pages, strategy, plan, drain_rate);
+        match run.outcome {
+            Ok(sum) => prop_assert_eq!(
+                sum, reference,
+                "a surviving run must be byte-identical to the crash-free image"
+            ),
+            Err(KernelError::OrphanedProcess { node, lost_pages, .. }) => {
+                prop_assert_eq!(node, a);
+                prop_assert!(lost_pages > 0, "an orphan must have lost something");
+            }
+            Err(other) => prop_assert!(
+                false,
+                "third outcome is forbidden: {other:?}"
+            ),
+        }
+    }
+
+    /// Drain immunity: fully flushing the dependency set to the source's
+    /// disk before any crash guarantees the surviving outcome.
+    #[test]
+    fn full_flush_drain_then_crash_always_survives(
+        seed in any::<u64>(),
+        pages in 8u64..20,
+        strat_idx in 0usize..2,
+    ) {
+        let strategy = LAZY[strat_idx];
+        let reference = reference_checksum(pages);
+        let (mut world, a, b) = World::testbed();
+        let src = MigrationManager::new(&mut world, a);
+        let dst = MigrationManager::new(&mut world, b);
+        let mut space = AddressSpace::new();
+        space.validate(VAddr(0), pages * PAGE_SIZE).unwrap();
+        let pid = world
+            .create_process(a, "traveler", space, traveler_trace(pages))
+            .unwrap();
+        world.run_for(a, pid, pages as usize).unwrap();
+        src.migrate_to(&mut world, &dst, pid, strategy).unwrap();
+        world.reset_touch_tracking(b, pid).unwrap();
+        let drainer = Drainer::new(DrainPolicy::flush(4));
+        drainer.drain_fully(&mut world, b, pid).unwrap();
+        prop_assert!(world.residual_dependencies(b, pid).unwrap().is_empty());
+        // Crash immediately: every subsequent fetch must recover from the
+        // source's disk backer.
+        let now = world.clock.now();
+        world.fabric.params.crashes =
+            Some(CrashPlan::new(seed ^ chaos_seed()).killing(a, CrashTrigger::AtTime(now)));
+        world.run(b, pid).unwrap();
+        prop_assert_eq!(world.touched_checksum(b, pid).unwrap(), reference);
+        prop_assert_eq!(world.fabric.reliability.pages_lost.get(), 0);
+    }
+}
+
+#[test]
+fn identical_crash_plans_journal_identical_runs() {
+    let seed = 0xFEED ^ chaos_seed();
+    let plan = || {
+        CrashPlan::new(seed).killing(
+            cor::ipc::NodeId(0),
+            CrashTrigger::AtTime(cor::sim::SimTime::ZERO + SimDuration::from_millis(400)),
+        )
+    };
+    let first = run_under_plan(16, Strategy::PureIou { prefetch: 0 }, plan(), 2);
+    let second = run_under_plan(16, Strategy::PureIou { prefetch: 0 }, plan(), 2);
+    assert_eq!(
+        first.journal, second.journal,
+        "identical crash plans must journal identical event sequences"
+    );
+    match (&first.outcome, &second.outcome) {
+        (Ok(x), Ok(y)) => assert_eq!(x, y),
+        (
+            Err(KernelError::OrphanedProcess { lost_pages: x, .. }),
+            Err(KernelError::OrphanedProcess { lost_pages: y, .. }),
+        ) => assert_eq!(x, y),
+        other => panic!("reruns diverged: {other:?}"),
+    }
+    assert!(
+        first.journal.iter().any(|l| l.contains("net-crash")),
+        "the plan actually fired"
+    );
+}
+
+#[test]
+fn survivability_csv_is_identical_at_any_thread_count() {
+    use cor_experiments::survivability::survivability_csv;
+    use cor_pool::Pool;
+
+    let workloads = vec![cor::workloads::minprog::workload()];
+    let serial = survivability_csv(&workloads, &Pool::serial());
+    assert_eq!(serial, survivability_csv(&workloads, &Pool::new(3)));
+    assert_eq!(serial, survivability_csv(&workloads, &Pool::new(8)));
+    assert!(serial.lines().count() > 1);
+}
