@@ -2,22 +2,44 @@
 //! engine, emitted as machine-readable JSON.
 //!
 //! ```text
-//! cor-bench [--threads N] [--baseline] [--out PATH]
+//! cor-bench [--threads N] [--baseline] [--quick] [--label NAME] [--out PATH]
 //! ```
 //!
-//! Runs the full paper matrix (every representative under every studied
-//! strategy) on `N` worker threads, timing each cell and the whole run
-//! with the OS monotonic clock, and writes `BENCH_wallclock.json` (or
-//! `PATH`) recording per-cell wall-clock, whole-matrix wall-clock, the
-//! thread count, and a peak-RSS proxy (`VmHWM` from `/proc/self/status`
-//! where available). With `--baseline`, a serial reference run is timed
-//! first and the report gains the measured speedup plus a byte-identical
-//! check of the serial and pooled CSV renderings.
+//! Runs the paper matrix (every representative under every studied
+//! strategy; `--quick` restricts to the sparse-workload smoke set) on `N`
+//! worker threads, timing each cell and the whole run with the OS
+//! monotonic clock. Results are *appended* as a labelled entry to the
+//! repo-root `BENCH_wallclock.json` (or `PATH`), so the committed file is
+//! a perf trajectory: the first entry is the `main` baseline, later
+//! entries are PRs' after-numbers. Each entry records per-cell wall-clock,
+//! whole-matrix wall-clock, the summed sparse (Lisp) sweep, the thread
+//! count, and a peak-RSS proxy (`VmHWM` from `/proc/self/status` where
+//! available). With `--baseline`, a serial reference run is timed first
+//! and the entry gains the measured speedup plus a byte-identity check of
+//! the serial and pooled CSV renderings.
+//!
+//! Built with `--features alloc-stats`, the entry also records the frame
+//! allocations of one sparse-workload trial and the process exits
+//! non-zero if they exceed [`SPARSE_ALLOC_BUDGET`] — the regression gate
+//! for the zero-copy page pipeline (allocations must scale with pages
+//! *touched*, never with the 4 GB address-space size).
 
 use std::time::Instant;
 
 use cor_experiments::runner::{self, Matrix};
 use cor_pool::Pool;
+
+/// Frame-allocation ceiling for one sparse trial (Lisp-T under pure-IOU
+/// prefetch=1, build + migrate + remote run). The workload validates
+/// 8,258,065 pages but the zero-copy pipeline allocates only for pages
+/// with real content or diverged writes — measured 4,332 — so 8,192
+/// gives ~2x headroom for legitimate drift while failing loudly if
+/// anything starts allocating per *validated* page again.
+#[cfg(feature = "alloc-stats")]
+const SPARSE_ALLOC_BUDGET: u64 = 8_192;
+
+/// The workload whose allocations the `alloc-stats` gate measures.
+const SPARSE_GATE_WORKLOAD: &str = "Lisp-T";
 
 /// Peak resident set size in kilobytes, read from the kernel's `VmHWM`
 /// accounting. `None` off Linux or when the proc file is unreadable.
@@ -25,6 +47,12 @@ fn peak_rss_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The repo-root report path, resolved from this crate's manifest so the
+/// default lands in the same place no matter the working directory.
+fn default_out() -> String {
+    format!("{}/../../BENCH_wallclock.json", env!("CARGO_MANIFEST_DIR"))
 }
 
 struct CellTiming {
@@ -36,10 +64,7 @@ struct CellTiming {
 /// Times every cell of the paper matrix on `threads` workers. Returns the
 /// per-cell timings (in deterministic cell order) and the whole-matrix
 /// wall-clock seconds.
-fn time_matrix(
-    workloads: &[cor_workloads::Workload],
-    threads: usize,
-) -> (Vec<CellTiming>, f64) {
+fn time_matrix(workloads: &[cor_workloads::Workload], threads: usize) -> (Vec<CellTiming>, f64) {
     let strategies = Matrix::paper_strategies();
     let cells: Vec<(usize, cor_migrate::Strategy)> = workloads
         .iter()
@@ -73,6 +98,35 @@ fn time_matrix(
     (timings, total)
 }
 
+/// Measures frame allocations of one inline sparse trial and enforces
+/// [`SPARSE_ALLOC_BUDGET`]. Returns the measured count.
+#[cfg(feature = "alloc-stats")]
+fn sparse_alloc_gate(workloads: &[cor_workloads::Workload]) -> u64 {
+    use cor_mem::page::alloc_stats;
+    let w = workloads
+        .iter()
+        .find(|w| w.name() == SPARSE_GATE_WORKLOAD)
+        .expect("sparse gate workload present");
+    alloc_stats::reset();
+    let trial = runner::run_trial(w, cor_migrate::Strategy::PureIou { prefetch: 1 });
+    let allocs = alloc_stats::frame_allocs();
+    eprintln!(
+        "alloc gate: {} frame allocs for {} ({} validated pages, budget {})",
+        allocs,
+        SPARSE_GATE_WORKLOAD,
+        trial.total_pages,
+        SPARSE_ALLOC_BUDGET
+    );
+    if allocs > SPARSE_ALLOC_BUDGET {
+        eprintln!(
+            "FRAME-ALLOC REGRESSION: {allocs} > {SPARSE_ALLOC_BUDGET} — \
+             the page pipeline is copying again"
+        );
+        std::process::exit(1);
+    }
+    allocs
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
@@ -81,11 +135,97 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or("null".into(), |n| n.to_string())
+}
+
+/// Renders one trajectory entry as a JSON object (four-space indented to
+/// sit inside the `entries` array).
+#[allow(clippy::too_many_arguments)]
+fn render_entry(
+    label: &str,
+    threads: usize,
+    quick: bool,
+    matrix_s: f64,
+    serial: Option<f64>,
+    sparse_s: f64,
+    frame_allocs_sparse: Option<u64>,
+    cells: &[CellTiming],
+) -> String {
+    let mut e = String::from("    {\n");
+    e.push_str(&format!("      \"label\": \"{label}\",\n"));
+    e.push_str(&format!("      \"threads\": {threads},\n"));
+    e.push_str(&format!("      \"quick\": {quick},\n"));
+    e.push_str(&format!(
+        "      \"matrix_wallclock_s\": {},\n",
+        json_f64(matrix_s)
+    ));
+    match serial {
+        Some(s) => e.push_str(&format!(
+            "      \"serial_wallclock_s\": {},\n      \"speedup\": {},\n",
+            json_f64(s),
+            json_f64(s / matrix_s)
+        )),
+        None => e.push_str("      \"serial_wallclock_s\": null,\n      \"speedup\": null,\n"),
+    }
+    e.push_str(&format!(
+        "      \"sparse_sweep_wallclock_s\": {},\n",
+        json_f64(sparse_s)
+    ));
+    e.push_str(&format!(
+        "      \"frame_allocs_sparse\": {},\n",
+        json_opt_u64(frame_allocs_sparse)
+    ));
+    e.push_str(&format!(
+        "      \"peak_rss_kb\": {},\n",
+        json_opt_u64(peak_rss_kb())
+    ));
+    e.push_str("      \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        e.push_str(&format!(
+            "        {{\"workload\": \"{}\", \"strategy\": \"{}\", \"wallclock_s\": {}}}{}\n",
+            c.workload,
+            c.strategy,
+            json_f64(c.wallclock_s),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    e.push_str("      ]\n    }");
+    e
+}
+
+/// Appends `entry` to the trajectory file at `out`, creating it when
+/// absent. The file format is fixed (`"entries": [...]` closed by
+/// `\n  ]\n}\n`), so splicing before the array's closing bracket is exact,
+/// not heuristic; an unrecognisable file is an error, never overwritten.
+fn write_report(out: &str, entry: &str) -> Result<(), String> {
+    const HEAD: &str = "{\n  \"schema\": 1,\n  \"entries\": [\n";
+    const TAIL: &str = "\n  ]\n}\n";
+    let body = match std::fs::read_to_string(out) {
+        Ok(existing) => {
+            if !existing.starts_with(HEAD) {
+                return Err(format!("{out} is not a cor-bench trajectory file"));
+            }
+            let stripped = existing
+                .strip_suffix(TAIL)
+                .ok_or_else(|| format!("{out} is truncated or hand-edited"))?;
+            format!("{stripped},\n{entry}{TAIL}")
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            format!("{HEAD}{entry}{TAIL}")
+        }
+        Err(e) => return Err(format!("cannot read {out}: {e}")),
+    };
+    std::fs::write(out, body).map_err(|e| format!("cannot write {out}: {e}"))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads: Option<usize> = None;
     let mut baseline = false;
-    let mut out = String::from("BENCH_wallclock.json");
+    let mut quick = false;
+    let mut label = String::from("HEAD");
+    let mut out = default_out();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -101,6 +241,18 @@ fn main() {
                 baseline = true;
                 i += 1;
             }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--label" => {
+                let Some(l) = args.get(i + 1) else {
+                    eprintln!("--label requires a name");
+                    std::process::exit(2);
+                };
+                label = l.clone();
+                i += 2;
+            }
             "--out" => {
                 let Some(path) = args.get(i + 1) else {
                     eprintln!("--out requires a path");
@@ -111,13 +263,21 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: cor-bench [--threads N] [--baseline] [--out PATH]");
+                eprintln!(
+                    "usage: cor-bench [--threads N] [--baseline] [--quick] \
+                     [--label NAME] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
     let threads = threads.unwrap_or_else(|| Pool::from_env().threads());
-    let workloads = cor_workloads::all();
+    let mut workloads = cor_workloads::all();
+    if quick {
+        // The sparse smoke set: the zero-copy pipeline's target workloads
+        // plus the smallest representative as a non-sparse control.
+        workloads.retain(|w| w.name().starts_with("Lisp") || w.name() == "Minprog");
+    }
 
     // Optional serial reference: timed first, and its CSV rendering must
     // match the pooled rendering byte for byte.
@@ -128,6 +288,11 @@ fn main() {
     });
 
     let (cells, matrix_s) = time_matrix(&workloads, threads);
+    let sparse_s: f64 = cells
+        .iter()
+        .filter(|c| c.workload.starts_with("Lisp"))
+        .map(|c| c.wallclock_s)
+        .sum();
 
     if let Some((serial_s, serial_csv)) = &serial {
         let pooled_csv = runner::matrix_csv(&mut Matrix::with_threads(threads), &workloads);
@@ -140,45 +305,28 @@ fn main() {
             serial_s / matrix_s
         );
     } else {
-        eprintln!("{threads} threads: matrix in {matrix_s:.2}s");
+        eprintln!("{threads} threads: matrix in {matrix_s:.2}s (sparse sweep {sparse_s:.3}s)");
     }
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"threads\": {threads},\n"));
-    json.push_str(&format!(
-        "  \"matrix_wallclock_s\": {},\n",
-        json_f64(matrix_s)
-    ));
-    match &serial {
-        Some((serial_s, _)) => {
-            json.push_str(&format!(
-                "  \"serial_wallclock_s\": {},\n  \"speedup\": {},\n",
-                json_f64(*serial_s),
-                json_f64(serial_s / matrix_s)
-            ));
-        }
-        None => {
-            json.push_str("  \"serial_wallclock_s\": null,\n  \"speedup\": null,\n");
-        }
-    }
-    match peak_rss_kb() {
-        Some(kb) => json.push_str(&format!("  \"peak_rss_kb\": {kb},\n")),
-        None => json.push_str("  \"peak_rss_kb\": null,\n"),
-    }
-    json.push_str("  \"cells\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"strategy\": \"{}\", \"wallclock_s\": {}}}{}\n",
-            c.workload,
-            c.strategy,
-            json_f64(c.wallclock_s),
-            if i + 1 < cells.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    if let Err(e) = std::fs::write(&out, &json) {
-        eprintln!("cannot write {out}: {e}");
+    #[cfg(feature = "alloc-stats")]
+    let frame_allocs_sparse = Some(sparse_alloc_gate(&workloads));
+    #[cfg(not(feature = "alloc-stats"))]
+    let frame_allocs_sparse = None;
+    let _ = SPARSE_GATE_WORKLOAD;
+
+    let entry = render_entry(
+        &label,
+        threads,
+        quick,
+        matrix_s,
+        serial.as_ref().map(|(s, _)| *s),
+        sparse_s,
+        frame_allocs_sparse,
+        &cells,
+    );
+    if let Err(e) = write_report(&out, &entry) {
+        eprintln!("{e}");
         std::process::exit(1);
     }
-    eprintln!("wrote {out}");
+    eprintln!("appended entry \"{label}\" to {out}");
 }

@@ -100,10 +100,15 @@ pub fn excise_process(
                                 resident_pages += 1;
                             }
                             Some(PageState::OnDisk(_)) => {
-                                let data = process.space.peek_page(page, disk).ok_or(
-                                    KernelError::Mem(cor_mem::MemError::NotResident(page)),
-                                )?;
-                                batch.push(Frame::new(data));
+                                // Transferred by reference to the disk
+                                // block: the frame moves into the message
+                                // and the block is reclaimed (the process
+                                // is leaving this node) — no byte copy.
+                                let frame =
+                                    process.space.take_disk_frame(page, disk).ok_or(
+                                        KernelError::Mem(cor_mem::MemError::NotResident(page)),
+                                    )?;
+                                batch.push(frame);
                             }
                             other => {
                                 return Err(KernelError::Mem(cor_mem::MemError::BadState(

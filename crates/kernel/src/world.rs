@@ -1266,16 +1266,18 @@ impl World {
                 .processes
                 .get_mut(&pid)
                 .ok_or(KernelError::UnknownProcess(pid))?;
-            let data = process
+            let frame = process
                 .space
-                .peek_page(page, &mut n.disk)
+                .peek_frame(page, &mut n.disk)
                 .ok_or(KernelError::Mem(cor_mem::MemError::NotResident(page)))?;
             digest ^= page.0;
             digest = digest.wrapping_mul(0x100000001b3);
-            for &b in data.iter() {
-                digest ^= b as u64;
-                digest = digest.wrapping_mul(0x100000001b3);
-            }
+            frame.with(|data| {
+                for &b in data.iter() {
+                    digest ^= b as u64;
+                    digest = digest.wrapping_mul(0x100000001b3);
+                }
+            });
         }
         Ok(digest)
     }

@@ -8,13 +8,19 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::page::{PageData, PAGE_SIZE};
+use crate::page::{Frame, PageData, PAGE_SIZE};
 
 /// The address of a page-sized block on the local disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DiskAddr(pub u64);
 
 /// A simulated local disk holding 512-byte blocks.
+///
+/// Blocks are stored as [`Frame`]s so page-outs and flushes move a
+/// reference count instead of copying 512 bytes; a block's contents are
+/// never mutated in place (overwrites replace the frame), so sharing a
+/// stored frame with a live mapping is safe under the copy-on-write
+/// discipline.
 ///
 /// # Examples
 ///
@@ -27,7 +33,7 @@ pub struct DiskAddr(pub u64);
 /// ```
 #[derive(Debug, Default)]
 pub struct Disk {
-    blocks: BTreeMap<DiskAddr, PageData>,
+    blocks: BTreeMap<DiskAddr, Frame>,
     next: u64,
     reads: u64,
     writes: u64,
@@ -42,20 +48,28 @@ impl Disk {
     /// Allocates a fresh block and writes `data` into it, returning its
     /// address.
     pub fn write_new(&mut self, data: PageData) -> DiskAddr {
+        self.write_new_frame(Frame::new(data))
+    }
+
+    /// Allocates a fresh block holding `frame` by reference — the zero-copy
+    /// page-out path. The frame may be shared with live mappings; the disk
+    /// never mutates it.
+    pub fn write_new_frame(&mut self, frame: Frame) -> DiskAddr {
         let addr = DiskAddr(self.next);
         self.next += 1;
         self.writes += 1;
-        self.blocks.insert(addr, data);
+        self.blocks.insert(addr, frame);
         addr
     }
 
-    /// Overwrites an existing block.
+    /// Overwrites an existing block (by frame replacement, never in-place
+    /// mutation).
     ///
     /// Returns `false` (and stores nothing) if the block was never
     /// allocated.
     pub fn write(&mut self, addr: DiskAddr, data: PageData) -> bool {
         if let std::collections::btree_map::Entry::Occupied(mut e) = self.blocks.entry(addr) {
-            e.insert(data);
+            e.insert(Frame::new(data));
             self.writes += 1;
             true
         } else {
@@ -65,11 +79,33 @@ impl Disk {
 
     /// Reads a block, returning a copy of its contents.
     pub fn read(&mut self, addr: DiskAddr) -> Option<PageData> {
-        let data = self.blocks.get(&addr).map(|d| Box::new(**d));
+        let data = self.blocks.get(&addr).map(|f| f.snapshot());
         if data.is_some() {
             self.reads += 1;
         }
         data
+    }
+
+    /// Reads a block as a shared frame (no byte copy). A later write
+    /// through an `AddressSpace` diverges it via the deferred-copy path.
+    pub fn read_frame(&mut self, addr: DiskAddr) -> Option<Frame> {
+        let frame = self.blocks.get(&addr).cloned();
+        if frame.is_some() {
+            self.reads += 1;
+        }
+        frame
+    }
+
+    /// Reads a block and releases it in one step — the zero-copy page-in:
+    /// the caller takes over the disk's reference, so a block written by
+    /// [`Disk::write_new_frame`] and taken back never copies its bytes.
+    /// Counts as one read.
+    pub fn take_frame(&mut self, addr: DiskAddr) -> Option<Frame> {
+        let frame = self.blocks.remove(&addr);
+        if frame.is_some() {
+            self.reads += 1;
+        }
+        frame
     }
 
     /// Releases a block.
@@ -139,6 +175,35 @@ mod tests {
         assert!(!d.free(a));
         assert_eq!(d.blocks_in_use(), 0);
         assert!(d.read(a).is_none());
+    }
+
+    #[test]
+    fn frame_roundtrip_is_zero_copy() {
+        use crate::page::{alloc_stats, Frame};
+        let mut d = Disk::new();
+        let frame = Frame::new(page_from_bytes(b"shared"));
+        alloc_stats::reset();
+        let a = d.write_new_frame(frame.clone());
+        assert!(frame.is_shared(), "disk holds the same frame");
+        let back = d.read_frame(a).unwrap();
+        back.with(|data| assert_eq!(&data[..6], b"shared"));
+        drop(back);
+        let taken = d.take_frame(a).unwrap();
+        drop(frame);
+        assert!(!taken.is_shared(), "take released the disk's reference");
+        assert_eq!(d.reads(), 2);
+        assert_eq!(d.blocks_in_use(), 0);
+        assert_eq!(alloc_stats::frame_allocs(), 0, "no byte copies");
+    }
+
+    #[test]
+    fn overwrite_replaces_frame_without_mutating_shares() {
+        let mut d = Disk::new();
+        let original = crate::page::Frame::new(page_from_bytes(b"old"));
+        let a = d.write_new_frame(original.clone());
+        assert!(d.write(a, page_from_bytes(b"new")));
+        assert_eq!(&d.read(a).unwrap()[..3], b"new");
+        original.with(|data| assert_eq!(&data[..3], b"old"));
     }
 
     #[test]

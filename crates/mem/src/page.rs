@@ -144,15 +144,64 @@ pub fn page_from_bytes(bytes: &[u8]) -> PageData {
 #[derive(Clone)]
 pub struct Frame(Rc<RefCell<PageData>>);
 
+thread_local! {
+    /// The interned zero frame: one canonical all-zeros page per thread
+    /// (frames are `Rc`-based and never cross threads). Every
+    /// [`Frame::zeroed`] call aliases it, so validating or zero-filling
+    /// megabytes of RealZeroMem costs reference bumps, not allocations;
+    /// the first write diverges through the normal deferred-copy path.
+    static ZERO_FRAME: Frame = Frame(Rc::new(RefCell::new(zero_page())));
+}
+
+/// Frame-allocation counters, compiled in for tests and for builds with the
+/// `alloc-stats` feature. They let benchmarks and regression tests assert
+/// the zero-copy pipeline's claim directly: sparse workloads must allocate
+/// O(pages touched) frames, not O(address-space size).
+#[cfg(any(test, feature = "alloc-stats"))]
+pub mod alloc_stats {
+    use std::cell::Cell;
+
+    thread_local! {
+        static FRAME_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn record_alloc() {
+        FRAME_ALLOCS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Fresh page-sized frame allocations on this thread since the last
+    /// [`reset`]. Interned-zero clones and CoW `Rc` shares do not count.
+    pub fn frame_allocs() -> u64 {
+        FRAME_ALLOCS.with(|c| c.get())
+    }
+
+    /// Zeroes this thread's allocation counter.
+    pub fn reset() {
+        FRAME_ALLOCS.with(|c| c.set(0));
+    }
+}
+
 impl Frame {
     /// Wraps page data in a frame.
     pub fn new(data: PageData) -> Self {
+        #[cfg(any(test, feature = "alloc-stats"))]
+        alloc_stats::record_alloc();
         Frame(Rc::new(RefCell::new(data)))
     }
 
-    /// A fresh zero-filled frame.
+    /// A zero-filled frame: an alias of the thread's interned zero page.
+    ///
+    /// The returned frame is permanently shared (the intern itself holds a
+    /// reference), so any write through an `AddressSpace` first diverges it
+    /// into a private copy — observable behaviour is identical to a fresh
+    /// allocation, minus the 512-byte allocate-and-memset per call.
     pub fn zeroed() -> Self {
-        Frame::new(zero_page())
+        ZERO_FRAME.with(Frame::clone)
+    }
+
+    /// `true` when this frame is an alias of the interned zero page.
+    pub fn is_interned_zero(&self) -> bool {
+        ZERO_FRAME.with(|z| Rc::ptr_eq(&z.0, &self.0))
     }
 
     /// `true` when more than one mapping references this frame, i.e. a write
@@ -166,9 +215,41 @@ impl Frame {
         Frame::new(Box::new(**self.0.borrow()))
     }
 
+    /// Forces this mapping private: if the frame is shared (with another
+    /// mapping, a message in flight, or the zero intern), replaces it with
+    /// a deep copy. Use on transfer paths only where a caller is about to
+    /// mutate bytes outside the `AddressSpace` write discipline; everything
+    /// else should rely on the deferred copy in `check_write`.
+    pub fn unshare(&mut self) {
+        if self.is_shared() {
+            *self = self.deep_copy();
+        }
+    }
+
     /// Reads the whole page into a fresh buffer.
     pub fn snapshot(&self) -> PageData {
         Box::new(**self.0.borrow())
+    }
+
+    /// FNV-1a hash of the page contents, for content-addressed dedup
+    /// caches. Equal pages always collide; unequal pages practically never
+    /// do, but dedup callers must still confirm with
+    /// [`Frame::same_contents`].
+    pub fn content_hash(&self) -> u64 {
+        self.with(|d| {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for &b in d.iter() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h
+        })
+    }
+
+    /// Byte-for-byte equality of two frames (constant-time `true` for two
+    /// aliases of the same frame).
+    pub fn same_contents(&self, other: &Frame) -> bool {
+        Rc::ptr_eq(&self.0, &other.0) || self.with(|a| other.with(|b| a[..] == b[..]))
     }
 
     /// Runs `f` over the page contents.
@@ -269,6 +350,46 @@ mod tests {
         h.with(|d| assert_eq!(&d[..5], b"Hello"));
         drop(g);
         assert!(!f.is_shared());
+    }
+
+    #[test]
+    fn zeroed_frames_are_interned_aliases() {
+        let a = Frame::zeroed();
+        let b = Frame::zeroed();
+        assert!(a.is_interned_zero() && b.is_interned_zero());
+        // Both alias the intern, so both are permanently shared.
+        assert!(a.is_shared() && b.is_shared());
+        a.with(|d| assert!(d.iter().all(|&x| x == 0)));
+    }
+
+    #[test]
+    fn unshare_diverges_interned_zero() {
+        let mut a = Frame::zeroed();
+        a.unshare();
+        assert!(!a.is_interned_zero());
+        assert!(!a.is_shared());
+        a.with_mut(|d| d[0] = 1);
+        // The intern is untouched by the write.
+        Frame::zeroed().with(|d| assert_eq!(d[0], 0));
+    }
+
+    #[test]
+    fn unshare_is_a_noop_on_private_frames() {
+        let mut f = Frame::new(page_from_bytes(b"priv"));
+        alloc_stats::reset();
+        f.unshare();
+        assert_eq!(alloc_stats::frame_allocs(), 0, "already private");
+    }
+
+    #[test]
+    fn alloc_stats_count_fresh_frames_only() {
+        alloc_stats::reset();
+        let z = Frame::zeroed();
+        let _alias = z.clone();
+        assert_eq!(alloc_stats::frame_allocs(), 0, "interned + Rc shares");
+        let f = Frame::new(zero_page());
+        let _ = f.deep_copy();
+        assert_eq!(alloc_stats::frame_allocs(), 2);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::amap::{AMap, Access};
 use crate::disk::{Disk, DiskAddr};
 use crate::error::MemError;
 use crate::fault::Fault;
-use crate::page::{zero_page, Frame, PageData, PageNum, PageRange, VAddr, PAGE_SIZE};
+use crate::page::{Frame, PageData, PageNum, PageRange, VAddr, PAGE_SIZE};
 use crate::resident::ResidentTracker;
 
 /// Identifies an imaginary segment (a memory object served through a
@@ -270,12 +270,20 @@ impl AddressSpace {
     /// deferred copy-on-write duplication if the page is resident but
     /// shared (counted in [`AddressSpace::cow_copies`]); other states fault
     /// exactly as [`AddressSpace::check_read`].
+    ///
+    /// Diverging an interned-zero alias is *not* counted as a CoW copy: it
+    /// is the deferred materialization of a zero-fill (the pre-interning
+    /// pager allocated that page at fault time), not a copy forced by
+    /// sharing with another mapping.
     pub fn check_write(&mut self, page: PageNum) -> Result<(), Fault> {
         self.check_read(page)?;
         if let Some(PageState::Resident(frame)) = self.pages.get_mut(&page) {
             if frame.is_shared() {
+                let materializing_zero = frame.is_interned_zero();
                 *frame = frame.deep_copy();
-                self.cow_copies += 1;
+                if !materializing_zero {
+                    self.cow_copies += 1;
+                }
             }
         }
         Ok(())
@@ -340,8 +348,9 @@ impl AddressSpace {
 
     // ----- fault service mutators (called by the pager) --------------------
 
-    /// Services a FillZero fault: materializes `page` as a fresh zeroed
-    /// frame. May page out an LRU victim to `disk`.
+    /// Services a FillZero fault: materializes `page` as an alias of the
+    /// interned zero frame (no allocation; a later write diverges it). May
+    /// page out an LRU victim to `disk`.
     ///
     /// # Errors
     ///
@@ -355,7 +364,7 @@ impl AddressSpace {
             return Err(MemError::BadState(page, "already materialized"));
         }
         self.zero_fills += 1;
-        self.install_frame(page, Frame::new(zero_page()), disk);
+        self.install_frame(page, Frame::zeroed(), disk);
         Ok(())
     }
 
@@ -371,12 +380,13 @@ impl AddressSpace {
             Some(PageState::OnDisk(a)) => *a,
             _ => return Err(MemError::BadState(page, "not on disk")),
         };
-        let data = disk
-            .read(addr)
+        // Zero-copy: take over the disk's reference to the frame; no bytes
+        // move in either direction of the page-out/page-in roundtrip.
+        let frame = disk
+            .take_frame(addr)
             .ok_or(MemError::BadState(page, "disk block missing"))?;
-        disk.free(addr);
         self.pages.remove(&page);
-        self.install_frame(page, Frame::new(data), disk);
+        self.install_frame(page, frame, disk);
         Ok(())
     }
 
@@ -473,11 +483,11 @@ impl AddressSpace {
     }
 
     /// Forces `page` out to disk (used by tests and by explicit flush
-    /// policies). No-op unless the page is resident.
+    /// policies). The frame moves to the disk by reference — no byte copy.
+    /// No-op unless the page is resident.
     pub fn page_out(&mut self, page: PageNum, disk: &mut Disk) {
         if let Some(PageState::Resident(frame)) = self.pages.get(&page) {
-            let data = frame.snapshot();
-            let addr = disk.write_new(data);
+            let addr = disk.write_new_frame(frame.clone());
             self.pages.insert(page, PageState::OnDisk(addr));
             self.resident.remove(page);
             self.pageouts += 1;
@@ -497,6 +507,31 @@ impl AddressSpace {
             PageState::OnDisk(addr) => disk.read(*addr),
             PageState::Imaginary { .. } => None,
         }
+    }
+
+    /// Like [`AddressSpace::peek_page`] but shares the frame instead of
+    /// copying its bytes — the read-only inspection path for checksums and
+    /// transfer assembly. Same disk-read accounting as `peek_page`.
+    pub fn peek_frame(&self, page: PageNum, disk: &mut Disk) -> Option<Frame> {
+        match self.pages.get(&page)? {
+            PageState::Resident(frame) => Some(frame.clone()),
+            PageState::OnDisk(addr) => disk.read_frame(*addr),
+            PageState::Imaginary { .. } => None,
+        }
+    }
+
+    /// Removes `page`'s on-disk block and returns its frame without copying
+    /// — the excision path for paged-out pages: the process is leaving the
+    /// node, so the block is reclaimed and its frame rides the RIMAS
+    /// message by reference. Counts one disk read, like the copying path it
+    /// replaces. Returns `None` (and changes nothing) unless the page is in
+    /// the on-disk state with a live block.
+    pub fn take_disk_frame(&mut self, page: PageNum, disk: &mut Disk) -> Option<Frame> {
+        let addr = match self.pages.get(&page) {
+            Some(PageState::OnDisk(a)) => *a,
+            _ => return None,
+        };
+        disk.take_frame(addr)
     }
 
     /// The page's raw state, if materialized.

@@ -170,4 +170,106 @@ proptest! {
             });
         }
     }
+
+    /// Zero-fill interning: every FillZero page aliases the one canonical
+    /// zero frame; any write diverges it privately; the interned frame is
+    /// never mutated; and RealZero byte accounting is exactly what the
+    /// copying implementation reported.
+    #[test]
+    fn interned_zero_diverges_on_write(
+        total in 4u64..32,
+        fills in prop::collection::vec(0u64..32, 1..32),
+        writes in prop::collection::vec((0u64..32, 1u8..=255), 0..32),
+    ) {
+        use cor_mem::page::Frame;
+        let mut space = AddressSpace::new();
+        let mut disk = Disk::new();
+        space.validate(VAddr(0), total * PAGE_SIZE).unwrap();
+        let mut filled = HashSet::new();
+        for &p in fills.iter().filter(|&&p| p < total) {
+            if filled.insert(p) {
+                space.fill_zero(PageNum(p), &mut disk).unwrap();
+            }
+        }
+        // Materialized-but-unwritten zero pages are Real; the rest of the
+        // validated range stays RealZero — interning must not change the
+        // paper's RealZeroMem accounting.
+        let st = space.stats();
+        prop_assert_eq!(st.realzero_bytes, (total - filled.len() as u64) * PAGE_SIZE);
+        prop_assert_eq!(st.real_bytes, filled.len() as u64 * PAGE_SIZE);
+        let mut written = HashSet::new();
+        for &(p, byte) in &writes {
+            if !filled.contains(&p) {
+                continue;
+            }
+            space.check_write(PageNum(p)).unwrap();
+            space.write(PageNum(p).base(), &[byte]).unwrap();
+            written.insert(p);
+        }
+        // The canonical zero frame never sees any of those writes.
+        Frame::zeroed().with(|d| {
+            assert!(d.iter().all(|&b| b == 0), "interned zero frame corrupted");
+        });
+        // Unwritten zero-filled pages still read back zero, written ones
+        // diverged (first byte is the nonzero write).
+        for &p in &filled {
+            let mut buf = [0xAAu8; 1];
+            space.read(PageNum(p).base(), &mut buf).unwrap();
+            prop_assert_eq!(buf[0] == 0, !written.contains(&p), "page {}", p);
+        }
+        prop_assert_eq!(st.realzero_bytes, space.stats().realzero_bytes);
+    }
+
+    /// Wire sharing: frames delivered by reference count to several
+    /// receivers — one of them twice, modelling a retransmitted reply
+    /// deduplicated into the same frame — diverge privately on write.
+    /// The sender's frames and every other receiver keep the original
+    /// bytes.
+    #[test]
+    fn shared_delivery_diverges_privately(
+        pages in 1usize..12,
+        writers in prop::collection::vec((0usize..3, 0usize..12), 1..24),
+    ) {
+        use cor_mem::page::{page_from_bytes, Frame};
+        let sender: Vec<Frame> = (0..pages)
+            .map(|i| Frame::new(page_from_bytes(&[0x5A, i as u8])))
+            .collect();
+        let mut receivers = Vec::new();
+        for r in 0..3usize {
+            let mut space = AddressSpace::new();
+            let mut disk = Disk::new();
+            for (i, f) in sender.iter().enumerate() {
+                space.install_page(PageNum(i as u64), f.clone(), &mut disk);
+                if r == 2 {
+                    // Duplicate delivery: the dedup cache hands the same
+                    // frame back for a retransmitted reply.
+                    space.install_page(PageNum(i as u64), f.clone(), &mut disk);
+                }
+            }
+            receivers.push((space, disk));
+        }
+        let mut wrote: Vec<HashSet<usize>> = vec![HashSet::new(); 3];
+        for &(r, p) in &writers {
+            let page = PageNum((p % pages) as u64);
+            let (space, _) = &mut receivers[r];
+            space.check_write(page).unwrap();
+            space.write(page.base(), &[0x80 + r as u8]).unwrap();
+            wrote[r].insert(p % pages);
+        }
+        // The sender's view is untouched by any receiver's writes.
+        for (i, f) in sender.iter().enumerate() {
+            f.with(|d| {
+                assert_eq!((d[0], d[1]), (0x5A, i as u8), "sender frame {i} mutated");
+            });
+        }
+        // Each receiver sees exactly its own writes, nobody else's.
+        for (r, (space, _)) in receivers.iter().enumerate() {
+            for i in 0..pages {
+                let mut buf = [0u8; 1];
+                space.read(PageNum(i as u64).base(), &mut buf).unwrap();
+                let expect = if wrote[r].contains(&i) { 0x80 + r as u8 } else { 0x5A };
+                prop_assert_eq!(buf[0], expect, "receiver {} page {}", r, i);
+            }
+        }
+    }
 }

@@ -57,8 +57,22 @@ struct NmsState {
     forward: HashMap<SegmentId, ForwardEntry>,
     /// Keyed by (origin segment, origin offset) of a forwarded request.
     pending: HashMap<(SegmentId, u64), PendingRelay>,
+    /// Content-addressed page cache for incoming COR replies: content hash
+    /// → frames already held with that hash (a short list, since unequal
+    /// pages practically never collide). Replies carrying bytes this node
+    /// already holds install the held frame instead of a fresh copy.
+    /// Volatile: wiped on crash like the rest of the NMS state.
+    dedup: HashMap<u64, Vec<Frame>>,
+    /// Pages currently interned in `dedup`, bounded by
+    /// [`DEDUP_CAP_PAGES`] so the table cannot grow without limit.
+    dedup_pages: u64,
     cpu: SimDuration,
 }
+
+/// Upper bound on pages a node's reply-dedup table may intern (2 MiB of
+/// page data at 512-byte pages). Lookups keep working at the cap; only new
+/// insertions stop.
+const DEDUP_CAP_PAGES: u64 = 4096;
 
 /// Aggregate fabric statistics.
 #[derive(Debug, Clone, Default)]
@@ -187,6 +201,8 @@ impl Fabric {
                 cache: HashMap::new(),
                 forward: HashMap::new(),
                 pending: HashMap::new(),
+                dedup: HashMap::new(),
+                dedup_pages: 0,
                 cpu: SimDuration::ZERO,
             },
         );
@@ -479,6 +495,14 @@ impl Fabric {
             }
         }
         self.create_standins(ports, segs, dest_home, &mut msg)?;
+        // Content dedup on the receiving NetMsgServer: a reply page whose
+        // bytes this node already holds (retransmitted/duplicate COR
+        // replies under chaos, repeated zero or constant pages) installs
+        // the already-held frame instead of a fresh copy. Pure bookkeeping
+        // on identical bytes — no virtual time is charged.
+        if matches!(kind, MsgKind::ImagReadReply) {
+            self.dedup_reply_pages(dest_home, &mut msg);
+        }
         // 4. Reorder injection: hold this delivery back so traffic sent
         // later overtakes it; any non-reordered delivery (or a pump)
         // releases the held messages afterwards.
@@ -972,6 +996,8 @@ impl Fabric {
         nms.cache.clear();
         nms.forward.clear();
         nms.pending.clear();
+        nms.dedup.clear();
+        nms.dedup_pages = 0;
         let mut dropped = ports.purge_node(node) as u64;
         // Limbo entries headed to the node die in flight too.
         let before = self.limbo.len();
@@ -1081,6 +1107,41 @@ impl Fabric {
     /// Pages held by `node`'s disk backer.
     pub fn disk_pages(&self, node: NodeId) -> u64 {
         self.disk.get(&node).map(|d| d.len() as u64).unwrap_or(0)
+    }
+
+    /// Replaces reply page frames whose bytes `node` already holds with
+    /// the held frames, interning unseen pages up to [`DEDUP_CAP_PAGES`].
+    /// Hits are counted in [`ReliabilityStats::dedup_hits`]. Byte-for-byte
+    /// equality is confirmed on every hash match, so a collision can never
+    /// substitute wrong contents.
+    fn dedup_reply_pages(&mut self, node: NodeId, msg: &mut Message) {
+        let Some(nms) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        for item in &mut msg.items {
+            let MsgItem::Pages { frames, .. } = item else {
+                continue;
+            };
+            for frame in frames.iter_mut() {
+                let hash = frame.content_hash();
+                let held = nms
+                    .dedup
+                    .get(&hash)
+                    .and_then(|bucket| bucket.iter().find(|h| h.same_contents(frame)))
+                    .cloned();
+                match held {
+                    Some(held) => {
+                        *frame = held;
+                        self.reliability.dedup_hits.incr();
+                    }
+                    None if nms.dedup_pages < DEDUP_CAP_PAGES => {
+                        nms.dedup.entry(hash).or_default().push(frame.clone());
+                        nms.dedup_pages += 1;
+                    }
+                    None => {}
+                }
+            }
+        }
     }
 
     /// Copies one cached page (if the NMS cache of `node` holds it) into
@@ -2051,5 +2112,87 @@ mod tests {
             0,
             "drained traffic stays out of the paper's categories"
         );
+    }
+
+    #[test]
+    fn duplicate_reply_pages_dedup_into_one_frame() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        // Two replies carrying byte-identical pages (a retransmission, or
+        // the same hot page fetched twice).
+        for _ in 0..2 {
+            let msg = Message::new(MsgKind::ImagReadReply, dest)
+                .push(MsgItem::Pages {
+                    base_page: 0,
+                    frames: vec![Frame::new(page_from_bytes(b"hot page"))],
+                })
+                .with_no_ious(true);
+            w.fabric
+                .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+                .unwrap();
+        }
+        assert_eq!(w.fabric.reliability.dedup_hits.get(), 1);
+        // Both delivered messages hold the *same* frame: the second reply
+        // was substituted with the copy node b already interned.
+        let first = w.ports.dequeue(dest).unwrap().unwrap();
+        let second = w.ports.dequeue(dest).unwrap().unwrap();
+        let frame_of = |m: &Message| match &m.items[0] {
+            MsgItem::Pages { frames, .. } => frames[0].clone(),
+            other => panic!("unexpected item {other:?}"),
+        };
+        let (f1, f2) = (frame_of(&first), frame_of(&second));
+        assert!(f1.is_shared(), "deduped frames share storage");
+        assert!(f1.same_contents(&f2));
+        f1.with(|d| assert_eq!(&d[..8], b"hot page"));
+    }
+
+    #[test]
+    fn dedup_never_substitutes_different_contents() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        for byte in [1u8, 2u8] {
+            let msg = Message::new(MsgKind::ImagReadReply, dest)
+                .push(MsgItem::Pages {
+                    base_page: 0,
+                    frames: vec![Frame::new(page_from_bytes(&[byte]))],
+                })
+                .with_no_ious(true);
+            w.fabric
+                .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+                .unwrap();
+        }
+        assert_eq!(w.fabric.reliability.dedup_hits.get(), 0);
+        let first = w.ports.dequeue(dest).unwrap().unwrap();
+        let second = w.ports.dequeue(dest).unwrap().unwrap();
+        for (m, byte) in [(&first, 1u8), (&second, 2u8)] {
+            match &m.items[0] {
+                MsgItem::Pages { frames, .. } => frames[0].with(|d| assert_eq!(d[0], byte)),
+                other => panic!("unexpected item {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_wipes_the_dedup_table() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        let send_reply = |w: &mut World| {
+            let msg = Message::new(MsgKind::ImagReadReply, dest)
+                .push(MsgItem::Pages {
+                    base_page: 0,
+                    frames: vec![Frame::new(page_from_bytes(b"survivor"))],
+                })
+                .with_no_ious(true);
+            w.fabric
+                .send(&mut w.clock, &mut w.ports, &mut w.segs, a, msg)
+                .unwrap();
+        };
+        send_reply(&mut w);
+        // Amnesiac reboot: b answers the wire again, minus everything it
+        // knew — including the dedup table.
+        w.fabric.crash_node(w.clock.now(), &mut w.ports, b, true);
+        send_reply(&mut w);
+        // The post-crash reply found an empty table: no hit.
+        assert_eq!(w.fabric.reliability.dedup_hits.get(), 0);
     }
 }

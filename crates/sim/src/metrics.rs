@@ -237,6 +237,11 @@ pub struct ReliabilityStats {
     pub pages_recovered: Counter,
     /// Owed pages confirmed unrecoverable when a process was orphaned.
     pub pages_lost: Counter,
+    /// Reply pages whose bytes the receiving NetMsgServer already held
+    /// (retransmitted or duplicate copy-on-reference replies, repeated
+    /// zero/constant pages): the held frame was installed instead of a
+    /// fresh copy.
+    pub dedup_hits: Counter,
 }
 
 impl ReliabilityStats {
