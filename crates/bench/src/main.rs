@@ -23,6 +23,10 @@
 //! non-zero if they exceed [`SPARSE_ALLOC_BUDGET`] — the regression gate
 //! for the zero-copy page pipeline (allocations must scale with pages
 //! *touched*, never with the 4 GB address-space size).
+//!
+//! Trials run with the typed journal disabled (`COR_JOURNAL=off`) unless
+//! the caller sets the variable explicitly, so wall-clock numbers measure
+//! the engine rather than the observability layer.
 
 use std::time::Instant;
 
@@ -220,6 +224,11 @@ fn write_report(out: &str, entry: &str) -> Result<(), String> {
 }
 
 fn main() {
+    // Wall-clock benches measure the engine, not the observer: default the
+    // typed journal off unless the caller explicitly set COR_JOURNAL.
+    if std::env::var_os("COR_JOURNAL").is_none() {
+        std::env::set_var("COR_JOURNAL", "off");
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads: Option<usize> = None;
     let mut baseline = false;

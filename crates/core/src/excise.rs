@@ -172,11 +172,11 @@ pub fn excise_process(
     let mut rimas = Message::new(MsgKind::Rimas, dest);
     rimas.items = items;
 
-    world.note("migrate", || {
-        format!(
-            "excised pid{} from {node}: {} real pages ({} resident)",
-            pid.0, real_pages, resident_pages
-        )
+    world.note(|| cor_trace::TraceEvent::Excised {
+        pid: pid.0,
+        node,
+        real_pages,
+        resident_pages,
     });
     let report = ExciseReport {
         amap_time,

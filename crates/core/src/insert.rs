@@ -172,11 +172,11 @@ pub fn insert_process(
     world
         .clock
         .advance(world.costs.insert_cost(runs, carried_pages));
-    world.note("migrate", || {
-        format!(
-            "inserted pid{} on {node}: {carried_pages} carried, {owed_pages} owed",
-            excised.pid.0
-        )
+    world.note(|| cor_trace::TraceEvent::Inserted {
+        pid: excised.pid.0,
+        node,
+        carried_pages,
+        owed_pages,
     });
     let report = InsertReport {
         total: world.clock.now().since(start),

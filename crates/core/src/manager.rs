@@ -126,13 +126,19 @@ impl MigrationManager {
         strategy: Strategy,
     ) -> Result<MigrationReport, KernelError> {
         let requested_at = world.clock.now();
+        // The whole migration is one milestone span; each phase below is
+        // a fine-grained child, so a Full-level trace shows the
+        // excise/transfer/insert breakdown on the timeline.
+        let mig_span = world.span_enter_milestone("migration", Some(self.node));
         // The migration command itself is a control message.
         let req = Message::new(MsgKind::MigrateRequest, self.control_port).with_no_ious(true);
         world.send_from(self.node, req)?;
         let _cmd = world.ports.dequeue(self.control_port)?;
 
         // -- Phase 1: packaging (ExciseProcess). --
+        let excise_span = world.span_enter("excise", Some(self.node));
         let (mut excised, ex_report) = excise_process(world, self.node, pid, dest.control_port)?;
+        world.span_exit(excise_span);
         let process_name = self.peek_name(&excised);
         let mut precopy_plan: Vec<u64> = Vec::new();
         match strategy {
@@ -156,20 +162,25 @@ impl MigrationManager {
         world.prefetch = strategy.prefetch();
 
         // -- Phase 2: context transfer. --
+        let core_span = world.span_enter("core-transfer", Some(self.node));
         let (_, core_transfer) = {
             let t0 = world.clock.now();
             world.send_from(self.node, excised.core.clone())?;
             ((), world.clock.now().since(t0))
         };
+        world.span_exit(core_span);
+        let rimas_span = world.span_enter("rimas-transfer", Some(self.node));
         let t0 = world.clock.now();
         let rimas_report = world.send_from(self.node, excised.rimas.clone())?;
         let rimas_transfer = world.clock.now().since(t0);
         world.settle()?;
+        world.span_exit(rimas_span);
 
         // Modeled dirty-page retransmission rounds (pre-copy only).
         let mut precopy_rounds = Vec::new();
         let mut precopy_round_times = Vec::new();
         if !precopy_plan.is_empty() {
+            let precopy_span = world.span_enter("precopy-rounds", Some(self.node));
             precopy_rounds.push(rimas_report.wire_bytes);
             precopy_round_times.push(rimas_transfer);
             for &bytes in &precopy_plan {
@@ -182,6 +193,7 @@ impl MigrationManager {
                 precopy_round_times.push(world.clock.now().since(t0));
             }
             world.settle()?;
+            world.span_exit(precopy_span);
         }
 
         // -- Phase 3: reconstruction at the destination. --
@@ -218,7 +230,9 @@ impl MigrationManager {
             stats: excised.stats,
             frame_budget: excised.frame_budget,
         };
+        let insert_span = world.span_enter("insert", Some(dest.node));
         let (new_pid, ins_report) = insert_process(world, dest.node, excised_rx)?;
+        world.span_exit(insert_span);
         let resumed_at = world.clock.now();
 
         // Acknowledge completion to the source manager.
@@ -226,6 +240,7 @@ impl MigrationManager {
         world.send_from(dest.node, ack)?;
         world.settle()?;
         let _ = world.ports.dequeue(self.control_port)?;
+        world.span_exit(mig_span);
 
         debug_assert_eq!(new_pid, pid);
         Ok(MigrationReport {

@@ -13,6 +13,9 @@
 //!   loss-sweep  completion time vs wire drop rate (ours)
 //!   survivability      crash time × strategy × drain rate sweep (ours)
 //!   survivability-csv  the same sweep as CSV for downstream analysis
+//!   trace [name] [--jsonl] [--summary]   Perfetto/JSONL trace of one trial
+//!   journal [name]     human-readable journal narrative of one trial
+//!   metrics [name]     per-node metrics report of one trial
 //!   all         everything above, in order
 //! ```
 //!
@@ -21,9 +24,16 @@
 //! to the machine's parallelism). Every output is byte-identical at any
 //! thread count: each cell is its own deterministic simulation, and all
 //! rendering happens serially in cell order.
+//!
+//! `--trace-out FILE` writes a Perfetto `trace.json` to FILE: for the
+//! `trace` command it redirects that command's own trace there; for any
+//! other command (e.g. a sweep) it additionally captures a fixed-seed
+//! Minprog trial so every run can ship a trace artifact. `COR_JOURNAL`
+//! (`off|summary|full`) sets the journal level of sweep trials.
 
-use cor_experiments::{figures, loss, runner::Matrix, summary, survivability, tables};
+use cor_experiments::{figures, loss, runner::Matrix, summary, survivability, tables, trace};
 use cor_pool::Pool;
+use cor_sim::JournalLevel;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +47,17 @@ fn main() {
             Pool::new(n)
         }
         None => Pool::from_env(),
+    };
+    let trace_out = match args.iter().position(|a| a == "--trace-out") {
+        Some(i) => {
+            let Some(path) = args.get(i + 1).cloned() else {
+                eprintln!("--trace-out requires a file path");
+                std::process::exit(2);
+            };
+            args.drain(i..=i + 1);
+            Some(path)
+        }
+        None => None,
     };
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let workloads = cor_workloads::all();
@@ -63,9 +84,53 @@ fn main() {
         "cow-study" => emit(summary::cow_study()),
         "sensitivity" => emit(summary::sensitivity(&pool)),
         "modern" => emit(summary::modern_study(&workloads, &pool)),
-        "trace" => emit(summary::trace_demo(
+        "trace" => {
+            let name = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .unwrap_or("Minprog");
+            let jsonl = args.iter().any(|a| a == "--jsonl");
+            let level = trace::journal_level_from_env(if args.iter().any(|a| a == "--summary") {
+                JournalLevel::Summary
+            } else {
+                JournalLevel::Full
+            });
+            let w = match trace::workload_by_name(name) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            let t = trace::traced_trial(&w, level);
+            eprintln!("{}", t.describe());
+            let doc = if jsonl { t.jsonl() } else { t.perfetto() };
+            match &trace_out {
+                Some(path) => {
+                    std::fs::write(path, &doc).expect("write --trace-out file");
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{doc}"),
+            }
+            return;
+        }
+        "journal" => emit(summary::trace_demo(
             args.get(1).map(String::as_str).unwrap_or("Minprog"),
         )),
+        "metrics" => {
+            let name = args.get(1).map(String::as_str).unwrap_or("Minprog");
+            let w = match trace::workload_by_name(name) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            let t = trace::traced_trial(&w, trace::journal_level_from_env(JournalLevel::Full));
+            let at = t.world.clock.now();
+            emit(t.metrics().render(at));
+        }
         "policy" => emit(summary::policy_demo()),
         "csv" => emit(cor_experiments::runner::matrix_csv(&mut matrix, &workloads)),
         "check" => {
@@ -101,12 +166,22 @@ fn main() {
         other => {
             eprintln!("unknown command: {other}");
             eprintln!(
-                "usage: experiments [--threads N] <command>\n\
+                "usage: experiments [--threads N] [--trace-out FILE] <command>\n\
                  commands: table4-1..table4-5, fig4-1..fig4-5, constants, summary, \
                  speedups, ablation, loss-sweep, survivability, survivability-csv, \
-                 cow-study, sensitivity, modern, trace [name], policy, csv, check, all"
+                 cow-study, sensitivity, modern, trace [name] [--jsonl] [--summary], \
+                 journal [name], metrics [name], policy, csv, check, all"
             );
             std::process::exit(2);
         }
+    }
+    // A sweep (or any non-trace command) run with --trace-out still ships
+    // a trace artifact: a fixed-seed Minprog trial at Full level.
+    if let Some(path) = trace_out {
+        let w = cor_workloads::minprog::workload();
+        let t = trace::traced_trial(&w, trace::journal_level_from_env(JournalLevel::Full));
+        std::fs::write(&path, t.perfetto()).expect("write --trace-out file");
+        eprintln!("{}", t.describe());
+        eprintln!("wrote {path}");
     }
 }

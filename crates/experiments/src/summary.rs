@@ -360,7 +360,7 @@ pub fn trace_demo(workload_name: &str) -> String {
         .events()
         .iter()
         .take(12)
-        .map(|e| format!("{:>12} {:<9} {}\n", e.at.to_string(), e.kind, e.detail))
+        .map(|e| format!("{:>12} {:<9} {}\n", e.at.to_string(), e.kind(), e.detail()))
         .collect();
     format!(
         "Event journal of a pure-IOU (pf=1) migration of {workload_name}\n\

@@ -10,7 +10,8 @@ use cor_ipc::NodeId;
 use cor_mem::space::SegmentId;
 use cor_mem::{AddressSpace, Fault, PageNum, PageRange, PageState, VAddr};
 use cor_net::{Fabric, SendReport, WireParams};
-use cor_sim::{Clock, SimDuration, SimTime};
+use cor_sim::{Clock, JournalLevel, SimDuration, SimTime};
+use cor_trace::{Journal, MetricsRegistry, SpanId, TraceEvent};
 
 use crate::backer::PageStore;
 use crate::costs::CostModel;
@@ -18,6 +19,11 @@ use crate::error::KernelError;
 use crate::node::Node;
 use crate::process::{Process, ProcessId, RunStatus};
 use crate::program::{write_pattern, Op, Trace};
+
+/// Span-id base of the fabric's journal: the world journal mints ids
+/// from 1 and the fabric from `FABRIC_SPAN_BASE + 1`, so a merged export
+/// of both journals never sees an id collision.
+pub const FABRIC_SPAN_BASE: u64 = 1 << 32;
 
 /// Outcome of running a process (or a slice of its trace).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,10 +107,10 @@ pub struct World {
     /// Pages to prefetch per imaginary fault (the paper studies
     /// 0, 1, 3, 7, 15).
     pub prefetch: u64,
-    /// Optional structured event log. Install with
+    /// Optional structured event log with causal spans. Install with
     /// [`World::enable_journal`]; recording is skipped entirely when
     /// absent.
-    pub journal: Option<cor_sim::Journal>,
+    pub journal: Option<Journal>,
     nodes: BTreeMap<NodeId, Node>,
     backers: BTreeMap<PortId, BackerEntry>,
     next_pid: u64,
@@ -144,18 +150,78 @@ impl World {
 
     /// Installs (or resets) the event journal; subsequent faults, sends
     /// and lifecycle transitions are recorded. The fabric gets its own
-    /// journal for wire-level fault-injection events (`net-*` kinds).
+    /// journal for wire-level fault-injection events (`net-*` kinds) and
+    /// wire spans; its span ids start at [`FABRIC_SPAN_BASE`] so merged
+    /// exports of the two journals stay globally unique.
     pub fn enable_journal(&mut self) {
-        self.enable_journal_at(cor_sim::JournalLevel::Full);
+        self.enable_journal_at(JournalLevel::Full);
     }
 
     /// Installs (or resets) the event journal at a chosen recording level.
-    /// At [`JournalLevel::Off`](cor_sim::JournalLevel) the journals stay
-    /// installed but mute: every `record_with` call returns before
-    /// formatting its detail, so instrumented hot paths cost one branch.
-    pub fn enable_journal_at(&mut self, level: cor_sim::JournalLevel) {
-        self.journal = Some(cor_sim::Journal::with_level(level));
-        self.fabric.journal = Some(cor_sim::Journal::with_level(level));
+    /// At [`JournalLevel::Off`] the journals stay installed but mute:
+    /// every `record_with` call returns before the event is even
+    /// constructed, so instrumented hot paths cost one branch. At
+    /// [`JournalLevel::Summary`] only lifecycle milestones are kept.
+    pub fn enable_journal_at(&mut self, level: JournalLevel) {
+        self.journal = Some(Journal::with_level_and_base(level, 0));
+        self.fabric.journal = Some(Journal::with_level_and_base(level, FABRIC_SPAN_BASE));
+    }
+
+    /// The two journals as a named slice for the exporters in
+    /// [`cor_trace::export`], world first; empty entries are omitted.
+    pub fn journals(&self) -> Vec<(&'static str, &Journal)> {
+        let mut js = Vec::new();
+        if let Some(j) = &self.journal {
+            js.push(("world", j));
+        }
+        if let Some(j) = &self.fabric.journal {
+            js.push(("fabric", j));
+        }
+        js
+    }
+
+    /// Builds a per-node metrics snapshot as of the current instant:
+    /// fault and prefetch counters per node, message-handling CPU, the
+    /// wire ledger's byte categories and reliability counters on the
+    /// global `wire` pseudo-node, and (when journals are installed)
+    /// latency histograms for every closed span by name. Rebuildable at
+    /// any time; deterministic rendering via
+    /// [`MetricsRegistry::render`].
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let now = self.clock.now();
+        let mut reg = MetricsRegistry::new();
+        for (&id, n) in &self.nodes {
+            for p in n.processes.values() {
+                let s = &p.stats;
+                let pairs = [
+                    ("faults.imaginary", s.imag_faults),
+                    ("faults.disk", s.disk_faults),
+                    ("faults.zero", s.zero_faults),
+                    ("prefetch.pages", s.prefetched_pages),
+                    ("prefetch.hits", s.prefetch_hits),
+                    ("pages.touched", s.touched.len() as u64),
+                    ("exec.screen-updates", s.screen_updates),
+                ];
+                for (name, v) in pairs {
+                    if v > 0 {
+                        reg.counter_add(Some(id), name, v);
+                    }
+                }
+            }
+            let cpu = self.fabric.node_cpu(id);
+            if cpu > SimDuration::ZERO {
+                reg.counter_add(Some(id), "cpu.msg-handling-us", cpu.as_micros());
+            }
+        }
+        reg.ingest_ledger(&self.fabric.ledger, now);
+        reg.ingest_reliability(&self.fabric.reliability);
+        if let Some(j) = &self.journal {
+            reg.ingest_spans(j, now);
+        }
+        if let Some(j) = &self.fabric.journal {
+            reg.ingest_spans(j, now);
+        }
+        reg
     }
 
     /// The next pager request sequence number (monotonic, never zero).
@@ -164,12 +230,39 @@ impl World {
         self.next_seq
     }
 
-    /// Records a journal event if a journal is installed. The detail is
-    /// built lazily so disabled journals cost nothing.
-    pub fn note(&mut self, kind: &'static str, detail: impl FnOnce() -> String) {
+    /// Records a journal event if a journal is installed. The event is
+    /// built lazily so disabled journals cost one branch.
+    pub fn note(&mut self, event: impl FnOnce() -> TraceEvent) {
         if let Some(j) = &mut self.journal {
             let at = self.clock.now();
-            j.record_with(at, kind, detail);
+            j.record_with(at, event);
+        }
+    }
+
+    /// Opens a fine-grained causal span at the current instant (recorded
+    /// only at [`JournalLevel::Full`]). Close with [`World::span_exit`];
+    /// the returned id is [`SpanId::NONE`] (a no-op to close) when muted.
+    pub fn span_enter(&mut self, name: &'static str, node: Option<NodeId>) -> SpanId {
+        match &mut self.journal {
+            Some(j) => j.span_start(self.clock.now(), name, node),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Opens a milestone span (recorded at [`JournalLevel::Summary`] and
+    /// above): migration phases and scheduling slices.
+    pub fn span_enter_milestone(&mut self, name: &'static str, node: Option<NodeId>) -> SpanId {
+        match &mut self.journal {
+            Some(j) => j.milestone_span_start(self.clock.now(), name, node),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Closes a span opened by [`World::span_enter`] at the current
+    /// instant; still-open children close with it.
+    pub fn span_exit(&mut self, id: SpanId) {
+        if let Some(j) = &mut self.journal {
+            j.span_end(self.clock.now(), id);
         }
     }
 
@@ -296,8 +389,10 @@ impl World {
             self.fabric
                 .send(&mut self.clock, &mut self.ports, &mut self.segs, node, msg)?;
         if report.remote {
-            self.note("send", || {
-                format!("{kind:?} from {node}: {} wire bytes", report.wire_bytes)
+            self.note(|| TraceEvent::Send {
+                kind,
+                from: node,
+                wire_bytes: report.wire_bytes,
             });
         }
         Ok(report)
@@ -463,6 +558,7 @@ impl World {
     ) -> Result<(), KernelError> {
         match fault {
             Fault::FillZero { page } => {
+                let span = self.span_enter(fault.name(), Some(node));
                 self.clock.advance(self.costs.fill_zero_fault());
                 let n = self.node_mut(node)?;
                 let process = n
@@ -471,10 +567,16 @@ impl World {
                     .ok_or(KernelError::UnknownProcess(pid))?;
                 process.space.fill_zero(page, &mut n.disk)?;
                 process.stats.zero_faults += 1;
-                self.note("fault", || format!("FillZero pid{} page {}", pid.0, page.0));
+                self.note(|| TraceEvent::FillZero {
+                    pid: pid.0,
+                    node,
+                    page: page.0,
+                });
+                self.span_exit(span);
                 Ok(())
             }
             Fault::DiskIn { page, .. } => {
+                let span = self.span_enter(fault.name(), Some(node));
                 self.clock.advance(self.costs.disk_fault());
                 let n = self.node_mut(node)?;
                 let process = n
@@ -483,7 +585,12 @@ impl World {
                     .ok_or(KernelError::UnknownProcess(pid))?;
                 process.space.page_in(page, &mut n.disk)?;
                 process.stats.disk_faults += 1;
-                self.note("fault", || format!("DiskIn pid{} page {}", pid.0, page.0));
+                self.note(|| TraceEvent::DiskIn {
+                    pid: pid.0,
+                    node,
+                    page: page.0,
+                });
+                self.span_exit(span);
                 Ok(())
             }
             Fault::Imaginary { page, seg, offset } => self
@@ -509,6 +616,23 @@ impl World {
         seg: SegmentId,
         offset: u64,
     ) -> Result<u64, KernelError> {
+        // One span per copy-on-reference fault, closed on every exit —
+        // recovery-ladder errors included — so a trace is never left with
+        // a dangling fault interval.
+        let span = self.span_enter("imag-fault", Some(node));
+        let result = self.imaginary_fault_inner(node, pid, page, seg, offset);
+        self.span_exit(span);
+        result
+    }
+
+    fn imaginary_fault_inner(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        page: PageNum,
+        seg: SegmentId,
+        offset: u64,
+    ) -> Result<u64, KernelError> {
         let fault_start = self.clock.now();
         self.clock.advance(self.costs.fault_dispatch);
         let want = self.prefetch + 1;
@@ -519,10 +643,18 @@ impl World {
         let req = protocol::imag_read_request(backing, pager_port, seg, offset, count)
             .with_seq(seq)
             .with_no_ious(true);
+        // The round-trip span covers the request send, every relay hop
+        // the NetMsgServers serve during the settle, and the reply's
+        // journey back. Wire spans opened by the fabric parent under it
+        // via the cross-journal hook.
+        let rt_span = self.span_enter("cor-roundtrip", Some(node));
+        self.fabric.set_trace_parent(rt_span);
         let round_trip = self
             .send_from(node, req)
             .and_then(|_| self.settle())
             .map(|_| ());
+        self.fabric.set_trace_parent(SpanId::NONE);
+        self.span_exit(rt_span);
         if let Err(err) = round_trip {
             return self.crash_recover_or_orphan(node, pid, page, seg, offset, count, err);
         }
@@ -553,15 +685,17 @@ impl World {
                 }
                 _ => {
                     self.fabric.reliability.stale_replies.incr();
-                    self.note("stale-reply", || {
-                        format!(
-                            "pid{} dropped stale pager message while waiting for seg {} page {offset} seq {seq}",
-                            pid.0, seg.0
-                        )
+                    self.note(|| TraceEvent::StaleReply {
+                        pid: pid.0,
+                        node,
+                        seg: seg.0,
+                        offset,
+                        seq,
                     });
                 }
             }
         };
+        let mapin_span = self.span_enter("map-in", Some(node));
         self.clock.advance(
             self.costs.map_in
                 + self
@@ -598,6 +732,7 @@ impl World {
             }
             process.stats.imag_faults += 1;
         }
+        self.span_exit(mapin_span);
         if installed > 0 {
             self.fabric.release_refs(
                 &mut self.clock,
@@ -613,14 +748,13 @@ impl World {
         self.process_mut(node, pid)?
             .stats
             .record_fault_time(service_time);
-        self.note("fault", || {
-            format!(
-                "Imaginary pid{} page {} seg {} +{} prefetched ({service_time})",
-                pid.0,
-                page.0,
-                seg.0,
-                installed.saturating_sub(1)
-            )
+        self.note(|| TraceEvent::Imaginary {
+            pid: pid.0,
+            node,
+            page: page.0,
+            seg: seg.0,
+            prefetched: installed.saturating_sub(1),
+            service: service_time,
         });
         Ok(installed)
     }
@@ -785,11 +919,12 @@ impl World {
         self.prefetch = saved;
         let installed = fetched?;
         self.fabric.reliability.drained_pages.add(installed);
-        self.note("drain", || {
-            format!(
-                "pid{} prefetch-drained {installed} pages of seg {} from page {offset}",
-                pid.0, seg.0
-            )
+        self.note(|| TraceEvent::DrainPrefetch {
+            pid: pid.0,
+            node,
+            pages: installed,
+            seg: seg.0,
+            offset,
         });
         Ok(installed)
     }
@@ -844,8 +979,12 @@ impl World {
                 .record(now, cor_mem::PAGE_SIZE, cor_sim::LedgerCategory::Drain);
             self.fabric.reliability.drained_pages.incr();
             flushed += 1;
-            self.note("drain", || {
-                format!("pid{} flushed seg {} page {boff} to {backer}'s disk", pid.0, bseg.0)
+            self.note(|| TraceEvent::DrainFlush {
+                pid: pid.0,
+                node,
+                seg: bseg.0,
+                offset: boff,
+                backer,
             });
         }
         Ok(flushed)
@@ -972,11 +1111,12 @@ impl World {
                 )?;
                 self.settle()?;
             }
-            self.note("recover", || {
-                format!(
-                    "pid{} recovered {installed} pages of seg {} from {dead}'s disk",
-                    pid.0, seg.0
-                )
+            self.note(|| TraceEvent::Recover {
+                pid: pid.0,
+                node,
+                pages: installed,
+                seg: seg.0,
+                dead,
             });
             return Ok(installed);
         }
@@ -984,11 +1124,11 @@ impl World {
         // page this process will never see, then terminate it cleanly.
         let lost = self.count_lost_pages(node, pid, dead)?;
         self.fabric.reliability.pages_lost.add(lost);
-        self.note("orphan", || {
-            format!(
-                "pid{} orphaned: {dead} crashed holding {lost} unrecoverable pages",
-                pid.0
-            )
+        self.note(|| TraceEvent::Orphan {
+            pid: pid.0,
+            node,
+            dead,
+            lost,
         });
         self.terminate(node, pid)?;
         Err(KernelError::OrphanedProcess {
@@ -1091,6 +1231,20 @@ impl World {
         pid: ProcessId,
         max_ops: usize,
     ) -> Result<ExecReport, KernelError> {
+        // A milestone span per scheduling slice: at Summary level a trace
+        // still shows when each process ran and for how long.
+        let span = self.span_enter_milestone("exec", Some(node));
+        let result = self.run_for_inner(node, pid, max_ops);
+        self.span_exit(span);
+        result
+    }
+
+    fn run_for_inner(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        max_ops: usize,
+    ) -> Result<ExecReport, KernelError> {
         let started_at = self.clock.now();
         {
             let process = self.process_mut(node, pid)?;
@@ -1133,12 +1287,11 @@ impl World {
         if !finished {
             self.process_mut(node, pid)?.pcb.status = RunStatus::Ready;
         }
-        self.note("exec", || {
-            format!(
-                "pid{} ran {ops_executed} ops on {node}{}",
-                pid.0,
-                if finished { ", terminated" } else { "" }
-            )
+        self.note(|| TraceEvent::Exec {
+            pid: pid.0,
+            node,
+            ops: ops_executed as u64,
+            finished,
         });
         Ok(ExecReport {
             started_at,

@@ -59,6 +59,17 @@ impl Fault {
             Fault::Addressing { .. } => None,
         }
     }
+
+    /// A static name for the fault kind, used as the trace span name for
+    /// fault-handling intervals.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::FillZero { .. } => "fill-zero",
+            Fault::DiskIn { .. } => "disk-in",
+            Fault::Imaginary { .. } => "imag-fault",
+            Fault::Addressing { .. } => "addressing",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@ use cor_ipc::segment::SegmentRegistry;
 use cor_ipc::NodeId;
 use cor_mem::page::Frame;
 use cor_mem::space::SegmentId;
-use cor_sim::{Clock, Journal, Ledger, LedgerCategory, Pcg32, ReliabilityStats, SimDuration, SimTime};
+use cor_sim::{Clock, Ledger, LedgerCategory, Pcg32, ReliabilityStats, SimDuration, SimTime};
+use cor_trace::{Journal, SpanId, TraceEvent};
 
 use crate::error::NetError;
 use crate::params::{CrashTrigger, LinkFaults, WireParams};
@@ -107,8 +108,15 @@ pub struct Fabric {
     /// Optional event log of injected faults and recovery actions
     /// (`net-drop`, `net-dup`, `net-jitter`, `net-reorder`,
     /// `net-unreachable`, `net-stale`, `net-crash`, `net-node-down`,
-    /// `net-death-lost`). Install a [`Journal`] to record.
+    /// `net-death-lost`, `net-dedup`), plus `wire-send`/`xmit-attempt`
+    /// causal spans around every remote delivery. Install a [`Journal`]
+    /// to record.
     pub journal: Option<Journal>,
+    /// Cross-journal span parent for wire spans: the kernel points this
+    /// at its open fault span before a copy-on-reference round trip, so
+    /// the fabric's `wire-send` spans (including relay hops served
+    /// during the settle) hang under the fault in a merged trace.
+    trace_parent: SpanId,
     nodes: HashMap<NodeId, NmsState>,
     node_order: BTreeSet<NodeId>,
     stats: FabricStats,
@@ -167,6 +175,7 @@ impl Fabric {
             ledger: Ledger::new(),
             reliability: ReliabilityStats::default(),
             journal: None,
+            trace_parent: SpanId::NONE,
             nodes: HashMap::new(),
             node_order: BTreeSet::new(),
             stats: FabricStats::default(),
@@ -184,9 +193,34 @@ impl Fabric {
     }
 
     /// Records a fault-layer journal event if a journal is installed.
-    fn note(&mut self, at: SimTime, kind: &'static str, detail: impl FnOnce() -> String) {
+    fn note(&mut self, at: SimTime, event: impl FnOnce() -> TraceEvent) {
         if let Some(j) = &mut self.journal {
-            j.record_with(at, kind, detail);
+            j.record_with(at, event);
+        }
+    }
+
+    /// Sets the cross-journal parent for subsequently opened wire spans
+    /// ([`SpanId::NONE`] to clear). The kernel brackets each
+    /// copy-on-reference round trip with this.
+    pub fn set_trace_parent(&mut self, parent: SpanId) {
+        self.trace_parent = parent;
+    }
+
+    /// Opens a wire span parented under the innermost open wire span,
+    /// falling back to [`Fabric::set_trace_parent`]'s cross-journal hook.
+    fn span_start(&mut self, at: SimTime, name: &'static str, node: NodeId) -> SpanId {
+        let parent = self.trace_parent;
+        match &mut self.journal {
+            Some(j) => j.span_start_under(at, name, Some(node), parent),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Closes a wire span (no-op for [`SpanId::NONE`]); still-open
+    /// children close with it.
+    fn span_end(&mut self, at: SimTime, id: SpanId) {
+        if let Some(j) = &mut self.journal {
+            j.span_end(at, id);
         }
     }
 
@@ -351,10 +385,12 @@ impl Fabric {
             category_for(msg.kind)
         };
         let kind = msg.kind;
+        let send_span = self.span_start(start, "wire-send", from);
         let mut attempts = 0u32;
         loop {
             attempts += 1;
             let xmit_start = clock.now();
+            let attempt_span = self.span_start(xmit_start, "xmit-attempt", from);
             if detached {
                 clock.advance(self.params.local_delivery);
             } else {
@@ -367,6 +403,9 @@ impl Fabric {
             } else {
                 LedgerCategory::Retransmit
             };
+            if attempts > 1 {
+                self.reliability.retransmit_wire_bytes.add(wire_bytes);
+            }
             self.record_spread(xmit_start, clock.now(), wire_bytes, cat);
             self.charge_cpu(from, cpu); // the sender pays for every attempt
             let dropped = match faults {
@@ -378,17 +417,26 @@ impl Fabric {
                 _ => false,
             };
             if !dropped {
+                self.span_end(clock.now(), attempt_span);
                 break;
             }
             self.reliability.drops_injected.incr();
-            self.note(clock.now(), "net-drop", || {
-                format!("{kind:?} {from}->{dest_home} attempt {attempts} lost")
+            self.note(clock.now(), || TraceEvent::NetDrop {
+                kind,
+                from,
+                to: dest_home,
+                attempt: attempts,
             });
             if attempts >= self.params.retry_budget {
                 self.reliability.unreachable_failures.incr();
-                self.note(clock.now(), "net-unreachable", || {
-                    format!("{kind:?} {from}->{dest_home} abandoned after {attempts} attempts")
+                self.note(clock.now(), || TraceEvent::NetUnreachable {
+                    kind,
+                    from,
+                    to: dest_home,
+                    attempts,
                 });
+                self.span_end(clock.now(), send_span); // closes the attempt too
+                debug_assert!(self.retransmit_accounting_consistent());
                 return Err(NetError::SourceUnreachable {
                     from,
                     to: dest_home,
@@ -407,12 +455,16 @@ impl Fabric {
             self.reliability.timeout_stalls.incr();
             self.reliability.stall_time += backoff;
             self.reliability.retransmissions.incr();
+            // The attempt span covers its backoff wait: the lost attempt
+            // cost the sender the transmission plus the timeout.
+            self.span_end(clock.now(), attempt_span);
             // If the peer died while we were backing off, abort at once
             // rather than burning the rest of the retry budget against a
             // known-dead node.
             if self.params.crashes.is_some() {
                 self.poll_time_crashes(clock.now(), ports);
                 if self.crashed.contains(&dest_home) {
+                    self.span_end(clock.now(), send_span);
                     return Err(self.node_down(clock.now(), from, dest_home, kind));
                 }
             }
@@ -441,8 +493,11 @@ impl Fabric {
                     if !detached {
                         clock.advance(SimDuration::from_micros(extra_us));
                     }
-                    self.note(clock.now(), "net-jitter", || {
-                        format!("{kind:?} {from}->{dest_home} delayed {extra_us}us")
+                    self.note(clock.now(), || TraceEvent::NetJitter {
+                        kind,
+                        from,
+                        to: dest_home,
+                        delay_us: extra_us,
                     });
                 }
             }
@@ -464,6 +519,7 @@ impl Fabric {
                 self.reliability.duplicates_injected.incr();
                 self.ledger
                     .record(clock.now(), wire_bytes, LedgerCategory::Retransmit);
+                self.reliability.retransmit_wire_bytes.add(wire_bytes);
                 self.charge_cpu(dest_home, self.params.msg_cpu_fixed);
                 let seen = self
                     .delivered
@@ -472,8 +528,11 @@ impl Fabric {
                 debug_assert!(seen, "first delivery must have recorded its sequence");
                 if seen {
                     self.reliability.duplicate_drops.incr();
-                    self.note(clock.now(), "net-dup", || {
-                        format!("{kind:?} {from}->{dest_home} duplicate seq {link_seq} suppressed")
+                    self.note(clock.now(), || TraceEvent::NetDup {
+                        kind,
+                        from,
+                        to: dest_home,
+                        seq: link_seq,
                     });
                 }
             }
@@ -501,7 +560,13 @@ impl Fabric {
         // the already-held frame instead of a fresh copy. Pure bookkeeping
         // on identical bytes — no virtual time is charged.
         if matches!(kind, MsgKind::ImagReadReply) {
-            self.dedup_reply_pages(dest_home, &mut msg);
+            let hits = self.dedup_reply_pages(dest_home, &mut msg);
+            if hits > 0 {
+                self.note(clock.now(), || TraceEvent::NetDedup {
+                    node: dest_home,
+                    pages: hits,
+                });
+            }
         }
         // 4. Reorder injection: hold this delivery back so traffic sent
         // later overtakes it; any non-reordered delivery (or a pump)
@@ -516,8 +581,10 @@ impl Fabric {
         };
         if reordered {
             self.reliability.reorders_injected.incr();
-            self.note(clock.now(), "net-reorder", || {
-                format!("{kind:?} {from}->{dest_home} held in limbo")
+            self.note(clock.now(), || TraceEvent::NetReorder {
+                kind,
+                from,
+                to: dest_home,
             });
             self.limbo.push(msg);
         } else {
@@ -530,6 +597,11 @@ impl Fabric {
         if self.params.crashes.is_some() {
             self.count_carried(clock.now(), ports, from, dest_home);
         }
+        self.span_end(clock.now(), send_span);
+        debug_assert!(
+            self.retransmit_accounting_consistent(),
+            "ledger retransmit bytes must match the bytes implied by attempts"
+        );
         Ok(SendReport {
             wire_bytes,
             elapsed: clock.now().since(start),
@@ -688,9 +760,7 @@ impl Fabric {
                     // The backer died with its node: there is nobody left
                     // to notify, and its cached pages are already gone.
                     // The local bookkeeping above is all that matters.
-                    self.note(clock.now(), "net-death-lost", || {
-                        format!("death notice for seg {} suppressed: {to} is down", seg.0)
-                    });
+                    self.note(clock.now(), || TraceEvent::NetDeathLost { seg: seg.0, to });
                 }
                 Err(e) => return Err(e),
             }
@@ -854,8 +924,10 @@ impl Fabric {
             // reordered response). Drop it — idempotent handling.
             self.reliability.stale_replies.incr();
             let at = clock.now();
-            self.note(at, "net-stale", || {
-                format!("reply for seg {} page {offset} seq {seq} had no pending relay", seg.0)
+            self.note(at, || TraceEvent::NetStale {
+                seg: seg.0,
+                offset,
+                seq,
             });
             Ok(())
         } else {
@@ -1010,15 +1082,10 @@ impl Fabric {
         self.ever_crashed.insert(node);
         self.reliability.node_crashes.incr();
         self.reliability.crash_dropped_messages.add(dropped);
-        self.note(now, "net-crash", || {
-            format!(
-                "{node} {} ({dropped} in-flight messages lost)",
-                if reboot_amnesiac {
-                    "crashed and rebooted amnesiac"
-                } else {
-                    "crashed"
-                }
-            )
+        self.note(now, || TraceEvent::NetCrash {
+            node,
+            amnesiac: reboot_amnesiac,
+            dropped,
         });
     }
 
@@ -1066,9 +1133,7 @@ impl Fabric {
     /// peer is known dead — no transmission attempt, no backoff.
     fn node_down(&mut self, now: SimTime, from: NodeId, to: NodeId, kind: MsgKind) -> NetError {
         self.reliability.crash_fast_fails.incr();
-        self.note(now, "net-node-down", || {
-            format!("{kind:?} {from}->{to} aborted: peer is down")
-        });
+        self.note(now, || TraceEvent::NetNodeDown { kind, from, to });
         NetError::NodeDown { from, to }
     }
 
@@ -1111,13 +1176,14 @@ impl Fabric {
 
     /// Replaces reply page frames whose bytes `node` already holds with
     /// the held frames, interning unseen pages up to [`DEDUP_CAP_PAGES`].
-    /// Hits are counted in [`ReliabilityStats::dedup_hits`]. Byte-for-byte
-    /// equality is confirmed on every hash match, so a collision can never
-    /// substitute wrong contents.
-    fn dedup_reply_pages(&mut self, node: NodeId, msg: &mut Message) {
+    /// Hits are counted in [`ReliabilityStats::dedup_hits`] and returned.
+    /// Byte-for-byte equality is confirmed on every hash match, so a
+    /// collision can never substitute wrong contents.
+    fn dedup_reply_pages(&mut self, node: NodeId, msg: &mut Message) -> u64 {
         let Some(nms) = self.nodes.get_mut(&node) else {
-            return;
+            return 0;
         };
+        let mut hits = 0u64;
         for item in &mut msg.items {
             let MsgItem::Pages { frames, .. } = item else {
                 continue;
@@ -1133,6 +1199,7 @@ impl Fabric {
                     Some(held) => {
                         *frame = held;
                         self.reliability.dedup_hits.incr();
+                        hits += 1;
                     }
                     None if nms.dedup_pages < DEDUP_CAP_PAGES => {
                         nms.dedup.entry(hash).or_default().push(frame.clone());
@@ -1142,6 +1209,7 @@ impl Fabric {
                 }
             }
         }
+        hits
     }
 
     /// Copies one cached page (if the NMS cache of `node` holds it) into
@@ -1215,6 +1283,17 @@ impl Fabric {
     /// Message-handling CPU charged to one node.
     pub fn node_cpu(&self, node: NodeId) -> SimDuration {
         self.nodes.get(&node).map(|n| n.cpu).unwrap_or_default()
+    }
+
+    /// Whether the two independent retransmission accounts agree: the
+    /// wire bytes the ledger filed under
+    /// [`LedgerCategory::Retransmit`] (attempts beyond the first, plus
+    /// injected duplicate deliveries) must equal the bytes implied by
+    /// [`ReliabilityStats::retransmit_wire_bytes`]. Checked by a debug
+    /// assertion at every send exit; exposed for regression tests.
+    pub fn retransmit_accounting_consistent(&self) -> bool {
+        self.ledger.total_for(LedgerCategory::Retransmit)
+            == self.reliability.retransmit_wire_bytes.get()
     }
 
     /// Pages currently held in `node`'s NMS cache.

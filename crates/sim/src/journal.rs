@@ -1,147 +1,41 @@
-//! A structured event journal over virtual time.
+//! Journal verbosity levels.
 //!
-//! Optional observability for simulated systems: components append
-//! `(instant, kind, detail)` records, and tools render or filter them.
-//! Recording is explicit and cheap to skip — holders keep the journal in
-//! an `Option` and only format details when one is installed.
+//! The journal itself — the typed event log with causal spans — lives in
+//! the `cor-trace` crate, above the simulation substrate. What stays
+//! here is the knob every layer agrees on: [`JournalLevel`], the gate
+//! that decides how much a journal records. Keeping the level in
+//! `cor-sim` lets hot paths (which depend only on the substrate) make
+//! the record/skip decision without pulling in the tracing machinery.
 
-use crate::time::SimTime;
-
-/// How much a [`Journal`] records.
+/// How much a journal records.
 ///
 /// The level is a second gate on top of the `Option<Journal>` holders
 /// already use: an installed journal at [`JournalLevel::Off`] accepts
-/// [`Journal::record_with`] calls without running the detail closure, so
-/// hot paths pay one branch instead of a `format!` allocation per event.
-/// Experiment sweeps run with the level off; tests and trace tooling run
-/// with it on.
+/// `record_with` calls without even constructing the event, so hot paths
+/// pay one branch — and zero allocations — per muted call site.
+///
+/// The three levels, in increasing verbosity:
+///
+/// - [`JournalLevel::Off`] — record nothing. The right level for paper
+///   sweeps whose outputs must stay byte-identical and allocation-lean.
+/// - [`JournalLevel::Summary`] — record lifecycle *milestones* only:
+///   migration excise/insert, scheduling slices, drain rounds, crashes
+///   and recoveries. Per-page faults, individual wire sends, and
+///   injected-fault noise are dropped. This is the default for
+///   experiment-harness trials: cheap enough to leave on, detailed
+///   enough to tell what a trial did.
+/// - [`JournalLevel::Full`] — record everything, including fine-grained
+///   causal spans (the default for a bare journal, preserving historical
+///   behavior; tests and trace tooling run here).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub enum JournalLevel {
-    /// Drop every record without formatting its detail.
+    /// Drop every record before it is constructed.
     Off,
+    /// Record lifecycle milestones, skip per-page and per-message detail.
+    Summary,
     /// Record everything (the default, preserving historical behavior).
     #[default]
     Full,
-}
-
-/// One journal record.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JournalEvent {
-    /// When it happened.
-    pub at: SimTime,
-    /// A static category tag ("fault", "send", "migrate", ...).
-    pub kind: &'static str,
-    /// Human-readable detail.
-    pub detail: String,
-}
-
-/// An append-only, time-ordered event log.
-///
-/// # Examples
-///
-/// ```
-/// use cor_sim::{Journal, SimTime};
-///
-/// let mut j = Journal::new();
-/// j.record(SimTime::from_millis(2), "fault", "FillZero page 7".into());
-/// j.record(SimTime::from_millis(5), "send", "Rimas 512B".into());
-/// assert_eq!(j.of_kind("fault").count(), 1);
-/// assert!(j.render_tail(10).contains("FillZero"));
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct Journal {
-    events: Vec<JournalEvent>,
-    level: JournalLevel,
-}
-
-impl Journal {
-    /// Creates an empty journal recording at [`JournalLevel::Full`].
-    pub fn new() -> Self {
-        Journal::default()
-    }
-
-    /// Creates an empty journal recording at `level`.
-    pub fn with_level(level: JournalLevel) -> Self {
-        Journal {
-            events: Vec::new(),
-            level,
-        }
-    }
-
-    /// The current recording level.
-    pub fn level(&self) -> JournalLevel {
-        self.level
-    }
-
-    /// Changes the recording level; already-recorded events are kept.
-    pub fn set_level(&mut self, level: JournalLevel) {
-        self.level = level;
-    }
-
-    /// Appends an event with an already-formatted detail.
-    ///
-    /// Prefer [`Journal::record_with`] on hot paths — it skips the detail
-    /// formatting entirely when the level is [`JournalLevel::Off`].
-    pub fn record(&mut self, at: SimTime, kind: &'static str, detail: String) {
-        self.record_with(at, kind, || detail);
-    }
-
-    /// Appends an event, formatting the detail lazily.
-    ///
-    /// The closure only runs when the journal's level admits the record,
-    /// so a muted journal costs one branch per call site and zero
-    /// allocations.
-    pub fn record_with(&mut self, at: SimTime, kind: &'static str, detail: impl FnOnce() -> String) {
-        if self.level == JournalLevel::Off {
-            return;
-        }
-        self.events.push(JournalEvent {
-            at,
-            kind,
-            detail: detail(),
-        });
-    }
-
-    /// All events in record order.
-    pub fn events(&self) -> &[JournalEvent] {
-        &self.events
-    }
-
-    /// Number of events recorded.
-    pub fn len(&self) -> usize {
-        self.events.len()
-    }
-
-    /// `true` when nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
-    }
-
-    /// Events of one kind.
-    pub fn of_kind(&self, kind: &str) -> impl Iterator<Item = &JournalEvent> {
-        let kind = kind.to_string();
-        self.events.iter().filter(move |e| e.kind == kind)
-    }
-
-    /// Renders the last `n` events, one per line.
-    pub fn render_tail(&self, n: usize) -> String {
-        let start = self.events.len().saturating_sub(n);
-        let mut out = String::new();
-        for e in &self.events[start..] {
-            out.push_str(&format!(
-                "{:>12} {:<9} {}\n",
-                e.at.to_string(),
-                e.kind,
-                e.detail
-            ));
-        }
-        out
-    }
-
-    /// Clears the journal.
-    pub fn clear(&mut self) {
-        self.events.clear();
-    }
 }
 
 #[cfg(test)]
@@ -149,51 +43,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn record_and_filter() {
-        let mut j = Journal::new();
-        j.record(SimTime::ZERO, "a", "first".into());
-        j.record(SimTime::from_secs(1), "b", "second".into());
-        j.record(SimTime::from_secs(2), "a", "third".into());
-        assert_eq!(j.len(), 3);
-        assert_eq!(j.of_kind("a").count(), 2);
-        assert_eq!(j.of_kind("c").count(), 0);
-        assert_eq!(j.events()[1].detail, "second");
-    }
-
-    #[test]
-    fn tail_rendering() {
-        let mut j = Journal::new();
-        for i in 0..10 {
-            j.record(SimTime::from_secs(i), "tick", format!("n{i}"));
-        }
-        let tail = j.render_tail(3);
-        assert!(tail.contains("n7") && tail.contains("n9"));
-        assert!(!tail.contains("n6"));
-        assert_eq!(tail.lines().count(), 3);
-    }
-
-    #[test]
-    fn off_level_skips_formatting() {
-        let mut j = Journal::with_level(JournalLevel::Off);
-        let mut formatted = false;
-        j.record_with(SimTime::ZERO, "hot", || {
-            formatted = true;
-            "expensive".into()
-        });
-        assert!(!formatted, "detail closure must not run at Off");
-        assert!(j.is_empty());
-
-        j.set_level(JournalLevel::Full);
-        j.record_with(SimTime::ZERO, "hot", || "cheap".into());
-        assert_eq!(j.len(), 1);
-    }
-
-    #[test]
-    fn clear_empties() {
-        let mut j = Journal::new();
-        j.record(SimTime::ZERO, "x", "y".into());
-        j.clear();
-        assert!(j.is_empty());
-        assert_eq!(j.render_tail(5), "");
+    fn levels_are_ordered_by_verbosity() {
+        assert!(JournalLevel::Off < JournalLevel::Summary);
+        assert!(JournalLevel::Summary < JournalLevel::Full);
+        assert_eq!(JournalLevel::default(), JournalLevel::Full);
     }
 }

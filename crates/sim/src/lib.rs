@@ -18,6 +18,8 @@
 //! * [`metrics`] — counters, byte ledgers with category tags and a time
 //!   series view (used to regenerate Figure 4-5 of the paper), and fixed
 //!   bucket histograms.
+//! * [`JournalLevel`] — the verbosity knob for the typed journal (the
+//!   journal itself lives in the `cor-trace` crate, above the substrate).
 //!
 //! # Examples
 //!
@@ -38,7 +40,7 @@ pub mod time;
 
 pub use clock::Clock;
 pub use event::{EventQueue, ScheduledEvent};
-pub use journal::{Journal, JournalEvent, JournalLevel};
+pub use journal::JournalLevel;
 pub use metrics::{Counter, Histogram, Ledger, LedgerCategory, ReliabilityStats, TimeSeries};
 pub use rng::Pcg32;
 pub use time::{SimDuration, SimTime};

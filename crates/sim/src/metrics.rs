@@ -210,6 +210,10 @@ pub struct ReliabilityStats {
     /// Link-layer retransmissions (attempts beyond the first) forced by
     /// drops.
     pub retransmissions: Counter,
+    /// Wire bytes carried by those retransmissions (and by injected
+    /// duplicate deliveries). Mirrors the ledger's retransmit category:
+    /// the two are kept consistent by a fabric debug assertion.
+    pub retransmit_wire_bytes: Counter,
     /// Duplicate deliveries suppressed by receiver-side sequence tracking.
     pub duplicate_drops: Counter,
     /// Stale or already-satisfied protocol replies dropped by idempotent

@@ -1,0 +1,568 @@
+//! The typed event vocabulary of the tracing layer.
+//!
+//! One variant per thing the simulated system can journal: migration
+//! phases, the fault lifecycle, wire-level sends and injected faults,
+//! background draining, and crash recovery. Every variant carries its
+//! structured fields (`Copy` scalars only — recording an event never
+//! allocates), and the [`Display`](std::fmt::Display) rendering is
+//! *lossless with respect to the historical journal*: it reproduces the
+//! exact detail strings the stringly `(instant, kind, String)` journal
+//! used to format, so `render_tail` output and every test that matches on
+//! it are unchanged.
+
+use std::fmt;
+
+use cor_ipc::{MsgKind, NodeId};
+use cor_sim::SimDuration;
+
+/// A structured journal event.
+///
+/// [`TraceEvent::kind`] returns the historical short tag (`"fault"`,
+/// `"send"`, `"net-drop"`, ...) used by
+/// [`Journal::of_kind`](crate::Journal::of_kind);
+/// [`TraceEvent::is_milestone`] classifies events for the
+/// [`JournalLevel::Summary`](cor_sim::JournalLevel::Summary) gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `migrate` — ExciseProcess packaged a process for departure.
+    Excised {
+        /// The process.
+        pid: u64,
+        /// The source node.
+        node: NodeId,
+        /// Materialized (RealMem) pages at excision time.
+        real_pages: u64,
+        /// Pages in the resident set.
+        resident_pages: u64,
+    },
+    /// `migrate` — InsertProcess reconstructed a process at the
+    /// destination.
+    Inserted {
+        /// The process.
+        pid: u64,
+        /// The destination node.
+        node: NodeId,
+        /// Pages whose bytes travelled in the RIMAS message.
+        carried_pages: u64,
+        /// Pages left owed as IOUs.
+        owed_pages: u64,
+    },
+    /// `fault` — a zero-fill fault serviced locally.
+    FillZero {
+        /// The faulting process.
+        pid: u64,
+        /// The node it runs on.
+        node: NodeId,
+        /// The faulting page.
+        page: u64,
+    },
+    /// `fault` — a local disk page-in.
+    DiskIn {
+        /// The faulting process.
+        pid: u64,
+        /// The node it runs on.
+        node: NodeId,
+        /// The faulting page.
+        page: u64,
+    },
+    /// `fault` — a copy-on-reference (imaginary) fault: the full IPC
+    /// round trip to the backing site, prefetch included.
+    Imaginary {
+        /// The faulting process.
+        pid: u64,
+        /// The node it runs on.
+        node: NodeId,
+        /// The faulting page.
+        page: u64,
+        /// The imaginary segment that owed the page.
+        seg: u64,
+        /// Extra pages installed beyond the faulting one.
+        prefetched: u64,
+        /// Total fault service time (dispatch to installed).
+        service: SimDuration,
+    },
+    /// `stale-reply` — the pager dropped a reply it was not waiting for.
+    StaleReply {
+        /// The waiting process.
+        pid: u64,
+        /// The node it runs on.
+        node: NodeId,
+        /// The segment the pager is waiting on.
+        seg: u64,
+        /// The awaited page offset within the segment.
+        offset: u64,
+        /// The awaited request sequence number.
+        seq: u64,
+    },
+    /// `send` — a remote message left a node.
+    Send {
+        /// Message discriminator.
+        kind: MsgKind,
+        /// Sending node.
+        from: NodeId,
+        /// Bytes on the wire, headers and fragmentation included.
+        wire_bytes: u64,
+    },
+    /// `drain` — prefetch-mode background draining pulled owed pages
+    /// across the wire.
+    DrainPrefetch {
+        /// The dependent process.
+        pid: u64,
+        /// The node it runs on.
+        node: NodeId,
+        /// Pages installed this round.
+        pages: u64,
+        /// The segment drained from.
+        seg: u64,
+        /// The first drained page's offset within the segment.
+        offset: u64,
+    },
+    /// `drain` — flush-mode draining wrote an owed page to the backing
+    /// site's crash-survivable disk.
+    DrainFlush {
+        /// The dependent process.
+        pid: u64,
+        /// The node it runs on.
+        node: NodeId,
+        /// The segment the page belongs to.
+        seg: u64,
+        /// The page's offset within the segment.
+        offset: u64,
+        /// The backing node whose disk now holds the page.
+        backer: NodeId,
+    },
+    /// `recover` — crash recovery read owed pages back from a dead
+    /// node's disk backer.
+    Recover {
+        /// The dependent process.
+        pid: u64,
+        /// The node it runs on.
+        node: NodeId,
+        /// Pages recovered.
+        pages: u64,
+        /// The segment they belong to.
+        seg: u64,
+        /// The crashed backing node.
+        dead: NodeId,
+    },
+    /// `orphan` — a crash made owed pages unrecoverable; the process is
+    /// terminated cleanly.
+    Orphan {
+        /// The orphaned process.
+        pid: u64,
+        /// The node it ran on.
+        node: NodeId,
+        /// The crashed node holding the lost pages.
+        dead: NodeId,
+        /// Owed pages no recovery rung could produce.
+        lost: u64,
+    },
+    /// `exec` — a scheduling slice ran (possibly to termination).
+    Exec {
+        /// The process.
+        pid: u64,
+        /// The node it ran on.
+        node: NodeId,
+        /// Trace ops executed this slice.
+        ops: u64,
+        /// Whether the process terminated.
+        finished: bool,
+    },
+    /// `net-drop` — fault injection destroyed a transmission attempt.
+    NetDrop {
+        /// Message discriminator.
+        kind: MsgKind,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Which attempt was lost (1-based).
+        attempt: u32,
+    },
+    /// `net-unreachable` — the retry budget ran out; the send was
+    /// abandoned.
+    NetUnreachable {
+        /// Message discriminator.
+        kind: MsgKind,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// `net-jitter` — injected delivery delay.
+    NetJitter {
+        /// Message discriminator.
+        kind: MsgKind,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// The injected extra latency in microseconds.
+        delay_us: u64,
+    },
+    /// `net-dup` — an injected duplicate was suppressed by the
+    /// receiver's link-layer sequence tracking.
+    NetDup {
+        /// Message discriminator.
+        kind: MsgKind,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// The duplicated link sequence number.
+        seq: u64,
+    },
+    /// `net-reorder` — a delivery was held in limbo so later traffic
+    /// overtakes it.
+    NetReorder {
+        /// Message discriminator.
+        kind: MsgKind,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// `net-dedup` — reply pages matched bytes the receiving
+    /// NetMsgServer already held; the held frames were installed instead
+    /// of fresh copies.
+    NetDedup {
+        /// The receiving node.
+        node: NodeId,
+        /// Reply pages substituted from the content cache.
+        pages: u64,
+    },
+    /// `net-stale` — a reply arrived with no pending relay (its request
+    /// was already satisfied).
+    NetStale {
+        /// The segment the reply answered for.
+        seg: u64,
+        /// The reply's page offset.
+        offset: u64,
+        /// The reply's echoed sequence number.
+        seq: u64,
+    },
+    /// `net-death-lost` — a segment death notice had no living receiver.
+    NetDeathLost {
+        /// The dying segment.
+        seg: u64,
+        /// The (down) node the notice was headed to.
+        to: NodeId,
+    },
+    /// `net-crash` — a node crashed, losing its volatile NetMsgServer
+    /// state (and possibly rebooting amnesiac).
+    NetCrash {
+        /// The crashed node.
+        node: NodeId,
+        /// Whether it immediately answers the wire again.
+        amnesiac: bool,
+        /// In-flight messages lost with it.
+        dropped: u64,
+    },
+    /// `net-node-down` — a send fast-failed against a peer already known
+    /// dead.
+    NetNodeDown {
+        /// Message discriminator.
+        kind: MsgKind,
+        /// Sender.
+        from: NodeId,
+        /// The dead receiver.
+        to: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// The historical short category tag, stable across the typed
+    /// refactor: `of_kind("fault")` selects exactly the events the
+    /// stringly journal filed under `"fault"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Excised { .. } | TraceEvent::Inserted { .. } => "migrate",
+            TraceEvent::FillZero { .. }
+            | TraceEvent::DiskIn { .. }
+            | TraceEvent::Imaginary { .. } => "fault",
+            TraceEvent::StaleReply { .. } => "stale-reply",
+            TraceEvent::Send { .. } => "send",
+            TraceEvent::DrainPrefetch { .. } | TraceEvent::DrainFlush { .. } => "drain",
+            TraceEvent::Recover { .. } => "recover",
+            TraceEvent::Orphan { .. } => "orphan",
+            TraceEvent::Exec { .. } => "exec",
+            TraceEvent::NetDrop { .. } => "net-drop",
+            TraceEvent::NetUnreachable { .. } => "net-unreachable",
+            TraceEvent::NetJitter { .. } => "net-jitter",
+            TraceEvent::NetDup { .. } => "net-dup",
+            TraceEvent::NetReorder { .. } => "net-reorder",
+            TraceEvent::NetDedup { .. } => "net-dedup",
+            TraceEvent::NetStale { .. } => "net-stale",
+            TraceEvent::NetDeathLost { .. } => "net-death-lost",
+            TraceEvent::NetCrash { .. } => "net-crash",
+            TraceEvent::NetNodeDown { .. } => "net-node-down",
+        }
+    }
+
+    /// Whether this event is a lifecycle milestone (recorded at
+    /// [`JournalLevel::Summary`](cor_sim::JournalLevel::Summary)) rather
+    /// than a per-page or per-message detail (recorded only at
+    /// [`JournalLevel::Full`](cor_sim::JournalLevel::Full)).
+    pub fn is_milestone(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Excised { .. }
+                | TraceEvent::Inserted { .. }
+                | TraceEvent::DrainPrefetch { .. }
+                | TraceEvent::DrainFlush { .. }
+                | TraceEvent::Recover { .. }
+                | TraceEvent::Orphan { .. }
+                | TraceEvent::Exec { .. }
+                | TraceEvent::NetCrash { .. }
+                | TraceEvent::NetNodeDown { .. }
+                | TraceEvent::NetUnreachable { .. }
+                | TraceEvent::NetDeathLost { .. }
+        )
+    }
+
+    /// The node this event is best attributed to, for per-node trace
+    /// tracks. Wire events go to the *sender* (where the cost was paid);
+    /// `net-stale` has no single owner and returns `None`.
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            TraceEvent::Excised { node, .. }
+            | TraceEvent::Inserted { node, .. }
+            | TraceEvent::FillZero { node, .. }
+            | TraceEvent::DiskIn { node, .. }
+            | TraceEvent::Imaginary { node, .. }
+            | TraceEvent::StaleReply { node, .. }
+            | TraceEvent::DrainPrefetch { node, .. }
+            | TraceEvent::DrainFlush { node, .. }
+            | TraceEvent::Recover { node, .. }
+            | TraceEvent::Orphan { node, .. }
+            | TraceEvent::Exec { node, .. }
+            | TraceEvent::NetDedup { node, .. }
+            | TraceEvent::NetCrash { node, .. } => Some(node),
+            TraceEvent::Send { from, .. }
+            | TraceEvent::NetDrop { from, .. }
+            | TraceEvent::NetUnreachable { from, .. }
+            | TraceEvent::NetJitter { from, .. }
+            | TraceEvent::NetDup { from, .. }
+            | TraceEvent::NetReorder { from, .. }
+            | TraceEvent::NetNodeDown { from, .. } => Some(from),
+            TraceEvent::NetDeathLost { to, .. } => Some(to),
+            TraceEvent::NetStale { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    /// Renders the historical detail string, byte-for-byte.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Excised {
+                pid,
+                node,
+                real_pages,
+                resident_pages,
+            } => write!(
+                f,
+                "excised pid{pid} from {node}: {real_pages} real pages ({resident_pages} resident)"
+            ),
+            TraceEvent::Inserted {
+                pid,
+                node,
+                carried_pages,
+                owed_pages,
+            } => write!(
+                f,
+                "inserted pid{pid} on {node}: {carried_pages} carried, {owed_pages} owed"
+            ),
+            TraceEvent::FillZero { pid, page, .. } => write!(f, "FillZero pid{pid} page {page}"),
+            TraceEvent::DiskIn { pid, page, .. } => write!(f, "DiskIn pid{pid} page {page}"),
+            TraceEvent::Imaginary {
+                pid,
+                page,
+                seg,
+                prefetched,
+                service,
+                ..
+            } => write!(
+                f,
+                "Imaginary pid{pid} page {page} seg {seg} +{prefetched} prefetched ({service})"
+            ),
+            TraceEvent::StaleReply {
+                pid,
+                seg,
+                offset,
+                seq,
+                ..
+            } => write!(
+                f,
+                "pid{pid} dropped stale pager message while waiting for seg {seg} page {offset} seq {seq}"
+            ),
+            TraceEvent::Send {
+                kind,
+                from,
+                wire_bytes,
+            } => write!(f, "{kind:?} from {from}: {wire_bytes} wire bytes"),
+            TraceEvent::DrainPrefetch {
+                pid,
+                pages,
+                seg,
+                offset,
+                ..
+            } => write!(
+                f,
+                "pid{pid} prefetch-drained {pages} pages of seg {seg} from page {offset}"
+            ),
+            TraceEvent::DrainFlush {
+                pid,
+                seg,
+                offset,
+                backer,
+                ..
+            } => write!(
+                f,
+                "pid{pid} flushed seg {seg} page {offset} to {backer}'s disk"
+            ),
+            TraceEvent::Recover {
+                pid,
+                pages,
+                seg,
+                dead,
+                ..
+            } => write!(
+                f,
+                "pid{pid} recovered {pages} pages of seg {seg} from {dead}'s disk"
+            ),
+            TraceEvent::Orphan {
+                pid, dead, lost, ..
+            } => write!(
+                f,
+                "pid{pid} orphaned: {dead} crashed holding {lost} unrecoverable pages"
+            ),
+            TraceEvent::Exec {
+                pid,
+                node,
+                ops,
+                finished,
+            } => write!(
+                f,
+                "pid{pid} ran {ops} ops on {node}{}",
+                if finished { ", terminated" } else { "" }
+            ),
+            TraceEvent::NetDrop {
+                kind,
+                from,
+                to,
+                attempt,
+            } => write!(f, "{kind:?} {from}->{to} attempt {attempt} lost"),
+            TraceEvent::NetUnreachable {
+                kind,
+                from,
+                to,
+                attempts,
+            } => write!(f, "{kind:?} {from}->{to} abandoned after {attempts} attempts"),
+            TraceEvent::NetJitter {
+                kind,
+                from,
+                to,
+                delay_us,
+            } => write!(f, "{kind:?} {from}->{to} delayed {delay_us}us"),
+            TraceEvent::NetDup {
+                kind,
+                from,
+                to,
+                seq,
+            } => write!(f, "{kind:?} {from}->{to} duplicate seq {seq} suppressed"),
+            TraceEvent::NetReorder { kind, from, to } => {
+                write!(f, "{kind:?} {from}->{to} held in limbo")
+            }
+            TraceEvent::NetDedup { node, pages } => {
+                write!(f, "{node} installed {pages} already-held reply pages")
+            }
+            TraceEvent::NetStale { seg, offset, seq } => write!(
+                f,
+                "reply for seg {seg} page {offset} seq {seq} had no pending relay"
+            ),
+            TraceEvent::NetDeathLost { seg, to } => {
+                write!(f, "death notice for seg {seg} suppressed: {to} is down")
+            }
+            TraceEvent::NetCrash {
+                node,
+                amnesiac,
+                dropped,
+            } => write!(
+                f,
+                "{node} {} ({dropped} in-flight messages lost)",
+                if amnesiac {
+                    "crashed and rebooted amnesiac"
+                } else {
+                    "crashed"
+                }
+            ),
+            TraceEvent::NetNodeDown { kind, from, to } => {
+                write!(f, "{kind:?} {from}->{to} aborted: peer is down")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_historical_strings() {
+        let e = TraceEvent::FillZero {
+            pid: 3,
+            node: NodeId(1),
+            page: 17,
+        };
+        assert_eq!(e.to_string(), "FillZero pid3 page 17");
+        assert_eq!(e.kind(), "fault");
+        let e = TraceEvent::Send {
+            kind: MsgKind::Rimas,
+            from: NodeId(0),
+            wire_bytes: 512,
+        };
+        assert_eq!(e.to_string(), "Rimas from node0: 512 wire bytes");
+        let e = TraceEvent::NetDrop {
+            kind: MsgKind::User(7),
+            from: NodeId(0),
+            to: NodeId(1),
+            attempt: 2,
+        };
+        assert_eq!(e.to_string(), "User(7) node0->node1 attempt 2 lost");
+        let e = TraceEvent::NetCrash {
+            node: NodeId(1),
+            amnesiac: true,
+            dropped: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "node1 crashed and rebooted amnesiac (4 in-flight messages lost)"
+        );
+    }
+
+    #[test]
+    fn milestone_classification() {
+        assert!(TraceEvent::Exec {
+            pid: 0,
+            node: NodeId(0),
+            ops: 1,
+            finished: true
+        }
+        .is_milestone());
+        assert!(!TraceEvent::FillZero {
+            pid: 0,
+            node: NodeId(0),
+            page: 0
+        }
+        .is_milestone());
+        assert!(!TraceEvent::Send {
+            kind: MsgKind::Core,
+            from: NodeId(0),
+            wire_bytes: 1
+        }
+        .is_milestone());
+    }
+}

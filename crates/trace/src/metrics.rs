@@ -1,0 +1,359 @@
+//! The per-node metrics registry: counters, byte gauges, and log-scaled
+//! latency histograms with percentile estimation.
+//!
+//! Everything is keyed `(node, name)` with a global pseudo-node (`None`,
+//! rendered as `wire`) for fabric-wide series — the [`Ledger`] byte
+//! categories and the [`ReliabilityStats`] counters feed it directly, and
+//! closed [`Journal`](crate::Journal) spans feed the latency histograms.
+//! The registry is a *view*, rebuildable at any `SimTime`:
+//! [`MetricsRegistry::ingest_ledger`] and
+//! [`MetricsRegistry::ingest_spans`] take an `until` bound, so a snapshot
+//! mid-trial reflects only what had happened by that instant.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cor_ipc::NodeId;
+use cor_sim::{Ledger, LedgerCategory, ReliabilityStats, SimDuration, SimTime};
+
+use crate::journal::Journal;
+
+/// A latency histogram with logarithmic (power-of-two) buckets.
+///
+/// Values are recorded in microseconds of virtual time. Bucket `0` holds
+/// exact zeros; bucket `b ≥ 1` holds values in `[2^(b-1), 2^b)`.
+/// Percentiles are estimated as the upper bound of the bucket containing
+/// the requested rank, clamped to the observed maximum — so `p100` is
+/// exact and lower percentiles are within a factor of two, plenty for
+/// spotting tail behavior at a glance.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Records one value (microseconds).
+    pub fn record(&mut self, value_us: u64) {
+        let bucket = if value_us == 0 {
+            0
+        } else {
+            64 - value_us.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value_us);
+        self.min = self.min.min(value_us);
+        self.max = self.max.max(value_us);
+    }
+
+    /// Records a [`SimDuration`] sample.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, rounded down (0 if empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimates the `p`-quantile (`0.0 < p <= 1.0`) as the upper bound
+    /// of the bucket holding that rank, clamped to the observed range.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let upper = if idx == 0 {
+                    0
+                } else if idx >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << idx) - 1
+                };
+                return upper.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+/// The metric series of one node (or of the global `wire` pseudo-node).
+#[derive(Debug, Clone, Default)]
+pub struct NodeMetrics {
+    /// Event counters by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Byte gauges by name.
+    pub bytes: BTreeMap<&'static str, u64>,
+    /// Latency histograms by name (virtual-time microseconds).
+    pub latencies: BTreeMap<&'static str, LogHistogram>,
+}
+
+/// Per-node metrics, keyed by [`NodeId`] with `None` as the global
+/// (`wire`) pseudo-node. All iteration orders are deterministic
+/// (`BTreeMap` everywhere), so rendered snapshots are byte-stable.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    nodes: BTreeMap<Option<NodeId>, NodeMetrics>,
+}
+
+fn category_name(c: LedgerCategory) -> &'static str {
+    match c {
+        LedgerCategory::Bulk => "wire.bulk",
+        LedgerCategory::FaultSupport => "wire.fault-support",
+        LedgerCategory::Control => "wire.control",
+        LedgerCategory::Retransmit => "wire.retransmit",
+        LedgerCategory::Drain => "wire.drain",
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn entry(&mut self, node: Option<NodeId>) -> &mut NodeMetrics {
+        self.nodes.entry(node).or_default()
+    }
+
+    /// Adds `n` to the `(node, name)` counter.
+    pub fn counter_add(&mut self, node: Option<NodeId>, name: &'static str, n: u64) {
+        *self.entry(node).counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Adds `n` bytes to the `(node, name)` gauge.
+    pub fn bytes_add(&mut self, node: Option<NodeId>, name: &'static str, n: u64) {
+        *self.entry(node).bytes.entry(name).or_insert(0) += n;
+    }
+
+    /// Records one latency sample into the `(node, name)` histogram.
+    pub fn latency_record(&mut self, node: Option<NodeId>, name: &'static str, d: SimDuration) {
+        self.entry(node)
+            .latencies
+            .entry(name)
+            .or_default()
+            .record_duration(d);
+    }
+
+    /// The `(node, name)` counter value (0 if absent).
+    pub fn counter(&self, node: Option<NodeId>, name: &str) -> u64 {
+        self.nodes
+            .get(&node)
+            .and_then(|m| m.counters.get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// The `(node, name)` byte-gauge value (0 if absent).
+    pub fn bytes(&self, node: Option<NodeId>, name: &str) -> u64 {
+        self.nodes
+            .get(&node)
+            .and_then(|m| m.bytes.get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// The `(node, name)` latency histogram, if any samples exist.
+    pub fn latency(&self, node: Option<NodeId>, name: &str) -> Option<&LogHistogram> {
+        self.nodes.get(&node).and_then(|m| m.latencies.get(name))
+    }
+
+    /// All populated keys, global pseudo-node (`None`) first.
+    pub fn nodes(&self) -> impl Iterator<Item = (Option<NodeId>, &NodeMetrics)> {
+        self.nodes.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Feeds the wire [`Ledger`] into the global byte gauges, one per
+    /// [`LedgerCategory`], counting only traffic at or before `until`.
+    pub fn ingest_ledger(&mut self, ledger: &Ledger, until: SimTime) {
+        for e in ledger.entries() {
+            if e.at <= until {
+                self.bytes_add(None, category_name(e.category), e.bytes);
+            }
+        }
+    }
+
+    /// Feeds the [`ReliabilityStats`] counters into the global counters.
+    /// (The stats are cumulative end-state counters, so no time bound
+    /// applies.)
+    pub fn ingest_reliability(&mut self, r: &ReliabilityStats) {
+        let pairs: [(&'static str, u64); 16] = [
+            ("net.drops-injected", r.drops_injected.get()),
+            ("net.duplicates-injected", r.duplicates_injected.get()),
+            ("net.reorders-injected", r.reorders_injected.get()),
+            ("net.retransmissions", r.retransmissions.get()),
+            ("net.duplicate-drops", r.duplicate_drops.get()),
+            ("net.stale-replies", r.stale_replies.get()),
+            ("net.timeout-stalls", r.timeout_stalls.get()),
+            ("net.stall-time-us", r.stall_time.as_micros()),
+            ("net.unreachable-failures", r.unreachable_failures.get()),
+            ("net.node-crashes", r.node_crashes.get()),
+            ("net.crash-dropped-messages", r.crash_dropped_messages.get()),
+            ("net.crash-fast-fails", r.crash_fast_fails.get()),
+            ("net.drained-pages", r.drained_pages.get()),
+            ("net.pages-recovered", r.pages_recovered.get()),
+            ("net.pages-lost", r.pages_lost.get()),
+            ("net.dedup-hits", r.dedup_hits.get()),
+        ];
+        for (name, v) in pairs {
+            if v > 0 {
+                self.counter_add(None, name, v);
+            }
+        }
+        if r.retransmit_wire_bytes.get() > 0 {
+            self.bytes_add(None, "net.retransmit-wire", r.retransmit_wire_bytes.get());
+        }
+    }
+
+    /// Feeds every span closed at or before `until` into the latency
+    /// histogram named after the span, on the span's node.
+    pub fn ingest_spans(&mut self, journal: &Journal, until: SimTime) {
+        for span in journal.spans() {
+            if let Some(end) = span.end {
+                if end <= until {
+                    self.latency_record(span.node, span.name, end.since(span.start));
+                }
+            }
+        }
+    }
+
+    /// Renders a deterministic plain-text snapshot as of `at`.
+    pub fn render(&self, at: SimTime) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "metrics @ {at}");
+        for (node, m) in &self.nodes {
+            let label = match node {
+                Some(n) => n.to_string(),
+                None => "wire".to_string(),
+            };
+            let _ = writeln!(out, "{label}:");
+            for (name, v) in &m.counters {
+                let _ = writeln!(out, "  {name:<28} {v:>12}");
+            }
+            for (name, v) in &m.bytes {
+                let _ = writeln!(out, "  {name:<28} {v:>12} bytes");
+            }
+            for (name, h) in &m.latencies {
+                let _ = writeln!(
+                    out,
+                    "  {name:<28} n {:>6}  p50 {:>8}us  p95 {:>8}us  p99 {:>8}us  max {:>8}us",
+                    h.count(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    h.max()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_histogram_percentiles() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!(h.p50() <= 7, "median of mostly-small samples stays small");
+        assert_eq!(h.percentile(1.0), 1000, "p100 is exact");
+        assert!(h.p99() >= 100);
+        let empty = LogHistogram::new();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.min(), 0);
+    }
+
+    #[test]
+    fn registry_keys_and_snapshot_are_deterministic() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add(Some(NodeId(1)), "faults.imaginary", 3);
+        r.counter_add(Some(NodeId(0)), "faults.imaginary", 1);
+        r.bytes_add(None, "wire.bulk", 4096);
+        r.latency_record(Some(NodeId(1)), "imag-fault", SimDuration::from_millis(2));
+        assert_eq!(r.counter(Some(NodeId(1)), "faults.imaginary"), 3);
+        assert_eq!(r.bytes(None, "wire.bulk"), 4096);
+        let snap = r.render(SimTime::from_secs(1));
+        let wire_pos = snap.find("wire:").unwrap();
+        let n0_pos = snap.find("node0:").unwrap();
+        let n1_pos = snap.find("node1:").unwrap();
+        assert!(wire_pos < n0_pos && n0_pos < n1_pos, "global first, nodes in order");
+        assert!(snap.contains("imag-fault"));
+    }
+
+    #[test]
+    fn ledger_ingest_respects_time_bound() {
+        let mut ledger = Ledger::new();
+        ledger.record(SimTime::from_secs(1), 100, LedgerCategory::Bulk);
+        ledger.record(SimTime::from_secs(5), 900, LedgerCategory::Bulk);
+        let mut r = MetricsRegistry::new();
+        r.ingest_ledger(&ledger, SimTime::from_secs(2));
+        assert_eq!(r.bytes(None, "wire.bulk"), 100);
+        let mut r2 = MetricsRegistry::new();
+        r2.ingest_ledger(&ledger, SimTime::from_secs(10));
+        assert_eq!(r2.bytes(None, "wire.bulk"), 1000);
+    }
+}

@@ -1,0 +1,56 @@
+//! Causal spans: named intervals of virtual time forming a tree.
+//!
+//! A span is opened when an operation starts and closed when it ends;
+//! children record their parent, so one remote copy-on-reference fault
+//! renders as a single tree — `imag-fault` → `cor-roundtrip` →
+//! `wire-send` → `xmit-attempt` — with queue, wire, and service
+//! sub-timings all in virtual time.
+
+use cor_ipc::NodeId;
+use cor_sim::{SimDuration, SimTime};
+
+/// Identifies a span within a merged trace.
+///
+/// `SpanId(0)` is the reserved "no span" sentinel ([`SpanId::NONE`]):
+/// events outside any span and roots of span trees carry it. Journals are
+/// created with disjoint id bases (see
+/// [`Journal::with_level_and_base`](crate::Journal::with_level_and_base)),
+/// so spans from the world journal and the fabric journal never collide
+/// when exported together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The "no span" sentinel.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is the sentinel.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One named interval of virtual time, attributed to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Unique id within the merged trace.
+    pub id: SpanId,
+    /// The enclosing span, or [`SpanId::NONE`] for a root.
+    pub parent: SpanId,
+    /// Static operation name (`"imag-fault"`, `"wire-send"`, ...).
+    pub name: &'static str,
+    /// The node the operation ran on, if attributable.
+    pub node: Option<NodeId>,
+    /// Open instant.
+    pub start: SimTime,
+    /// Close instant; `None` while the span is still open (or was
+    /// abandoned by an error path).
+    pub end: Option<SimTime>,
+}
+
+impl Span {
+    /// Elapsed virtual time, once closed.
+    pub fn duration(&self) -> Option<SimDuration> {
+        self.end.map(|e| e.since(self.start))
+    }
+}

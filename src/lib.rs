@@ -42,6 +42,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`sim`] | `cor-sim` | virtual time, deterministic RNG, events, metrics |
+//! | [`trace`] | `cor-trace` | typed journal, causal spans, per-node metrics, Perfetto/JSONL export |
 //! | [`mem`] | `cor-mem` | pages, sparse address spaces, AMaps, copy-on-write, imaginary mappings, disk, resident sets |
 //! | [`ipc`] | `cor-ipc` | ports, rights, typed messages, imaginary segments, the backing protocol |
 //! | [`net`] | `cor-net` | the wire model and the NetMsgServer (IOU caching, stand-ins, fragmentation) |
@@ -59,6 +60,7 @@ pub use cor_mem as mem;
 pub use cor_migrate as migrate;
 pub use cor_net as net;
 pub use cor_sim as sim;
+pub use cor_trace as trace;
 pub use cor_workloads as workloads;
 
 /// The Accent page size (512 bytes), re-exported for convenience.

@@ -47,6 +47,7 @@ struct RunOutcome {
     journal: Vec<String>,
     retransmissions: u64,
     duplicate_drops: u64,
+    retransmit_wire_bytes: u64,
 }
 
 /// Runs one full migration (build → migrate → run remotely) under the
@@ -72,7 +73,7 @@ fn run_migration(
         .map(|j| {
             j.events()
                 .iter()
-                .map(|e| format!("{} {} {}", e.at, e.kind, e.detail))
+                .map(|e| format!("{} {} {}", e.at, e.kind(), e.detail()))
                 .collect()
         })
         .unwrap_or_default();
@@ -85,6 +86,7 @@ fn run_migration(
         journal,
         retransmissions: world.fabric.reliability.retransmissions.get(),
         duplicate_drops: world.fabric.reliability.duplicate_drops.get(),
+        retransmit_wire_bytes: world.fabric.reliability.retransmit_wire_bytes.get(),
     })
 }
 
@@ -168,6 +170,38 @@ fn same_seed_same_journal_different_seed_diverges() {
         first.journal, third.journal,
         "a different seed must draw a different fault sequence"
     );
+}
+
+#[test]
+fn retransmit_ledger_and_reliability_counters_agree_under_chaos() {
+    // The ledger's Retransmit category and the reliability layer's
+    // retransmit-bytes counter are two independent accountings of the same
+    // waste; a lossy run must keep them equal (the fabric also
+    // debug-asserts this on every send).
+    for (seed, rate) in [(0xC0FFEE, 0.10), (42, 0.20), (7, 0.15)] {
+        let outcome = run_migration(
+            24,
+            Strategy::PureIou { prefetch: 1 },
+            Some(FaultPlan::dropping(seed, rate)),
+        )
+        .unwrap();
+        let ledger_retransmit = outcome
+            .ledger
+            .iter()
+            .find(|(c, _)| *c == LedgerCategory::Retransmit)
+            .map(|&(_, b)| b)
+            .unwrap();
+        assert_eq!(
+            ledger_retransmit, outcome.retransmit_wire_bytes,
+            "seed {seed} rate {rate}: ledger and reliability retransmit \
+             bytes diverged"
+        );
+        assert!(
+            outcome.retransmissions == 0 || ledger_retransmit > 0,
+            "seed {seed} rate {rate}: retransmissions occurred but no \
+             bytes were accounted"
+        );
+    }
 }
 
 #[test]

@@ -101,7 +101,7 @@ fn run_under_plan(
         .map(|j| {
             j.events()
                 .iter()
-                .map(|e| format!("{} {} {}", e.at, e.kind, e.detail))
+                .map(|e| format!("{} {} {}", e.at, e.kind(), e.detail()))
                 .collect()
         })
         .unwrap_or_default();

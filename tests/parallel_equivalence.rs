@@ -73,7 +73,7 @@ fn chaos_trial(seed: u64) -> (u64, Vec<String>) {
         .map(|j| {
             j.events()
                 .iter()
-                .map(|e| format!("{} {} {}", e.at, e.kind, e.detail))
+                .map(|e| format!("{} {} {}", e.at, e.kind(), e.detail()))
                 .collect()
         })
         .unwrap_or_default();
