@@ -295,6 +295,78 @@ pub fn run_checks(matrix: &mut Matrix, workloads: &[Workload]) -> Vec<Check> {
         0.0,
     ));
 
+    // Fleet (ours): migration storms on routed N-node fabrics. The gate
+    // runs the 16-node slice and asserts (a) storms drain cleanly with no
+    // orphans, (b) multi-hop routing bills every traversed link, (c) the
+    // topology-aware policy never routes longer than the topology-blind
+    // one, (d) the fault-latency tail is sane, and (e) a rerun of a cell
+    // is byte-identical.
+    let fleet = crate::fleet::fleet_outcomes_for(crate::fleet::gate_cells(), &matrix.pool());
+    checks.push(rel(
+        "fleet storm survival % (no orphans)",
+        pct(
+            fleet
+                .iter()
+                .filter(|o| o.survived == o.migrations && o.drain_residents_after == 0)
+                .count(),
+            fleet.len(),
+        ),
+        100.0,
+        0.0,
+    ));
+    let torus: Vec<_> = fleet
+        .iter()
+        .filter(|o| o.spec.topology == "torus")
+        .collect();
+    // Locality placement legitimately routes everything one hop, so the
+    // conservation claim is made against the topology-blind baseline.
+    let link_ratio = torus
+        .iter()
+        .find(|o| o.spec.placement == "round-robin")
+        .map(|o| o.link_bytes as f64 / o.wire_bytes as f64)
+        .expect("torus round-robin cell present");
+    checks.push(bound(
+        "fleet torus link-byte conservation (rr ratio >1)",
+        link_ratio,
+        1.0 + f64::EPSILON,
+        4.0,
+    ));
+    let hops_of = |placement: &str| {
+        torus
+            .iter()
+            .find(|o| o.spec.placement == placement)
+            .expect("torus cell present")
+            .mean_hops
+    };
+    checks.push(bound(
+        "fleet locality vs round-robin hops (torus, ratio)",
+        hops_of("locality") / hops_of("round-robin"),
+        0.0,
+        1.0,
+    ));
+    let tail_ok = fleet
+        .iter()
+        .filter(|o| o.faults > 0 && o.fault_p50_us > 0 && o.fault_p99_us >= o.fault_p50_us)
+        .count();
+    checks.push(rel(
+        "fleet fault-latency tail sanity % (p99 ≥ p50 > 0)",
+        pct(tail_ok, fleet.len()),
+        100.0,
+        0.0,
+    ));
+    let rerun_cell = *crate::fleet::gate_cells()
+        .iter()
+        .find(|c| c.topology == "torus")
+        .expect("torus cell present");
+    let identical = crate::fleet::csv_for(&[crate::fleet::run_cell(rerun_cell)])
+        == crate::fleet::csv_for(&[crate::fleet::run_cell(rerun_cell)]);
+    checks.push(rel(
+        "fleet rerun byte-identity (torus cell)",
+        if identical { 1.0 } else { 0.0 },
+        1.0,
+        0.0,
+    ));
+
     checks
 }
 

@@ -1,0 +1,477 @@
+//! Fleet sweep (ours): cluster size × topology × placement × storm.
+//!
+//! The paper measures one migration between two machines. This study
+//! asks what happens at fleet scale: an N-node routed fabric
+//! ([`cor_net::Topology`]) where a *migration storm* — draining nodes
+//! evicting every resident process at once — stresses the interconnect
+//! and the destination pagers simultaneously. Each cell reports
+//! storm throughput, the p50/p99 of post-migration copy-on-reference
+//! fault service (from `imag-fault` journal spans), total wire bytes,
+//! the hottest link, and the mean hop count — the quantities that
+//! separate a placement policy that respects the topology from one
+//! that does not.
+//!
+//! Everything is deterministic: seeded topologies, seeded placement
+//! tie-breaks, cells fanned across a [`Pool`] and rendered serially in
+//! cell order, so output is byte-identical at any thread count.
+
+use std::collections::BTreeSet;
+
+use cor_ipc::NodeId;
+use cor_kernel::placement::{LeastLoaded, LocalityAware, Placement, PlacementCtx, RoundRobin};
+use cor_kernel::{CostModel, World};
+use cor_mem::page::PAGE_SIZE;
+use cor_mem::{AddressSpace, PageNum, VAddr};
+use cor_migrate::{MigrationManager, Strategy};
+use cor_net::{Topology, WireParams};
+use cor_pool::Pool;
+use cor_sim::{JournalLevel, SimDuration};
+use cor_trace::LogHistogram;
+
+use crate::render::{commas, secs, TextTable};
+
+/// Seed for topology routing and placement tie-breaks; fixed for
+/// reproducibility.
+pub const FLEET_SEED: u64 = 0xF1EE7;
+
+/// Pages per synthetic fleet process (written at the source, half read
+/// back after migration — the manager-test workload shape).
+const PROC_PAGES: u64 = 8;
+
+/// How hard the storm blows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormIntensity {
+    /// Table label.
+    pub name: &'static str,
+    /// One in `drain_every` nodes drains (2 = half the fleet).
+    pub drain_every: u32,
+    /// Processes resident on each draining node when the storm starts.
+    pub procs_per_node: u32,
+}
+
+/// A moderate storm: a quarter of the fleet drains, lightly loaded.
+pub const STORM_LOW: StormIntensity = StormIntensity {
+    name: "low",
+    drain_every: 4,
+    procs_per_node: 4,
+};
+
+/// A heavy storm: half the fleet drains, heavily loaded. On 64 nodes
+/// this is 32 × 16 = 512 concurrent migrations.
+pub const STORM_HIGH: StormIntensity = StormIntensity {
+    name: "high",
+    drain_every: 2,
+    procs_per_node: 16,
+};
+
+/// One cell of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSpec {
+    /// Cluster size.
+    pub nodes: u32,
+    /// Topology name: `full-mesh`, `ring`, or `torus`.
+    pub topology: &'static str,
+    /// Placement name: `round-robin`, `least-loaded`, or `locality`.
+    pub placement: &'static str,
+    /// Storm intensity.
+    pub storm: StormIntensity,
+}
+
+/// One cell's outcome.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The cell that produced it.
+    pub spec: FleetSpec,
+    /// Migrations the storm performed.
+    pub migrations: u64,
+    /// Migrated processes that ran to termination afterwards.
+    pub survived: u64,
+    /// Processes still resident on draining nodes after the storm
+    /// (must be zero: a drain evicts everything).
+    pub drain_residents_after: u64,
+    /// Virtual time the storm itself took.
+    pub storm_elapsed: SimDuration,
+    /// Storm throughput (migrations per virtual second).
+    pub throughput: f64,
+    /// p50 of post-migration imaginary-fault service, in µs.
+    pub fault_p50_us: u64,
+    /// p99 of post-migration imaginary-fault service, in µs.
+    pub fault_p99_us: u64,
+    /// Faults observed.
+    pub faults: u64,
+    /// Total bytes ledgered to the wire.
+    pub wire_bytes: u64,
+    /// Per-link bytes summed over every traversed link (≥ `wire_bytes`
+    /// on multi-hop topologies: every hop bills the full message).
+    pub link_bytes: u64,
+    /// Bytes over the hottest single link.
+    pub max_link_bytes: u64,
+    /// Mean hops per remote message.
+    pub mean_hops: f64,
+}
+
+/// The sweep's cells: every topology × placement at 16 nodes under the
+/// low storm, plus the 64-node heavy-storm showcase (512 concurrent
+/// migrations) contrasting the topology-blind and topology-aware
+/// policies on a torus.
+pub fn cells() -> Vec<FleetSpec> {
+    let mut v = Vec::new();
+    for topology in ["full-mesh", "ring", "torus"] {
+        for placement in ["round-robin", "least-loaded", "locality"] {
+            v.push(FleetSpec {
+                nodes: 16,
+                topology,
+                placement,
+                storm: STORM_LOW,
+            });
+        }
+    }
+    for placement in ["round-robin", "locality"] {
+        v.push(FleetSpec {
+            nodes: 64,
+            topology: "torus",
+            placement,
+            storm: STORM_HIGH,
+        });
+    }
+    v
+}
+
+/// The 16-node slice of [`cells`] — what the reproduction gate and the
+/// determinism tests run (the 64-node cells are the `fleet` command's
+/// showcase).
+pub fn gate_cells() -> Vec<FleetSpec> {
+    cells().into_iter().filter(|c| c.nodes == 16).collect()
+}
+
+fn topology_for(name: &str, n: u32) -> Topology {
+    let t = match name {
+        "full-mesh" => Topology::full_mesh(n),
+        "ring" => Topology::ring(n),
+        "torus" => {
+            let mut cols = 1;
+            while (cols + 1) * (cols + 1) <= n {
+                cols += 1;
+            }
+            assert_eq!(cols * cols, n, "torus cells use square clusters");
+            Topology::torus(cols, cols)
+        }
+        other => panic!("unknown topology {other}"),
+    };
+    t.with_seed(FLEET_SEED)
+}
+
+fn placement_for(name: &str) -> Box<dyn Placement> {
+    match name {
+        "round-robin" => Box::new(RoundRobin::new()),
+        "least-loaded" => Box::new(LeastLoaded::new()),
+        "locality" => Box::new(LocalityAware::new()),
+        other => panic!("unknown placement {other}"),
+    }
+}
+
+/// Builds one synthetic fleet process on `node` and runs its write
+/// phase there, leaving the read-back phase for after migration.
+fn spawn_proc(world: &mut World, node: NodeId) -> cor_kernel::ProcessId {
+    let mut space = AddressSpace::new();
+    space.validate(VAddr(0), 4 * PROC_PAGES * PAGE_SIZE).unwrap();
+    let mut tb = cor_kernel::Trace::builder();
+    for i in 0..PROC_PAGES {
+        tb.write(PageNum(i).base(), 64);
+    }
+    for i in 0..PROC_PAGES / 2 {
+        tb.read(PageNum(i * 2).base(), 64);
+    }
+    let pid = world
+        .create_process(node, "fleet", space, tb.terminate())
+        .unwrap();
+    world.run_for(node, pid, PROC_PAGES as usize).unwrap();
+    pid
+}
+
+/// Runs one fleet cell: build the N-node routed world, load the
+/// draining nodes, blow the storm (placement-chosen destinations,
+/// pure-IOU with one page of prefetch), then run every migrant to
+/// termination and harvest the metrics.
+///
+/// # Panics
+///
+/// Panics on internal simulation errors — a storm cell has no expected
+/// failure mode.
+pub fn run_cell(spec: FleetSpec) -> FleetOutcome {
+    let topo = topology_for(spec.topology, spec.nodes);
+    let wire = WireParams {
+        topology: Some(topo),
+        ..WireParams::default()
+    };
+    let (mut world, nodes) = World::fleet(spec.nodes, CostModel::default(), wire);
+    world.fabric.validate_plans().expect("a well-wired fleet");
+    // Full journal: the p99 comes from `imag-fault` span durations.
+    world.enable_journal_at(JournalLevel::Full);
+    let managers: Vec<MigrationManager> = nodes
+        .iter()
+        .map(|&n| MigrationManager::new(&mut world, n))
+        .collect();
+
+    let drain_set: BTreeSet<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|n| n.0 % spec.storm.drain_every == 0)
+        .collect();
+    for &node in &drain_set {
+        for _ in 0..spec.storm.procs_per_node {
+            spawn_proc(&mut world, node);
+        }
+    }
+
+    // The storm: every draining node evicts everything it hosts, one
+    // placement decision per process against live load counts.
+    let candidates: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|n| !drain_set.contains(n))
+        .collect();
+    let mut policy = placement_for(spec.placement);
+    let storm_start = world.clock.now();
+    let bytes_before = world.fabric.ledger.total();
+    let mut migrations = 0u64;
+    for &source in &drain_set {
+        for pid in world.resident_pids(source).unwrap() {
+            let loads = world.loads();
+            let ctx = PlacementCtx {
+                source,
+                candidates: &candidates,
+                loads: &loads,
+                topology: world.fabric.params.topology.as_ref(),
+                seed: FLEET_SEED,
+            };
+            let dest = policy.choose(&ctx, pid.0).expect("candidates exist");
+            managers[source.0 as usize]
+                .migrate_to(
+                    &mut world,
+                    &managers[dest.0 as usize],
+                    pid,
+                    Strategy::PureIou { prefetch: 1 },
+                )
+                .expect("storm migration");
+            migrations += 1;
+        }
+    }
+    let storm_elapsed = world.clock.now().since(storm_start);
+
+    // Post-storm: every migrant resumes at its destination; the read
+    // phase drives copy-on-reference faults back across the fabric.
+    let mut survived = 0u64;
+    for &node in &candidates {
+        for pid in world.resident_pids(node).unwrap() {
+            let report = world.run(node, pid).expect("post-storm run");
+            if report.finished {
+                survived += 1;
+            }
+        }
+    }
+    let drain_residents_after: u64 = drain_set
+        .iter()
+        .map(|&n| world.node_load(n).unwrap())
+        .sum();
+
+    let mut faults = LogHistogram::new();
+    if let Some(journal) = &world.journal {
+        for span in journal.spans() {
+            if span.name == "imag-fault" {
+                if let Some(d) = span.duration() {
+                    faults.record_duration(d);
+                }
+            }
+        }
+    }
+    let links = world.fabric.link_stats();
+    let link_bytes: u64 = links.values().map(|s| s.bytes).sum();
+    let max_link_bytes = links.values().map(|s| s.bytes).max().unwrap_or(0);
+    let link_msgs: u64 = links.values().map(|s| s.msgs).sum();
+    let remote_msgs = world.fabric.stats().msgs_remote;
+    FleetOutcome {
+        spec,
+        migrations,
+        survived,
+        drain_residents_after,
+        storm_elapsed,
+        throughput: migrations as f64 / storm_elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        fault_p50_us: faults.p50(),
+        fault_p99_us: faults.p99(),
+        faults: faults.count(),
+        wire_bytes: world.fabric.ledger.total() - bytes_before,
+        link_bytes,
+        max_link_bytes,
+        mean_hops: link_msgs as f64 / remote_msgs.max(1) as f64,
+    }
+}
+
+/// Computes the given cells in deterministic order, fanning across
+/// `pool`.
+pub fn fleet_outcomes_for(specs: Vec<FleetSpec>, pool: &Pool) -> Vec<FleetOutcome> {
+    let jobs: Vec<_> = specs.into_iter().map(|spec| move || run_cell(spec)).collect();
+    pool.run(jobs)
+}
+
+/// Computes every cell of [`cells`].
+pub fn fleet_outcomes(pool: &Pool) -> Vec<FleetOutcome> {
+    fleet_outcomes_for(cells(), pool)
+}
+
+/// Runs the sweep and renders the table (serial, cell-order rendering:
+/// byte-identical at any thread count).
+pub fn fleet(pool: &Pool) -> String {
+    let outcomes = fleet_outcomes(pool);
+    let mut t = TextTable::new(&[
+        "nodes",
+        "topology",
+        "placement",
+        "storm",
+        "migs",
+        "ok",
+        "storm s",
+        "migs/s",
+        "p50 ms",
+        "p99 ms",
+        "wire bytes",
+        "max link",
+        "hops",
+    ]);
+    for o in &outcomes {
+        t.row(vec![
+            o.spec.nodes.to_string(),
+            o.spec.topology.to_string(),
+            o.spec.placement.to_string(),
+            o.spec.storm.name.to_string(),
+            o.migrations.to_string(),
+            o.survived.to_string(),
+            secs(o.storm_elapsed.as_secs_f64()),
+            format!("{:.2}", o.throughput),
+            format!("{:.1}", o.fault_p50_us as f64 / 1_000.0),
+            format!("{:.1}", o.fault_p99_us as f64 / 1_000.0),
+            commas(o.wire_bytes),
+            commas(o.max_link_bytes),
+            format!("{:.2}", o.mean_hops),
+        ]);
+    }
+    format!(
+        "Fleet sweep (ours): migration storms on routed N-node fabrics\n\
+         (draining nodes evict every resident process at once; pure-IOU with\n\
+         one page of prefetch; destinations chosen per process by the named\n\
+         placement policy; p50/p99 are post-migration imaginary-fault service\n\
+         times from journal spans)\n\n{}",
+        t.render()
+    )
+}
+
+/// The sweep as CSV for downstream analysis.
+pub fn fleet_csv(pool: &Pool) -> String {
+    csv_for(&fleet_outcomes(pool))
+}
+
+/// Renders outcomes as CSV (split out so tests can diff slices).
+pub fn csv_for(outcomes: &[FleetOutcome]) -> String {
+    let mut out = String::from(
+        "nodes,topology,placement,storm,migrations,survived,storm_s,\
+         throughput,fault_p50_us,fault_p99_us,faults,wire_bytes,\
+         link_bytes,max_link_bytes,mean_hops\n",
+    );
+    for o in outcomes {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.6},{:.3},{},{},{},{},{},{},{:.4}\n",
+            o.spec.nodes,
+            o.spec.topology,
+            o.spec.placement,
+            o.spec.storm.name,
+            o.migrations,
+            o.survived,
+            o.storm_elapsed.as_secs_f64(),
+            o.throughput,
+            o.fault_p50_us,
+            o.fault_p99_us,
+            o.faults,
+            o.wire_bytes,
+            o.link_bytes,
+            o.max_link_bytes,
+            o.mean_hops,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_drains_cleanly_with_no_orphans() {
+        let o = run_cell(FleetSpec {
+            nodes: 16,
+            topology: "torus",
+            placement: "locality",
+            storm: STORM_LOW,
+        });
+        assert_eq!(o.migrations, 4 * 4, "a quarter of 16 nodes × 4 procs");
+        assert_eq!(o.survived, o.migrations, "no migrant was orphaned");
+        assert_eq!(o.drain_residents_after, 0, "drains evict everything");
+        assert!(o.faults > 0, "the read phase faulted remotely");
+        assert!(o.fault_p99_us >= o.fault_p50_us);
+    }
+
+    #[test]
+    fn multi_hop_topologies_bill_every_link() {
+        let torus = run_cell(FleetSpec {
+            nodes: 16,
+            topology: "torus",
+            placement: "round-robin",
+            storm: STORM_LOW,
+        });
+        assert!(
+            torus.link_bytes > torus.wire_bytes,
+            "some route took >1 hop: {} vs {}",
+            torus.link_bytes,
+            torus.wire_bytes
+        );
+        assert!(torus.mean_hops > 1.0);
+        let mesh = run_cell(FleetSpec {
+            nodes: 16,
+            topology: "full-mesh",
+            placement: "round-robin",
+            storm: STORM_LOW,
+        });
+        assert_eq!(mesh.link_bytes, mesh.wire_bytes);
+        assert!((mesh.mean_hops - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn locality_shortens_routes_on_a_torus() {
+        let run = |placement| {
+            run_cell(FleetSpec {
+                nodes: 16,
+                topology: "torus",
+                placement,
+                storm: STORM_LOW,
+            })
+        };
+        let rr = run("round-robin");
+        let local = run("locality");
+        assert!(
+            local.mean_hops <= rr.mean_hops,
+            "locality {} vs round-robin {}",
+            local.mean_hops,
+            rr.mean_hops
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_threads_and_runs() {
+        let slice = || fleet_outcomes_for(gate_cells(), &Pool::serial());
+        let a = csv_for(&slice());
+        let b = csv_for(&slice());
+        assert_eq!(a, b, "two seeded runs are byte-identical");
+        let pooled = csv_for(&fleet_outcomes_for(gate_cells(), &Pool::new(4)));
+        assert_eq!(a, pooled, "thread count does not change the bytes");
+        assert_eq!(a.lines().count(), 1 + gate_cells().len());
+    }
+}

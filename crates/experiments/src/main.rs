@@ -13,6 +13,8 @@
 //!   loss-sweep  completion time vs wire drop rate (ours)
 //!   survivability      crash time × strategy × drain rate sweep (ours)
 //!   survivability-csv  the same sweep as CSV for downstream analysis
+//!   fleet       migration storms on routed N-node fabrics (ours)
+//!   fleet-csv   the same sweep as CSV for downstream analysis
 //!   trace [name] [--jsonl] [--summary]   Perfetto/JSONL trace of one trial
 //!   journal [name]     human-readable journal narrative of one trial
 //!   metrics [name]     per-node metrics report of one trial
@@ -31,7 +33,7 @@
 //! Minprog trial so every run can ship a trace artifact. `COR_JOURNAL`
 //! (`off|summary|full`) sets the journal level of sweep trials.
 
-use cor_experiments::{figures, loss, runner::Matrix, summary, survivability, tables, trace};
+use cor_experiments::{figures, fleet, loss, runner::Matrix, summary, survivability, tables, trace};
 use cor_pool::Pool;
 use cor_sim::JournalLevel;
 
@@ -81,6 +83,8 @@ fn main() {
         "loss-sweep" => emit(loss::loss_sweep(&workloads, &pool)),
         "survivability" => emit(survivability::survivability(&workloads, &pool)),
         "survivability-csv" => print!("{}", survivability::survivability_csv(&workloads, &pool)),
+        "fleet" => emit(fleet::fleet(&pool)),
+        "fleet-csv" => print!("{}", fleet::fleet_csv(&pool)),
         "cow-study" => emit(summary::cow_study()),
         "sensitivity" => emit(summary::sensitivity(&pool)),
         "modern" => emit(summary::modern_study(&workloads, &pool)),
@@ -162,6 +166,7 @@ fn main() {
             emit(summary::policy_demo());
             emit(loss::loss_sweep(&workloads, &pool));
             emit(survivability::survivability(&workloads, &pool));
+            emit(fleet::fleet(&pool));
         }
         other => {
             eprintln!("unknown command: {other}");
@@ -169,7 +174,8 @@ fn main() {
                 "usage: experiments [--threads N] [--trace-out FILE] <command>\n\
                  commands: table4-1..table4-5, fig4-1..fig4-5, constants, summary, \
                  speedups, ablation, loss-sweep, survivability, survivability-csv, \
-                 cow-study, sensitivity, modern, trace [name] [--jsonl] [--summary], \
+                 fleet, fleet-csv, cow-study, sensitivity, modern, \
+                 trace [name] [--jsonl] [--summary], \
                  journal [name], metrics [name], policy, csv, check, all"
             );
             std::process::exit(2);

@@ -37,6 +37,7 @@ pub mod backer;
 pub mod costs;
 pub mod error;
 pub mod node;
+pub mod placement;
 pub mod process;
 pub mod program;
 pub mod world;
@@ -45,6 +46,7 @@ pub use backer::PageStore;
 pub use costs::CostModel;
 pub use error::KernelError;
 pub use node::Node;
+pub use placement::{LeastLoaded, LocalityAware, Placement, PlacementCtx, RoundRobin};
 pub use process::{ExecStats, Pcb, Process, ProcessId, RunStatus};
 pub use program::{Op, Trace};
 pub use world::{DrainMode, DrainPolicy, ExecReport, World};

@@ -148,6 +148,16 @@ impl World {
         (w, a, b)
     }
 
+    /// An `n`-node world: the fleet-scale sibling of [`World::testbed`].
+    /// Node ids are sequential from zero, so they index a
+    /// [`cor_net::Topology`] of the same size directly. Returns the world
+    /// and its node ids in order.
+    pub fn fleet(n: u32, costs: CostModel, wire: WireParams) -> (World, Vec<NodeId>) {
+        let mut w = World::new(costs, wire);
+        let nodes = (0..n).map(|_| w.add_node()).collect();
+        (w, nodes)
+    }
+
     /// Installs (or resets) the event journal; subsequent faults, sends
     /// and lifecycle transitions are recorded. The fabric gets its own
     /// journal for wire-level fault-injection events (`net-*` kinds) and
@@ -1438,6 +1448,33 @@ impl World {
     /// All node ids, in order.
     pub fn node_ids(&self) -> Vec<NodeId> {
         self.nodes.keys().copied().collect()
+    }
+
+    /// Resident-process count on `node` — the load signal the placement
+    /// policies consume.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownNode`].
+    pub fn node_load(&self, node: NodeId) -> Result<u64, KernelError> {
+        Ok(self.node(node)?.processes.len() as u64)
+    }
+
+    /// Resident-process counts for every node, in node order.
+    pub fn loads(&self) -> BTreeMap<NodeId, u64> {
+        self.nodes
+            .iter()
+            .map(|(&id, n)| (id, n.processes.len() as u64))
+            .collect()
+    }
+
+    /// The process ids resident on `node`, ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownNode`].
+    pub fn resident_pids(&self, node: NodeId) -> Result<Vec<ProcessId>, KernelError> {
+        Ok(self.node(node)?.processes.keys().copied().collect())
     }
 }
 

@@ -43,6 +43,18 @@ pub enum NetError {
         /// The crashed destination node.
         to: NodeId,
     },
+    /// A directed link was named that the active plan does not know: a
+    /// strict [`FaultPlan`](crate::FaultPlan) was asked for a pair with no
+    /// explicit entry, or a plan's per-link override names a node the
+    /// fabric never registered. Surfacing this as a typed error (rather
+    /// than silently applying a default) keeps a mis-wired link in an
+    /// N-node world from masquerading as a healthy one.
+    UnknownLink {
+        /// The sending side of the unknown pair.
+        from: NodeId,
+        /// The receiving side of the unknown pair.
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -66,6 +78,9 @@ impl fmt::Display for NetError {
             }
             NetError::NodeDown { from, to } => {
                 write!(f, "node {to} is down (crashed); send from {from} aborted")
+            }
+            NetError::UnknownLink { from, to } => {
+                write!(f, "link {from}->{to} is unknown to the active plan")
             }
         }
     }

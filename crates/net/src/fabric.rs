@@ -14,6 +14,7 @@ use cor_trace::{Journal, SpanId, TraceEvent};
 
 use crate::error::NetError;
 use crate::params::{CrashTrigger, LinkFaults, WireParams};
+use crate::topology::LinkStats;
 
 /// Outcome of one `send`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +154,13 @@ pub struct Fabric {
     /// instead of its semantic category, so background draining and
     /// recovery never pollute the paper's byte accounting.
     drain_accounting: bool,
+    /// Per-directed-link traffic accounting, populated only when
+    /// [`WireParams::topology`] is installed: every link a routed message
+    /// traverses bills its bytes here (deterministic iteration order).
+    link_stats: BTreeMap<(NodeId, NodeId), LinkStats>,
+    /// The instant each physical link frees up, for per-link queueing
+    /// under a routed topology.
+    link_busy: HashMap<(NodeId, NodeId), SimTime>,
 }
 
 fn category_for(kind: MsgKind) -> LedgerCategory {
@@ -189,6 +197,8 @@ impl Fabric {
             node_msgs: HashMap::new(),
             disk: HashMap::new(),
             drain_accounting: false,
+            link_stats: BTreeMap::new(),
+            link_busy: HashMap::new(),
         }
     }
 
@@ -367,7 +377,9 @@ impl Fabric {
                 if self.rng.is_none() {
                     self.rng = Some(Pcg32::with_stream(plan.seed, FAULT_STREAM));
                 }
-                Some(plan.for_link(from, dest_home)).filter(|f| !f.is_clean())
+                // Strict plans surface NetError::UnknownLink here instead
+                // of silently applying the `all` default.
+                Some(plan.try_for_link(from, dest_home)?).filter(|f| !f.is_clean())
             }
             None => None,
         };
@@ -468,6 +480,14 @@ impl Fabric {
                     return Err(self.node_down(clock.now(), from, dest_home, kind));
                 }
             }
+        }
+        // Routed topology: the delivery traverses its deterministic
+        // multi-hop route. Bytes are billed to every link crossed, each
+        // hop beyond the first adds store-and-forward latency, and a
+        // still-busy link queues the delivery. `None` (the default) keeps
+        // the seed-era point-to-point behaviour byte-identical.
+        if self.params.topology.is_some() {
+            self.route_and_charge(clock, from, dest_home, wire_bytes, kind, detached)?;
         }
         // Link-layer sequence bookkeeping (only maintained under faults:
         // a perfect wire cannot duplicate).
@@ -1315,9 +1335,110 @@ impl Fabric {
         self.ledger = Ledger::new();
         self.stats = FabricStats::default();
         self.reliability = ReliabilityStats::default();
+        self.link_stats.clear();
         for n in self.nodes.values_mut() {
             n.cpu = SimDuration::ZERO;
         }
+    }
+
+    /// Walks the routed topology's path for one successful remote
+    /// delivery: per-link byte/message accounting, per-link queueing
+    /// behind earlier traffic, and store-and-forward latency for every
+    /// hop beyond the first (which the transmission loop already
+    /// charged). Detached sends account bytes but never stall the caller.
+    fn route_and_charge(
+        &mut self,
+        clock: &mut Clock,
+        from: NodeId,
+        to: NodeId,
+        wire_bytes: u64,
+        kind: MsgKind,
+        detached: bool,
+    ) -> Result<(), NetError> {
+        let topo = self
+            .params
+            .topology
+            .as_ref()
+            .expect("route_and_charge requires an installed topology");
+        let hop_latency = topo.hop_latency;
+        let route = topo.route(from, to)?;
+        let hops = route.len() as u32;
+        // The link holds each message for its serialization time (bytes
+        // only — the fixed per-message latency is an end-to-end charge,
+        // not a per-link occupancy).
+        let occupancy =
+            SimDuration::from_micros(wire_bytes.saturating_mul(self.params.per_byte_ns) / 1_000);
+        let depart = clock.now();
+        let mut cursor = depart;
+        for (i, &link) in route.iter().enumerate() {
+            let busy = self.link_busy.get(&link).copied().unwrap_or(SimTime::ZERO);
+            let wait = busy.saturating_since(cursor);
+            if wait > SimDuration::ZERO {
+                cursor = busy;
+            }
+            if i > 0 {
+                // Cut-through forwarding: each extra hop adds its relay
+                // latency, not a full re-serialization.
+                cursor += hop_latency;
+            }
+            self.link_busy.insert(link, cursor + occupancy);
+            let s = self.link_stats.entry(link).or_default();
+            s.msgs += 1;
+            s.bytes += wire_bytes;
+            s.queue_wait += wait;
+        }
+        let extra = cursor.since(depart);
+        if !detached && extra > SimDuration::ZERO {
+            clock.advance(extra);
+        }
+        if hops > 1 {
+            self.note(clock.now(), || TraceEvent::NetRoute {
+                kind,
+                from,
+                to,
+                hops,
+            });
+        }
+        Ok(())
+    }
+
+    /// Per-directed-link traffic table, populated only under an installed
+    /// [`WireParams::topology`]. Keys iterate in deterministic
+    /// `(from, to)` order.
+    pub fn link_stats(&self) -> &BTreeMap<(NodeId, NodeId), LinkStats> {
+        &self.link_stats
+    }
+
+    /// Renders the per-link traffic table ([`crate::topology::link_table`]).
+    pub fn link_table(&self) -> String {
+        crate::topology::link_table(&self.link_stats)
+    }
+
+    /// Validates the installed plans against the registered node set: a
+    /// topology must cover every node, fault-plan overrides must name
+    /// registered pairs, and crash events must name registered nodes.
+    /// Call after building an N-node world to surface a mis-wired plan as
+    /// a typed error up front rather than as silent defaulting later.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] or [`NetError::UnknownLink`] naming the
+    /// first mis-wired entity.
+    pub fn validate_plans(&self) -> Result<(), NetError> {
+        if let Some(topo) = &self.params.topology {
+            for &n in &self.node_order {
+                if !topo.contains(n) {
+                    return Err(NetError::UnknownNode(n));
+                }
+            }
+        }
+        if let Some(plan) = &self.params.faults {
+            plan.validate(&self.node_order)?;
+        }
+        if let Some(plan) = &self.params.crashes {
+            plan.validate(&self.node_order)?;
+        }
+        Ok(())
     }
 }
 
@@ -1351,6 +1472,166 @@ mod tests {
             a,
             b,
         )
+    }
+
+    fn fleet_world(params: WireParams, n: u32) -> World {
+        let mut ports = PortRegistry::new();
+        let mut fabric = Fabric::new(params);
+        for i in 0..n {
+            fabric.add_node(NodeId(i), &mut ports);
+        }
+        World {
+            clock: Clock::new(),
+            ports,
+            segs: SegmentRegistry::new(),
+            fabric,
+        }
+    }
+
+    fn user_msg(w: &mut World, to: NodeId, bytes: usize) -> Message {
+        let dest = w.ports.allocate(to);
+        Message::new(MsgKind::User(1), dest)
+            .push(MsgItem::Inline(vec![0; bytes]))
+            .with_no_ious(true)
+    }
+
+    #[test]
+    fn routed_send_bills_every_link_and_adds_hop_latency() {
+        let topo = crate::Topology::ring(4);
+        let hop_latency = topo.hop_latency;
+        let mut direct = fleet_world(WireParams::default(), 4);
+        let msg = user_msg(&mut direct, NodeId(2), 1000);
+        direct
+            .fabric
+            .send(&mut direct.clock, &mut direct.ports, &mut direct.segs, NodeId(0), msg)
+            .unwrap();
+        let direct_elapsed = direct.clock.now();
+        assert!(direct.fabric.link_stats().is_empty(), "no topology, no link table");
+
+        let mut routed = fleet_world(
+            WireParams {
+                topology: Some(topo),
+                ..WireParams::default()
+            },
+            4,
+        );
+        let msg = user_msg(&mut routed, NodeId(2), 1000);
+        let rep = routed
+            .fabric
+            .send(&mut routed.clock, &mut routed.ports, &mut routed.segs, NodeId(0), msg)
+            .unwrap();
+        // 0 -> 2 on a 4-ring is two hops: one extra hop latency.
+        assert_eq!(routed.clock.now(), direct_elapsed + hop_latency);
+        let links = routed.fabric.link_stats();
+        assert_eq!(links.len(), 2);
+        let total_link_bytes: u64 = links.values().map(|s| s.bytes).sum();
+        assert_eq!(total_link_bytes, rep.wire_bytes * 2, "each link bills the full message");
+        for s in links.values() {
+            assert_eq!(s.msgs, 1);
+        }
+        assert!(routed.fabric.link_table().contains("->"));
+    }
+
+    #[test]
+    fn full_mesh_topology_matches_direct_wire_latency() {
+        let mut direct = fleet_world(WireParams::default(), 4);
+        let msg = user_msg(&mut direct, NodeId(3), 4000);
+        direct
+            .fabric
+            .send(&mut direct.clock, &mut direct.ports, &mut direct.segs, NodeId(0), msg)
+            .unwrap();
+        let mut meshed = fleet_world(
+            WireParams {
+                topology: Some(crate::Topology::full_mesh(4)),
+                ..WireParams::default()
+            },
+            4,
+        );
+        let msg = user_msg(&mut meshed, NodeId(3), 4000);
+        meshed
+            .fabric
+            .send(&mut meshed.clock, &mut meshed.ports, &mut meshed.segs, NodeId(0), msg)
+            .unwrap();
+        assert_eq!(
+            direct.clock.now(),
+            meshed.clock.now(),
+            "single-hop routes add no latency over the point-to-point wire"
+        );
+        assert_eq!(meshed.fabric.link_stats().len(), 1);
+    }
+
+    #[test]
+    fn strict_fault_plan_surfaces_unknown_link_on_send() {
+        let plan = crate::FaultPlan::dropping(7, 0.0)
+            .with_link(NodeId(0), NodeId(1), LinkFaults::dropping(0.0))
+            .strict();
+        let mut w = fleet_world(
+            WireParams {
+                faults: Some(plan),
+                ..WireParams::default()
+            },
+            3,
+        );
+        let msg = user_msg(&mut w, NodeId(1), 100);
+        assert!(w
+            .fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, NodeId(0), msg)
+            .is_ok());
+        let msg = user_msg(&mut w, NodeId(2), 100);
+        assert_eq!(
+            w.fabric
+                .send(&mut w.clock, &mut w.ports, &mut w.segs, NodeId(0), msg)
+                .unwrap_err(),
+            NetError::UnknownLink {
+                from: NodeId(0),
+                to: NodeId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn validate_plans_catches_miswired_worlds() {
+        let w = fleet_world(
+            WireParams {
+                topology: Some(crate::Topology::torus(2, 2)),
+                ..WireParams::default()
+            },
+            4,
+        );
+        assert!(w.fabric.validate_plans().is_ok());
+        // A 2x2 torus cannot cover a fifth node.
+        let w = fleet_world(
+            WireParams {
+                topology: Some(crate::Topology::torus(2, 2)),
+                ..WireParams::default()
+            },
+            5,
+        );
+        assert_eq!(
+            w.fabric.validate_plans(),
+            Err(NetError::UnknownNode(NodeId(4)))
+        );
+        // A fault-plan override naming an unregistered node.
+        let w = fleet_world(
+            WireParams {
+                faults: Some(
+                    crate::FaultPlan::dropping(7, 0.0).with_link(
+                        NodeId(0),
+                        NodeId(9),
+                        LinkFaults::dropping(0.5),
+                    ),
+                ),
+                ..WireParams::default()
+            },
+            2,
+        );
+        assert_eq!(
+            w.fabric.validate_plans(),
+            Err(NetError::UnknownLink {
+                from: NodeId(0),
+                to: NodeId(9)
+            })
+        );
     }
 
     #[test]

@@ -50,10 +50,22 @@
 //!   crash-survivable disk backer ([`Fabric::disk_install_page`]) outlive
 //!   the crash and serve the kernel's post-crash recovery reads.
 
+//!
+//! * **Routed topologies.** A [`Topology`] on [`WireParams`] generalizes
+//!   the point-to-point wire into an N-node interconnect (full mesh,
+//!   ring, 2D mesh, torus) with deterministic multi-hop routing, per-hop
+//!   store-and-forward latency, per-link queueing, and a per-link byte
+//!   table ([`Fabric::link_stats`]). `None` (the default) keeps the
+//!   original pairwise wire byte-identical. See `docs/TOPOLOGY.md`.
+
+#![deny(missing_docs)]
+
 pub mod error;
 pub mod fabric;
 pub mod params;
+pub mod topology;
 
 pub use error::NetError;
 pub use fabric::{Fabric, FabricStats, SendReport};
 pub use params::{CrashEvent, CrashPlan, CrashTrigger, FaultPlan, LinkFaults, WireParams};
+pub use topology::{link_table, LinkStats, Topology, TopologyKind};

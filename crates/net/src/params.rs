@@ -19,6 +19,9 @@
 use cor_ipc::NodeId;
 use cor_sim::{Pcg32, SimDuration, SimTime};
 
+use crate::topology::Topology;
+use crate::NetError;
+
 /// Dedicated PCG stream for crash-plan jitter draws, disjoint from the
 /// fault-injection stream so adding a crash plan never perturbs the
 /// drop/duplicate/reorder draws of an existing fault plan.
@@ -79,6 +82,14 @@ impl LinkFaults {
 /// A deterministic fault-injection plan: a seed for the injection RNG, a
 /// default fault profile, and optional per-directed-link overrides.
 /// Identical plans over identical traffic produce identical faults.
+///
+/// By default a pair with no explicit [`links`](FaultPlan::links) entry
+/// falls back to the [`all`](FaultPlan::all) profile — the documented
+/// default for small worlds where "every link behaves the same" is the
+/// point. A [`strict`](FaultPlan::strict) plan instead treats such a
+/// lookup as the typed error [`NetError::UnknownLink`], so an N-node
+/// world cannot silently route traffic over a link its plan never
+/// described.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Seed for the injection RNG (a dedicated `cor-sim` PCG stream).
@@ -87,6 +98,10 @@ pub struct FaultPlan {
     pub all: LinkFaults,
     /// Per-directed-link overrides, keyed by `(from, to)`.
     pub links: Vec<((NodeId, NodeId), LinkFaults)>,
+    /// When `true`, a link without an explicit override is an
+    /// [`NetError::UnknownLink`] error instead of falling back to
+    /// [`all`](FaultPlan::all).
+    pub strict: bool,
 }
 
 impl FaultPlan {
@@ -96,6 +111,7 @@ impl FaultPlan {
             seed,
             all: faults,
             links: Vec::new(),
+            strict: false,
         }
     }
 
@@ -111,14 +127,56 @@ impl FaultPlan {
         self
     }
 
-    /// The faults in effect on the directed link `from → to`.
+    /// Builder-style: makes unknown-pair lookups a typed error (see
+    /// [`FaultPlan::try_for_link`]).
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// The faults in effect on the directed link `from → to`, falling
+    /// back to [`all`](FaultPlan::all) when the pair has no explicit
+    /// override — the documented non-strict default.
     pub fn for_link(&self, from: NodeId, to: NodeId) -> LinkFaults {
+        self.link_override(from, to).unwrap_or(self.all)
+    }
+
+    /// The faults in effect on the directed link `from → to`, honouring
+    /// [`strict`](FaultPlan::strict) mode.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownLink`] when the plan is strict and the pair has
+    /// no explicit [`links`](FaultPlan::links) entry.
+    pub fn try_for_link(&self, from: NodeId, to: NodeId) -> Result<LinkFaults, NetError> {
+        match self.link_override(from, to) {
+            Some(lf) => Ok(lf),
+            None if self.strict => Err(NetError::UnknownLink { from, to }),
+            None => Ok(self.all),
+        }
+    }
+
+    fn link_override(&self, from: NodeId, to: NodeId) -> Option<LinkFaults> {
         self.links
             .iter()
             .rev() // later overrides win
             .find(|((f, t), _)| *f == from && *t == to)
             .map(|(_, lf)| *lf)
-            .unwrap_or(self.all)
+    }
+
+    /// Validates that every per-link override names nodes drawn from
+    /// `nodes` (the fabric's registered set).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownLink`] naming the first mis-wired pair.
+    pub fn validate(&self, nodes: &std::collections::BTreeSet<NodeId>) -> Result<(), NetError> {
+        for &((from, to), _) in &self.links {
+            if !nodes.contains(&from) || !nodes.contains(&to) {
+                return Err(NetError::UnknownLink { from, to });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -230,6 +288,23 @@ impl CrashPlan {
         let jitter = SimDuration::from_micros(rng.range(0, self.slack.as_micros() + 1));
         Some(at + jitter)
     }
+
+    /// Validates that every crash event names a node drawn from `nodes`
+    /// (the fabric's registered set) — a crash aimed at a node that does
+    /// not exist can never fire and almost certainly marks a mis-built
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] naming the first unregistered node.
+    pub fn validate(&self, nodes: &std::collections::BTreeSet<NodeId>) -> Result<(), NetError> {
+        for e in &self.events {
+            if !nodes.contains(&e.node) {
+                return Err(NetError::UnknownNode(e.node));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Link and NetMsgServer cost parameters.
@@ -280,6 +355,14 @@ pub struct WireParams {
     /// means nodes never die, and every paper-reproduction number is
     /// byte-identical to a fabric built before crash injection existed.
     pub crashes: Option<CrashPlan>,
+    /// Optional routed interconnect. `None` (the default) is the seed-era
+    /// point-to-point wire: every remote pair is directly connected and
+    /// behaviour is byte-identical to a fabric built before topologies
+    /// existed. `Some` routes every remote delivery over the topology's
+    /// deterministic multi-hop path, accumulating per-hop latency,
+    /// per-link queueing, and per-link byte accounting
+    /// ([`Fabric::link_stats`](crate::Fabric::link_stats)).
+    pub topology: Option<Topology>,
 }
 
 impl Default for WireParams {
@@ -300,6 +383,7 @@ impl Default for WireParams {
             retry_timeout: SimDuration::from_millis(25),
             faults: None,
             crashes: None,
+            topology: None,
         }
     }
 }
@@ -393,6 +477,39 @@ mod tests {
         assert_eq!(plan.for_link(a, c).drop, 0.10, "others use the default");
         let plan = plan.with_link(a, b, LinkFaults::dropping(0.9));
         assert_eq!(plan.for_link(a, b).drop, 0.9, "later override wins");
+    }
+
+    #[test]
+    fn strict_plan_rejects_unknown_pairs() {
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        let lenient = FaultPlan::dropping(7, 0.10).with_link(a, b, LinkFaults::dropping(0.5));
+        assert_eq!(
+            lenient.try_for_link(b, c).unwrap().drop,
+            0.10,
+            "non-strict lookups fall back to the documented default"
+        );
+        let strict = lenient.clone().strict();
+        assert_eq!(strict.try_for_link(a, b).unwrap().drop, 0.5);
+        assert_eq!(
+            strict.try_for_link(b, c),
+            Err(NetError::UnknownLink { from: b, to: c }),
+            "strict lookups surface the unknown pair"
+        );
+    }
+
+    #[test]
+    fn plan_validation_names_the_miswired_entity() {
+        let (a, b, ghost) = (NodeId(0), NodeId(1), NodeId(9));
+        let nodes: std::collections::BTreeSet<NodeId> = [a, b].into_iter().collect();
+        let plan = FaultPlan::dropping(7, 0.1).with_link(a, ghost, LinkFaults::dropping(0.5));
+        assert_eq!(
+            plan.validate(&nodes),
+            Err(NetError::UnknownLink { from: a, to: ghost })
+        );
+        assert!(FaultPlan::dropping(7, 0.1).validate(&nodes).is_ok());
+        let crash = CrashPlan::at_time(7, ghost, SimTime::from_secs(1));
+        assert_eq!(crash.validate(&nodes), Err(NetError::UnknownNode(ghost)));
+        assert!(CrashPlan::at_time(7, b, SimTime::from_secs(1)).validate(&nodes).is_ok());
     }
 
     #[test]

@@ -270,6 +270,19 @@ pub enum TraceEvent {
         /// The dead receiver.
         to: NodeId,
     },
+    /// `net-route` — a routed topology carried a delivery over more than
+    /// one hop (single-hop deliveries are not journaled: they match the
+    /// point-to-point wire exactly).
+    NetRoute {
+        /// Message discriminator.
+        kind: MsgKind,
+        /// Sender.
+        from: NodeId,
+        /// Final receiver.
+        to: NodeId,
+        /// Links traversed end to end.
+        hops: u32,
+    },
 }
 
 impl TraceEvent {
@@ -298,6 +311,7 @@ impl TraceEvent {
             TraceEvent::NetDeathLost { .. } => "net-death-lost",
             TraceEvent::NetCrash { .. } => "net-crash",
             TraceEvent::NetNodeDown { .. } => "net-node-down",
+            TraceEvent::NetRoute { .. } => "net-route",
         }
     }
 
@@ -346,6 +360,7 @@ impl TraceEvent {
             | TraceEvent::NetJitter { from, .. }
             | TraceEvent::NetDup { from, .. }
             | TraceEvent::NetReorder { from, .. }
+            | TraceEvent::NetRoute { from, .. }
             | TraceEvent::NetNodeDown { from, .. } => Some(from),
             TraceEvent::NetDeathLost { to, .. } => Some(to),
             TraceEvent::NetStale { .. } => None,
@@ -502,6 +517,12 @@ impl fmt::Display for TraceEvent {
             TraceEvent::NetNodeDown { kind, from, to } => {
                 write!(f, "{kind:?} {from}->{to} aborted: peer is down")
             }
+            TraceEvent::NetRoute {
+                kind,
+                from,
+                to,
+                hops,
+            } => write!(f, "{kind:?} {from}->{to} routed over {hops} hops"),
         }
     }
 }

@@ -227,6 +227,17 @@ fn event_args(e: &TraceEvent) -> String {
             node(from),
             node(to)
         ),
+        TraceEvent::NetRoute {
+            kind,
+            from,
+            to,
+            hops,
+        } => format!(
+            "\"msg\":\"{:?}\",\"from\":{},\"to\":{},\"hops\":{hops}",
+            kind,
+            node(from),
+            node(to)
+        ),
     }
 }
 

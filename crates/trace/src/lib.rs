@@ -29,5 +29,5 @@ pub mod span;
 pub use cor_sim::JournalLevel;
 pub use event::TraceEvent;
 pub use journal::{Journal, JournalEvent};
-pub use metrics::{LogHistogram, MetricsRegistry, NodeMetrics};
+pub use metrics::{LinkMetrics, LogHistogram, MetricsRegistry, NodeMetrics};
 pub use span::{Span, SpanId};

@@ -1,0 +1,110 @@
+//! A migration storm on a routed torus (fleet-scale COR).
+//!
+//! Sixteen nodes joined by a 4×4 torus; the four draining nodes evict
+//! every resident process at once, a locality-aware placement policy
+//! picks each destination by hop distance, and the evicted processes
+//! resume and fault their pages back across the fabric. Afterwards the
+//! per-link byte table shows exactly where the storm's traffic went —
+//! every hop of every route is billed to the link that carried it.
+//!
+//! Run with: `cargo run --release --example fleet_storm`
+
+use std::collections::BTreeSet;
+
+use cor::ipc::NodeId;
+use cor::kernel::placement::{LocalityAware, Placement, PlacementCtx};
+use cor::kernel::program::Trace;
+use cor::kernel::World;
+use cor::mem::{AddressSpace, PageNum, VAddr, PAGE_SIZE};
+use cor::migrate::{MigrationManager, Strategy};
+use cor::net::{Topology, WireParams};
+
+const PAGES: u64 = 8;
+const PROCS_PER_DRAIN: u32 = 4;
+
+fn spawn_proc(world: &mut World, node: NodeId) -> cor::kernel::ProcessId {
+    let mut space = AddressSpace::new();
+    space.validate(VAddr(0), 4 * PAGES * PAGE_SIZE).unwrap();
+    let mut tb = Trace::builder();
+    for i in 0..PAGES {
+        tb.write(PageNum(i).base(), 64);
+    }
+    for i in 0..PAGES / 2 {
+        tb.read(PageNum(i * 2).base(), 64);
+    }
+    let pid = world
+        .create_process(node, "storm", space, tb.terminate())
+        .unwrap();
+    world.run_for(node, pid, PAGES as usize).unwrap();
+    pid
+}
+
+fn main() {
+    let topo = Topology::torus(4, 4).with_seed(7);
+    let wire = WireParams {
+        topology: Some(topo),
+        ..WireParams::default()
+    };
+    let (mut world, nodes) = World::fleet(16, Default::default(), wire);
+    world.fabric.validate_plans().expect("well-wired fleet");
+    let managers: Vec<MigrationManager> = nodes
+        .iter()
+        .map(|&n| MigrationManager::new(&mut world, n))
+        .collect();
+
+    // Every fourth node drains; each hosts four warm processes.
+    let drain_set: BTreeSet<NodeId> = nodes.iter().copied().filter(|n| n.0 % 4 == 0).collect();
+    for &node in &drain_set {
+        for _ in 0..PROCS_PER_DRAIN {
+            spawn_proc(&mut world, node);
+        }
+    }
+    let candidates: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|n| !drain_set.contains(n))
+        .collect();
+
+    println!("storm: draining {:?}", drain_set);
+    let mut policy = LocalityAware::new();
+    let storm_start = world.clock.now();
+    for &source in &drain_set {
+        for pid in world.resident_pids(source).unwrap() {
+            let loads = world.loads();
+            let ctx = PlacementCtx {
+                source,
+                candidates: &candidates,
+                loads: &loads,
+                topology: world.fabric.params.topology.as_ref(),
+                seed: 7,
+            };
+            let dest = policy.choose(&ctx, pid.0).unwrap();
+            managers[source.0 as usize]
+                .migrate_to(
+                    &mut world,
+                    &managers[dest.0 as usize],
+                    pid,
+                    Strategy::PureIou { prefetch: 1 },
+                )
+                .expect("storm migration");
+            println!("  pid{} {} -> {}", pid.0, source, dest);
+        }
+    }
+    println!(
+        "storm complete in {} (virtual)",
+        world.clock.now().since(storm_start)
+    );
+
+    // Resume every migrant: the read phase faults pages back over the
+    // fabric, filling the per-link table.
+    let mut finished = 0;
+    for &node in &candidates {
+        for pid in world.resident_pids(node).unwrap() {
+            if world.run(node, pid).expect("post-storm run").finished {
+                finished += 1;
+            }
+        }
+    }
+    println!("\n{finished} migrants ran to completion; per-link traffic:\n");
+    print!("{}", world.fabric.link_table());
+}
