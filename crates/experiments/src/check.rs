@@ -367,6 +367,60 @@ pub fn run_checks(matrix: &mut Matrix, workloads: &[Workload]) -> Vec<Check> {
         0.0,
     ));
 
+    // Saturation (ours): remote COR fault service under offered load.
+    // The gate runs the quick slice and pins (a) the closed-loop service
+    // time against the paper's §4.3.3 fault cost, (b) an unsaturated
+    // server keeping up with offered load, (c) the p99 fattening
+    // monotonically past the knee, (d) batching+coalescing lifting
+    // saturated throughput by the advertised margin, and (e) coalescing
+    // actually firing (and shedding bytes) on the relayed hot set.
+    let sat = crate::saturation::saturation_outcomes_for(
+        crate::saturation::gate_cells(),
+        &matrix.pool(),
+    );
+    let sat_cell = |label: &str, optimized: bool| {
+        sat.iter()
+            .find(|o| o.spec.optimized == optimized && o.spec.label() == label)
+            .expect("gate cell present")
+    };
+    checks.push(bound(
+        "saturation closed-loop p50 ms (paper ~115)",
+        sat_cell("closed-scan", false).p50_us as f64 / 1_000.0,
+        90.0,
+        130.0,
+    ));
+    let low = sat_cell("open-scan@4", false);
+    checks.push(bound(
+        "saturation low-load tracking (achieved/offered)",
+        low.achieved_fps / low.offered_fps,
+        0.95,
+        1.05,
+    ));
+    checks.push(bound(
+        "saturation p99 fattens past the knee (ratio)",
+        sat_cell("open-scan@26", false).p99_us as f64 / low.p99_us.max(1) as f64,
+        1.0,
+        1e6,
+    ));
+    checks.push(bound(
+        "saturation batched peak throughput lift (≥1.15)",
+        sat_cell("open-scan@26", true).achieved_fps / sat_cell("open-scan@26", false).achieved_fps,
+        1.15,
+        5.0,
+    ));
+    let hot_base = sat_cell("open-hot-relay@12", false);
+    let hot_opt = sat_cell("open-hot-relay@12", true);
+    let coalesce_ok = hot_opt.coalesced > 0
+        && hot_base.coalesced == 0
+        && hot_opt.wire_bytes < hot_base.wire_bytes
+        && hot_opt.served == hot_base.served;
+    checks.push(rel(
+        "saturation relay coalescing fires and sheds bytes",
+        if coalesce_ok { 1.0 } else { 0.0 },
+        1.0,
+        0.0,
+    ));
+
     checks
 }
 

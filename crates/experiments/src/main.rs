@@ -15,6 +15,8 @@
 //!   survivability-csv  the same sweep as CSV for downstream analysis
 //!   fleet       migration storms on routed N-node fabrics (ours)
 //!   fleet-csv   the same sweep as CSV for downstream analysis
+//!   saturation      remote-fault service under offered load (ours)
+//!   saturation-csv  the same sweep as CSV for downstream analysis
 //!   trace [name] [--jsonl] [--summary]   Perfetto/JSONL trace of one trial
 //!   journal [name]     human-readable journal narrative of one trial
 //!   metrics [name]     per-node metrics report of one trial
@@ -33,7 +35,9 @@
 //! Minprog trial so every run can ship a trace artifact. `COR_JOURNAL`
 //! (`off|summary|full`) sets the journal level of sweep trials.
 
-use cor_experiments::{figures, fleet, loss, runner::Matrix, summary, survivability, tables, trace};
+use cor_experiments::{
+    figures, fleet, loss, runner::Matrix, saturation, summary, survivability, tables, trace,
+};
 use cor_pool::Pool;
 use cor_sim::JournalLevel;
 
@@ -85,6 +89,8 @@ fn main() {
         "survivability-csv" => print!("{}", survivability::survivability_csv(&workloads, &pool)),
         "fleet" => emit(fleet::fleet(&pool)),
         "fleet-csv" => print!("{}", fleet::fleet_csv(&pool)),
+        "saturation" => emit(saturation::saturation(&pool)),
+        "saturation-csv" => print!("{}", saturation::saturation_csv(&pool)),
         "cow-study" => emit(summary::cow_study()),
         "sensitivity" => emit(summary::sensitivity(&pool)),
         "modern" => emit(summary::modern_study(&workloads, &pool)),
@@ -167,6 +173,7 @@ fn main() {
             emit(loss::loss_sweep(&workloads, &pool));
             emit(survivability::survivability(&workloads, &pool));
             emit(fleet::fleet(&pool));
+            emit(saturation::saturation(&pool));
         }
         other => {
             eprintln!("unknown command: {other}");
@@ -174,7 +181,8 @@ fn main() {
                 "usage: experiments [--threads N] [--trace-out FILE] <command>\n\
                  commands: table4-1..table4-5, fig4-1..fig4-5, constants, summary, \
                  speedups, ablation, loss-sweep, survivability, survivability-csv, \
-                 fleet, fleet-csv, cow-study, sensitivity, modern, \
+                 fleet, fleet-csv, saturation, saturation-csv, \
+                 cow-study, sensitivity, modern, \
                  trace [name] [--jsonl] [--summary], \
                  journal [name], metrics [name], policy, csv, check, all"
             );

@@ -672,7 +672,7 @@ impl World {
         // a reply to an earlier request that was duplicated or delayed on
         // an unreliable wire — is stale: drop it and keep looking
         // (idempotent handling).
-        let frames = loop {
+        let mut frames = loop {
             let Some(reply) = self.ports.dequeue(pager_port)? else {
                 // The queue ran dry without our reply: if the backing site
                 // died mid-flight this is recoverable; otherwise it is the
@@ -724,7 +724,7 @@ impl World {
             // 512-byte snapshot: the page is mapped copy-on-write against
             // the sender's cache, and a later write performs the deferred
             // copy (Accent's own message semantics, paper §2.1).
-            for (i, frame) in frames.into_iter().enumerate() {
+            for (i, frame) in frames.drain(..).enumerate() {
                 let target = page.offset(i as u64);
                 if matches!(
                     process.space.page_state(target),
@@ -742,6 +742,9 @@ impl World {
             }
             process.stats.imag_faults += 1;
         }
+        // The drained reply vector goes back to the scratch pool for the
+        // next reply assembly on this thread.
+        cor_mem::page::frame_pool::give(frames);
         self.span_exit(mapin_span);
         if installed > 0 {
             self.fabric.release_refs(

@@ -4,7 +4,7 @@
 //! evaluation (resident sets, prefetch units, fault granularity) is in these
 //! units, so the page size is a crate-wide constant rather than a parameter.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::ops::Range;
 use std::rc::Rc;
@@ -142,7 +142,27 @@ pub fn page_from_bytes(bytes: &[u8]) -> PageData {
 /// into a receiver clones the `Rc`, and the 512-byte copy happens only when
 /// either party writes.
 #[derive(Clone)]
-pub struct Frame(Rc<RefCell<PageData>>);
+pub struct Frame(Rc<FrameInner>);
+
+/// The shared interior of a [`Frame`]: the page bytes plus a memoized
+/// content hash. The hash cell caches [`Frame::content_hash`] so the
+/// 512-byte FNV walk runs at most once per contents version — every
+/// alias of the frame (CoW shares, messages in flight, dedup-table
+/// residents) reuses it for free, and any mutation through
+/// [`Frame::with_mut`] invalidates it.
+struct FrameInner {
+    data: RefCell<PageData>,
+    hash: Cell<Option<u64>>,
+}
+
+impl FrameInner {
+    fn new(data: PageData) -> Self {
+        FrameInner {
+            data: RefCell::new(data),
+            hash: Cell::new(None),
+        }
+    }
+}
 
 thread_local! {
     /// The interned zero frame: one canonical all-zeros page per thread
@@ -150,7 +170,59 @@ thread_local! {
     /// [`Frame::zeroed`] call aliases it, so validating or zero-filling
     /// megabytes of RealZeroMem costs reference bumps, not allocations;
     /// the first write diverges through the normal deferred-copy path.
-    static ZERO_FRAME: Frame = Frame(Rc::new(RefCell::new(zero_page())));
+    static ZERO_FRAME: Frame = Frame(Rc::new(FrameInner::new(zero_page())));
+}
+
+/// A thread-local pool of recycled `Vec<Frame>` buffers for message
+/// assembly on the COR reply hot path. Serving a read request builds a
+/// frame vector, ships it inside the reply, and the consumer drains it
+/// at install time; [`frame_pool::give`] returns the drained (or
+/// emptied) vector here so the next reply assembles into warmed
+/// capacity instead of a fresh heap allocation. Purely an allocator
+/// shortcut: pooled vectors are always handed out empty, so behaviour
+/// is identical to `Vec::new`.
+pub mod frame_pool {
+    use std::cell::RefCell;
+
+    use super::Frame;
+
+    /// Upper bound on pooled buffers per thread; beyond it, returned
+    /// vectors are simply dropped.
+    const MAX_POOLED: usize = 32;
+
+    thread_local! {
+        static POOL: RefCell<Vec<Vec<Frame>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Takes an empty frame vector with at least `cap` capacity,
+    /// reusing a pooled buffer when one is available.
+    pub fn take(cap: usize) -> Vec<Frame> {
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            match pool.pop() {
+                Some(mut v) => {
+                    v.reserve(cap);
+                    v
+                }
+                None => Vec::with_capacity(cap),
+            }
+        })
+    }
+
+    /// Returns a spent frame vector to the pool (cleared first; frame
+    /// refcounts drop as usual).
+    pub fn give(mut v: Vec<Frame>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        v.clear();
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(v);
+            }
+        });
+    }
 }
 
 /// Frame-allocation counters, compiled in for tests and for builds with the
@@ -186,7 +258,7 @@ impl Frame {
     pub fn new(data: PageData) -> Self {
         #[cfg(any(test, feature = "alloc-stats"))]
         alloc_stats::record_alloc();
-        Frame(Rc::new(RefCell::new(data)))
+        Frame(Rc::new(FrameInner::new(data)))
     }
 
     /// A zero-filled frame: an alias of the thread's interned zero page.
@@ -212,7 +284,7 @@ impl Frame {
 
     /// Copies the frame contents into a brand-new unshared frame.
     pub fn deep_copy(&self) -> Frame {
-        Frame::new(Box::new(**self.0.borrow()))
+        Frame::new(Box::new(**self.0.data.borrow()))
     }
 
     /// Forces this mapping private: if the frame is shared (with another
@@ -228,22 +300,34 @@ impl Frame {
 
     /// Reads the whole page into a fresh buffer.
     pub fn snapshot(&self) -> PageData {
-        Box::new(**self.0.borrow())
+        Box::new(**self.0.data.borrow())
     }
 
     /// FNV-1a hash of the page contents, for content-addressed dedup
     /// caches. Equal pages always collide; unequal pages practically never
     /// do, but dedup callers must still confirm with
     /// [`Frame::same_contents`].
+    ///
+    /// Memoized per contents version: the 512-byte walk happens once,
+    /// every later call (on this frame or any alias of it) returns the
+    /// cached value, and a mutation through [`Frame::with_mut`]
+    /// invalidates the cache. On the COR reply path, where shared and
+    /// interned frames are re-hashed every time they cross a dedup-capable
+    /// NetMsgServer, this turns the checksum into a constant-time lookup.
     pub fn content_hash(&self) -> u64 {
-        self.with(|d| {
+        if let Some(h) = self.0.hash.get() {
+            return h;
+        }
+        let h = self.with(|d| {
             let mut h: u64 = 0xcbf29ce484222325;
             for &b in d.iter() {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x100000001b3);
             }
             h
-        })
+        });
+        self.0.hash.set(Some(h));
+        h
     }
 
     /// Byte-for-byte equality of two frames (constant-time `true` for two
@@ -254,7 +338,7 @@ impl Frame {
 
     /// Runs `f` over the page contents.
     pub fn with<R>(&self, f: impl FnOnce(&[u8; PAGE_SIZE as usize]) -> R) -> R {
-        f(&self.0.borrow())
+        f(&self.0.data.borrow())
     }
 
     /// Runs `f` over the mutable page contents.
@@ -262,15 +346,22 @@ impl Frame {
     /// Callers must only do this on unshared frames (enforced by
     /// `AddressSpace`, which copies shared frames first); mutating a shared
     /// frame would violate copy-on-write semantics, though it cannot violate
-    /// memory safety.
+    /// memory safety. Invalidates the memoized content hash.
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut [u8; PAGE_SIZE as usize]) -> R) -> R {
-        f(&mut self.0.borrow_mut())
+        self.0.hash.set(None);
+        f(&mut self.0.data.borrow_mut())
     }
 }
 
 impl fmt::Debug for Frame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Frame(rc={})", Rc::strong_count(&self.0))
+    }
+}
+
+impl fmt::Debug for FrameInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FrameInner")
     }
 }
 
@@ -390,6 +481,40 @@ mod tests {
         let f = Frame::new(zero_page());
         let _ = f.deep_copy();
         assert_eq!(alloc_stats::frame_allocs(), 2);
+    }
+
+    #[test]
+    fn content_hash_is_memoized_and_invalidated_by_writes() {
+        let f = Frame::new(page_from_bytes(b"abc"));
+        let h1 = f.content_hash();
+        assert_eq!(f.content_hash(), h1, "second call hits the cache");
+        // An alias shares the memo.
+        let alias = f.clone();
+        assert_eq!(alias.content_hash(), h1);
+        // A write invalidates it and the recomputed hash differs.
+        let g = f.deep_copy();
+        assert_eq!(g.content_hash(), h1, "deep copy has equal contents");
+        g.with_mut(|d| d[0] = b'x');
+        assert_ne!(g.content_hash(), h1, "mutation invalidates the memo");
+        // And matches a from-scratch frame with the same bytes.
+        let mut fresh = *zero_page();
+        fresh[..3].copy_from_slice(b"xbc");
+        assert_eq!(g.content_hash(), Frame::new(Box::new(fresh)).content_hash());
+    }
+
+    #[test]
+    fn frame_pool_recycles_capacity() {
+        let mut v = frame_pool::take(4);
+        assert!(v.is_empty());
+        v.push(Frame::zeroed());
+        v.push(Frame::zeroed());
+        let cap = v.capacity();
+        frame_pool::give(v);
+        let v2 = frame_pool::take(1);
+        assert!(v2.is_empty(), "pooled buffers come back empty");
+        assert!(v2.capacity() >= cap.min(1), "capacity survives the round trip");
+        frame_pool::give(v2);
+        frame_pool::give(Vec::new()); // zero-capacity returns are dropped
     }
 
     #[test]

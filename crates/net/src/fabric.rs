@@ -47,6 +47,9 @@ struct PendingRelay {
     stand_in_offset: u64,
     /// The original request's sequence number, echoed on the renamed reply.
     seq: u64,
+    /// Pages the waiter asked for, so a covering (possibly wider) reply
+    /// can carve out exactly the slice this waiter needs.
+    count: u64,
 }
 
 /// Per-node NetMsgServer state.
@@ -58,7 +61,11 @@ struct NmsState {
     /// Stand-in segments this NMS created for remote imaginary objects.
     forward: HashMap<SegmentId, ForwardEntry>,
     /// Keyed by (origin segment, origin offset) of a forwarded request.
-    pending: HashMap<(SegmentId, u64), PendingRelay>,
+    /// With [`WireParams::coalesce`] off the vector never holds more than
+    /// one waiter (latest wins, the seed semantics); with it on, duplicate
+    /// in-flight requests park here CCNx-PIT-style and are all answered
+    /// from the single upstream reply.
+    pending: HashMap<(SegmentId, u64), Vec<PendingRelay>>,
     /// Content-addressed page cache for incoming COR replies: content hash
     /// → frames already held with that hash (a short list, since unequal
     /// pages practically never collide). Replies carrying bytes this node
@@ -91,6 +98,14 @@ pub struct FabricStats {
     pub standins_created: u64,
     /// Segment death notices sent.
     pub deaths_sent: u64,
+    /// Multi-request read batches answered with a single reply
+    /// ([`WireParams::batch_replies`]).
+    pub batched_replies: u64,
+    /// Pages carried by those batched replies.
+    pub batched_pages: u64,
+    /// Read requests that piggybacked on an already-in-flight fetch
+    /// instead of being re-forwarded ([`WireParams::coalesce`]).
+    pub coalesced_requests: u64,
 }
 
 /// The network fabric: wire model, ledger, and one NetMsgServer per node.
@@ -633,6 +648,12 @@ impl Fabric {
     /// one-second chunks) so rate-over-time views see the flow, not a
     /// spike at completion.
     fn record_spread(&mut self, from: SimTime, to: SimTime, bytes: u64, category: LedgerCategory) {
+        // Coarse (totals-only) ledgers keep no per-instant entries, so the
+        // spreading loop is pure overhead on the fault-service hot path.
+        if self.ledger.is_coarse() {
+            self.ledger.record(to, bytes, category);
+            return;
+        }
         let span = to.since(from);
         let chunks = (span.as_micros() / 1_000_000).clamp(1, 600);
         let per = bytes / chunks;
@@ -818,6 +839,15 @@ impl Fabric {
             return Ok(Vec::new());
         }
         let mut unhandled = Vec::new();
+        // Batched COR service: cache-hit read requests are deferred into
+        // `batch` while the queue drains, then answered in merged
+        // contiguous runs. The batch flushes before any message that takes
+        // a different path, so relative ordering against relays, replies
+        // and deaths is preserved. With `batch_replies` off (the default)
+        // the buffer is never used and every request answers immediately,
+        // byte-identical to the seed.
+        let batching = self.params.batch_replies;
+        let mut batch: Vec<(SegmentId, u64, u64, PortId, u64)> = Vec::new();
         while let Some(msg) = ports.dequeue(port)? {
             clock.advance(self.params.nms_service);
             // Parse by value: relayed replies hand their frames through
@@ -830,9 +860,14 @@ impl Fabric {
                     reply,
                     seq,
                 }) => {
-                    self.handle_read_request(
-                        clock, ports, segs, node, seg, offset, count, reply, seq,
-                    )?;
+                    if batching && self.is_cache_hit(node, seg, offset, count) {
+                        batch.push((seg, offset, count, reply, seq));
+                    } else {
+                        self.flush_batch(clock, ports, segs, node, &mut batch)?;
+                        self.handle_read_request(
+                            clock, ports, segs, node, seg, offset, count, reply, seq,
+                        )?;
+                    }
                 }
                 Ok(ProtocolMsg::ImagReadReply {
                     seg,
@@ -840,15 +875,111 @@ impl Fabric {
                     frames,
                     seq,
                 }) => {
+                    self.flush_batch(clock, ports, segs, node, &mut batch)?;
                     self.handle_relayed_reply(clock, ports, segs, node, seg, offset, frames, seq)?;
                 }
                 Ok(ProtocolMsg::ImagSegmentDeath { seg }) => {
+                    self.flush_batch(clock, ports, segs, node, &mut batch)?;
                     self.handle_death(clock, ports, segs, node, seg)?;
                 }
                 Err(msg) => unhandled.push(msg),
             }
         }
+        self.flush_batch(clock, ports, segs, node, &mut batch)?;
         Ok(unhandled)
+    }
+
+    /// Whether `node`'s NMS can answer a read for `[offset, offset+count)`
+    /// of `seg` straight from its cache.
+    fn is_cache_hit(&self, node: NodeId, seg: SegmentId, offset: u64, count: u64) -> bool {
+        self.nodes
+            .get(&node)
+            .and_then(|n| n.cache.get(&seg))
+            .is_some_and(|c| offset + count <= c.len() as u64)
+    }
+
+    /// Answers every deferred cache-hit read request, merging requests for
+    /// pages in the same contiguous fragment run (same segment, same reply
+    /// port) into one multi-page reply with a single amortized message
+    /// cost. A run covering exactly one request answers through the
+    /// regular path with that request's sequence number; a multi-request
+    /// run answers once with sequence 0 and the covering range, and the
+    /// receiver matches outstanding requests by coverage.
+    fn flush_batch(
+        &mut self,
+        clock: &mut Clock,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+        node: NodeId,
+        batch: &mut Vec<(SegmentId, u64, u64, PortId, u64)>,
+    ) -> Result<(), NetError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if batch.len() == 1 {
+            let (seg, offset, count, reply, seq) = batch.pop().expect("len checked");
+            return self
+                .handle_read_request(clock, ports, segs, node, seg, offset, count, reply, seq);
+        }
+        batch.sort_by_key(|&(seg, offset, _, reply, _)| (seg.0, reply.0, offset));
+        let max_pages = self.params.max_batch_pages.max(1);
+        let mut i = 0;
+        while i < batch.len() {
+            let (seg, run_start, count, reply, seq) = batch[i];
+            let mut run_end = run_start + count;
+            let mut members = 1u64;
+            let mut j = i + 1;
+            while j < batch.len() {
+                let (s2, o2, c2, r2, _) = batch[j];
+                if s2 != seg || r2 != reply || o2 > run_end {
+                    break;
+                }
+                let new_end = run_end.max(o2 + c2);
+                if new_end - run_start > max_pages {
+                    break;
+                }
+                run_end = new_end;
+                members += 1;
+                j += 1;
+            }
+            if members == 1 {
+                self.handle_read_request(
+                    clock, ports, segs, node, seg, run_start, count, reply, seq,
+                )?;
+            } else {
+                let pages = run_end - run_start;
+                let nms = self
+                    .nodes
+                    .get_mut(&node)
+                    .ok_or(NetError::UnknownNode(node))?;
+                let cache = nms.cache.get(&seg).ok_or(NetError::MissingData {
+                    seg,
+                    offset: run_start,
+                })?;
+                if run_end > cache.len() as u64 {
+                    return Err(NetError::MissingData {
+                        seg,
+                        offset: run_start,
+                    });
+                }
+                let mut frames = cor_mem::page::frame_pool::take(pages as usize);
+                frames.extend_from_slice(&cache[run_start as usize..run_end as usize]);
+                self.stats.batched_replies += 1;
+                self.stats.batched_pages += pages;
+                self.note(clock.now(), || TraceEvent::NetBatch {
+                    node,
+                    requests: members,
+                    pages,
+                });
+                let reply_msg = protocol::imag_read_reply(reply, seg, run_start, frames)
+                    .with_seq(0)
+                    .with_no_ious(true);
+                self.send(clock, ports, segs, node, reply_msg)?;
+            }
+            i = j;
+        }
+        batch.clear();
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)] // the world state travels together
@@ -873,7 +1004,11 @@ impl Fabric {
             if end > cache.len() as u64 {
                 return Err(NetError::MissingData { seg, offset });
             }
-            let frames: Vec<Frame> = cache[offset as usize..end as usize].to_vec();
+            // Scratch-pooled reply assembly: reuse a recycled frame vector
+            // instead of allocating one per reply. Contents are identical
+            // to a fresh `to_vec`.
+            let mut frames = cor_mem::page::frame_pool::take(count as usize);
+            frames.extend_from_slice(&cache[offset as usize..end as usize]);
             let reply_msg = protocol::imag_read_reply(reply, seg, offset, frames)
                 .with_seq(seq)
                 .with_no_ious(true);
@@ -886,15 +1021,36 @@ impl Fabric {
             // forwarded request keeps the original sequence number, so the
             // final renamed reply still pairs with the faulter's request.
             let my_port = nms.port;
-            nms.pending.insert(
-                (fwd.orig_seg, fwd.orig_base + offset),
-                PendingRelay {
-                    final_reply: reply,
-                    stand_in: seg,
-                    stand_in_offset: offset,
-                    seq,
-                },
-            );
+            let key = (fwd.orig_seg, fwd.orig_base + offset);
+            let relay = PendingRelay {
+                final_reply: reply,
+                stand_in: seg,
+                stand_in_offset: offset,
+                seq,
+                count,
+            };
+            if self.params.coalesce {
+                // CCNx-style pending-interest table: if a fetch wide
+                // enough to cover this request is already in flight for
+                // the same origin page, park the waiter and let it
+                // piggyback on the upstream reply instead of re-sending.
+                let waiters = nms.pending.entry(key).or_default();
+                let in_flight = waiters.iter().any(|w| w.count >= count);
+                waiters.push(relay);
+                if in_flight {
+                    self.stats.coalesced_requests += 1;
+                    self.note(clock.now(), || TraceEvent::NetCoalesce {
+                        node,
+                        seg: key.0 .0,
+                        offset: key.1,
+                    });
+                    return Ok(());
+                }
+            } else {
+                // Seed semantics: the latest forwarded request replaces
+                // any earlier waiter on the same origin page.
+                nms.pending.insert(key, vec![relay]);
+            }
             let backer = segs.backing_port(fwd.orig_seg)?;
             let req = protocol::imag_read_request(
                 backer,
@@ -927,16 +1083,51 @@ impl Fabric {
             .nodes
             .get_mut(&node)
             .ok_or(NetError::UnknownNode(node))?;
-        if let Some(relay) = nms.pending.remove(&(seg, offset)) {
-            let renamed = protocol::imag_read_reply(
-                relay.final_reply,
-                relay.stand_in,
-                relay.stand_in_offset,
-                frames,
-            )
-            .with_seq(relay.seq)
-            .with_no_ious(true);
-            self.send(clock, ports, segs, node, renamed)?;
+        // Collect every parked waiter this reply covers, in deterministic
+        // (origin offset, arrival) order. With coalescing off each key
+        // holds at most one waiter and a reply covers exactly its own key,
+        // so this reduces to the seed's exact-match relay.
+        let n = frames.len() as u64;
+        let mut covered: Vec<u64> = nms
+            .pending
+            .keys()
+            .filter(|&&(s, o)| s == seg && o >= offset && o < offset + n)
+            .map(|&(_, o)| o)
+            .collect();
+        covered.sort_unstable();
+        let mut matched: Vec<(u64, PendingRelay)> = Vec::new();
+        for o in covered {
+            if let Some(mut waiters) = nms.pending.remove(&(seg, o)) {
+                let mut kept = Vec::new();
+                for w in waiters.drain(..) {
+                    if o + w.count <= offset + n {
+                        matched.push((o, w));
+                    } else {
+                        kept.push(w);
+                    }
+                }
+                if !kept.is_empty() {
+                    nms.pending.insert((seg, o), kept);
+                }
+            }
+        }
+        if !matched.is_empty() {
+            for (o, relay) in matched {
+                let lo = (o - offset) as usize;
+                let hi = lo + relay.count as usize;
+                let mut sub = cor_mem::page::frame_pool::take(relay.count as usize);
+                sub.extend_from_slice(&frames[lo..hi]);
+                let renamed = protocol::imag_read_reply(
+                    relay.final_reply,
+                    relay.stand_in,
+                    relay.stand_in_offset,
+                    sub,
+                )
+                .with_seq(relay.seq)
+                .with_no_ious(true);
+                self.send(clock, ports, segs, node, renamed)?;
+            }
+            cor_mem::page::frame_pool::give(frames);
             Ok(())
         } else if seq != 0 || self.params.faults.is_some() {
             // A reply with no pending relay is stale: the request it

@@ -363,6 +363,21 @@ pub struct WireParams {
     /// per-link queueing, and per-link byte accounting
     /// ([`Fabric::link_stats`](crate::Fabric::link_stats)).
     pub topology: Option<Topology>,
+    /// Batched COR service: when on, a NetMsgServer defers cache-hit read
+    /// requests while draining its queue and answers requests for pages in
+    /// the same contiguous fragment run with one multi-page reply,
+    /// amortizing the per-message and per-run costs. Off (the default)
+    /// answers each request individually, byte-identical to the seed.
+    pub batch_replies: bool,
+    /// Largest number of pages a single batched reply may carry. Only
+    /// consulted when [`batch_replies`](Self::batch_replies) is on.
+    pub max_batch_pages: u64,
+    /// CCNx-style in-flight request coalescing (a pending-interest table):
+    /// when on, a relaying NetMsgServer that already has a fetch in flight
+    /// for a (segment, page) key parks duplicate requests and answers all
+    /// waiters from the single upstream reply instead of re-forwarding.
+    /// Off (the default) keeps the seed's latest-waiter-wins semantics.
+    pub coalesce: bool,
 }
 
 impl Default for WireParams {
@@ -384,6 +399,9 @@ impl Default for WireParams {
             faults: None,
             crashes: None,
             topology: None,
+            batch_replies: false,
+            max_batch_pages: 32,
+            coalesce: false,
         }
     }
 }
@@ -415,6 +433,16 @@ impl WireParams {
         let bytes = self.wire_bytes(payload);
         self.msg_cpu_fixed
             + SimDuration::from_micros(bytes.saturating_mul(self.msg_cpu_per_byte_ns) / 1_000)
+    }
+
+    /// The optimized fault-service hot path: batched multi-page replies
+    /// plus in-flight request coalescing. Paper tables are byte-identical
+    /// with these on or off; they change only behaviour under concurrent
+    /// load, where synchronous faulters never queue more than one request.
+    pub fn hot_path(mut self) -> Self {
+        self.batch_replies = true;
+        self.coalesce = true;
+        self
     }
 }
 

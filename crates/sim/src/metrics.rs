@@ -126,6 +126,7 @@ pub struct LedgerEntry {
 pub struct Ledger {
     entries: Vec<LedgerEntry>,
     totals: [u64; 5],
+    coarse: bool,
 }
 
 impl Ledger {
@@ -134,14 +135,31 @@ impl Ledger {
         Ledger::default()
     }
 
+    /// Switches the ledger between full entry recording (the default,
+    /// needed for the Figure 4-5 time-series binning) and coarse mode,
+    /// where [`Ledger::record`] only bumps the fixed per-category total
+    /// array — no allocation, no entry push. Load harnesses that only
+    /// need byte totals run coarse so stats stay off the service hot
+    /// path; totals are identical either way.
+    pub fn set_coarse(&mut self, coarse: bool) {
+        self.coarse = coarse;
+    }
+
+    /// `true` when only per-category totals are being kept.
+    pub fn is_coarse(&self) -> bool {
+        self.coarse
+    }
+
     /// Records `bytes` of `category` traffic at instant `at`.
     pub fn record(&mut self, at: SimTime, bytes: u64, category: LedgerCategory) {
         self.totals[category.index()] += bytes;
-        self.entries.push(LedgerEntry {
-            at,
-            bytes,
-            category,
-        });
+        if !self.coarse {
+            self.entries.push(LedgerEntry {
+                at,
+                bytes,
+                category,
+            });
+        }
     }
 
     /// Total bytes across all categories.
@@ -162,7 +180,7 @@ impl Ledger {
 
     /// Returns `true` if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.total() == 0
     }
 
     /// Bins the ledger into fixed-width buckets of `bin` virtual time,

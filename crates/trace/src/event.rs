@@ -283,6 +283,28 @@ pub enum TraceEvent {
         /// Links traversed end to end.
         hops: u32,
     },
+    /// `net-batch` — a NetMsgServer answered several queued read
+    /// requests for the same fragment run with one multi-page reply
+    /// (opt-in batched COR service).
+    NetBatch {
+        /// The serving node.
+        node: NodeId,
+        /// Requests merged into the reply.
+        requests: u64,
+        /// Pages the merged reply carried.
+        pages: u64,
+    },
+    /// `net-coalesce` — a read request for a page already being fetched
+    /// upstream piggybacked on the in-flight request instead of
+    /// re-sending (opt-in PIT-style coalescing).
+    NetCoalesce {
+        /// The relaying node whose pending-interest table absorbed it.
+        node: NodeId,
+        /// The origin segment being fetched.
+        seg: u64,
+        /// The origin page offset.
+        offset: u64,
+    },
 }
 
 impl TraceEvent {
@@ -312,6 +334,8 @@ impl TraceEvent {
             TraceEvent::NetCrash { .. } => "net-crash",
             TraceEvent::NetNodeDown { .. } => "net-node-down",
             TraceEvent::NetRoute { .. } => "net-route",
+            TraceEvent::NetBatch { .. } => "net-batch",
+            TraceEvent::NetCoalesce { .. } => "net-coalesce",
         }
     }
 
@@ -353,6 +377,8 @@ impl TraceEvent {
             | TraceEvent::Orphan { node, .. }
             | TraceEvent::Exec { node, .. }
             | TraceEvent::NetDedup { node, .. }
+            | TraceEvent::NetBatch { node, .. }
+            | TraceEvent::NetCoalesce { node, .. }
             | TraceEvent::NetCrash { node, .. } => Some(node),
             TraceEvent::Send { from, .. }
             | TraceEvent::NetDrop { from, .. }
@@ -523,6 +549,18 @@ impl fmt::Display for TraceEvent {
                 to,
                 hops,
             } => write!(f, "{kind:?} {from}->{to} routed over {hops} hops"),
+            TraceEvent::NetBatch {
+                node,
+                requests,
+                pages,
+            } => write!(
+                f,
+                "{node} merged {requests} read requests into one {pages}-page reply"
+            ),
+            TraceEvent::NetCoalesce { node, seg, offset } => write!(
+                f,
+                "{node} coalesced request for seg {seg} page {offset} onto in-flight fetch"
+            ),
         }
     }
 }

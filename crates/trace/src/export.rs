@@ -238,6 +238,14 @@ fn event_args(e: &TraceEvent) -> String {
             node(from),
             node(to)
         ),
+        TraceEvent::NetBatch {
+            node: n,
+            requests,
+            pages,
+        } => format!("\"node\":{},\"requests\":{requests},\"pages\":{pages}", node(n)),
+        TraceEvent::NetCoalesce { node: n, seg, offset } => {
+            format!("\"node\":{},\"seg\":{seg},\"offset\":{offset}", node(n))
+        }
     }
 }
 

@@ -57,3 +57,54 @@ fn zero_fill_faults_do_not_allocate() {
     let second = allocs_for("Minprog", Strategy::PureIou { prefetch: 0 });
     assert_eq!(first, second, "alloc counts are deterministic");
 }
+
+/// Frame allocations of one saturation cell (its own setup included).
+fn sat_allocs(spec: cor_experiments::saturation::SatSpec) -> u64 {
+    alloc_stats::reset();
+    let o = cor_experiments::saturation::run_cell(spec);
+    assert_eq!(o.served, spec.requests, "every fault completed");
+    alloc_stats::frame_allocs()
+}
+
+fn sat_spec(relay: bool, optimized: bool) -> cor_experiments::saturation::SatSpec {
+    cor_experiments::saturation::SatSpec {
+        mode: "open",
+        pattern: if relay { "hot" } else { "scan" },
+        relay,
+        optimized,
+        offered_fps: if relay { 12 } else { 26 },
+        requests: 192,
+    }
+}
+
+#[test]
+fn batched_reply_path_is_allocation_free() {
+    // A saturated open-loop cell allocates frames only in its setup (the
+    // 64 distinct-content cache pages); the batched reply hot path
+    // reference-counts cache frames into pooled vectors and must not
+    // allocate per served fault. The unbatched cell bounds the same.
+    for optimized in [false, true] {
+        let allocs = sat_allocs(sat_spec(false, optimized));
+        assert!(
+            allocs < 100,
+            "optimized={optimized}: {allocs} frame allocs for 192 served \
+             faults — the reply path is copying pages again"
+        );
+    }
+}
+
+#[test]
+fn coalesced_relay_path_is_allocation_free() {
+    // The relayed hot-set cell adds the forward/rename path and (when
+    // optimized) pending-interest coalescing; renamed replies slice the
+    // upstream reply by reference, so the bound is the same as direct
+    // service.
+    for optimized in [false, true] {
+        let allocs = sat_allocs(sat_spec(true, optimized));
+        assert!(
+            allocs < 100,
+            "optimized={optimized}: {allocs} frame allocs on the relay \
+             path — renamed replies are copying pages again"
+        );
+    }
+}

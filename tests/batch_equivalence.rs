@@ -1,0 +1,226 @@
+//! The byte-identical-paper-tables gate for the fault-service hot path.
+//!
+//! Batched multi-page replies, in-flight request coalescing, pooled reply
+//! assembly and coarse stats are all opt-in `WireParams` knobs; this
+//! suite proves (a) turning them on does not change a single byte of any
+//! paper table, ledger category total, or end time — a synchronous
+//! faulter never queues more than one request, so the optimizations have
+//! nothing to merge — and (b) under a chaotic wire (drops, duplicates,
+//! reorders), coalescing plus link-layer retransmission still completes
+//! every fault exactly once with the right bytes.
+
+use cor::ipc::message::{Message, MsgItem, MsgKind};
+use cor::ipc::protocol::{self, ProtocolMsg};
+use cor::kernel::{CostModel, World};
+use cor::mem::page::{page_from_bytes, Frame};
+use cor::net::{FaultPlan, LinkFaults, WireParams};
+use cor::sim::LedgerCategory;
+use cor_experiments::runner::{self, Trial};
+use cor_migrate::Strategy;
+
+/// The strategies the reproduction gate leans on, compared across every
+/// workload; the full paper sweep is additionally compared on the
+/// smallest representative.
+fn gate_strategies() -> [Strategy; 4] {
+    [
+        Strategy::PureCopy,
+        Strategy::PureIou { prefetch: 0 },
+        Strategy::PureIou { prefetch: 1 },
+        Strategy::ResidentSet { prefetch: 0 },
+    ]
+}
+
+fn assert_trials_identical(base: &Trial, hot: &Trial, ctx: &str) {
+    assert_eq!(base.csv_row(), hot.csv_row(), "{ctx}: csv row diverged");
+    assert_eq!(base.end_time, hot.end_time, "{ctx}: end time diverged");
+    for cat in LedgerCategory::ALL {
+        assert_eq!(
+            base.ledger.total_for(cat),
+            hot.ledger.total_for(cat),
+            "{ctx}: ledger category {cat:?} diverged"
+        );
+    }
+}
+
+#[test]
+fn paper_tables_are_byte_identical_under_the_hot_path() {
+    let workloads = cor_workloads::all();
+    for w in &workloads {
+        for s in gate_strategies() {
+            let base = runner::run_trial_with(w, s, CostModel::default(), WireParams::default());
+            let hot = runner::run_trial_with(
+                w,
+                s,
+                CostModel::default(),
+                WireParams::default().hot_path(),
+            );
+            assert_trials_identical(&base, &hot, &format!("{} {s:?}", w.name()));
+        }
+    }
+}
+
+#[test]
+fn full_strategy_sweep_is_byte_identical_on_minprog() {
+    let w = cor_workloads::by_name("Minprog").expect("workload exists");
+    for s in cor_experiments::Matrix::paper_strategies() {
+        let base = runner::run_trial_with(&w, s, CostModel::default(), WireParams::default());
+        let hot =
+            runner::run_trial_with(&w, s, CostModel::default(), WireParams::default().hot_path());
+        assert_trials_identical(&base, &hot, &format!("Minprog {s:?}"));
+    }
+}
+
+#[test]
+fn chaos_migration_is_byte_identical_under_the_hot_path() {
+    // On an unreliable wire the link layer (not the NMS) absorbs drops
+    // and duplicates, so the hot path still has nothing to merge: the
+    // whole recovery dance replays identically.
+    let w = cor_workloads::by_name("Minprog").expect("workload exists");
+    let faults = LinkFaults {
+        drop: 0.08,
+        duplicate: 0.08,
+        reorder: 0.05,
+        ..LinkFaults::default()
+    };
+    let chaotic = || WireParams {
+        faults: Some(FaultPlan::uniform(0xBADC0DE, faults)),
+        ..WireParams::default()
+    };
+    for s in [Strategy::PureIou { prefetch: 1 }, Strategy::PureCopy] {
+        let base = runner::run_trial_with(&w, s, CostModel::default(), chaotic());
+        let hot = runner::run_trial_with(&w, s, CostModel::default(), chaotic().hot_path());
+        assert_trials_identical(&base, &hot, &format!("chaos {s:?}"));
+        assert_eq!(
+            base.reliability.drops_injected.get(),
+            hot.reliability.drops_injected.get(),
+            "chaos {s:?}: injection sequence diverged"
+        );
+    }
+}
+
+/// Builds a three-node relay world (client, relay with a stand-in,
+/// server with the cached segment) on the given wire, mirroring the
+/// saturation harness's setup with public APIs.
+fn relay_world(wire: WireParams) -> (World, RelayHandles) {
+    const PAGES: u64 = 16;
+    let (mut world, nodes) = World::fleet(3, CostModel::default(), wire);
+    let (client, relay, server) = (nodes[0], nodes[1], nodes[2]);
+    let server_nms = world.fabric.nms_port(server).unwrap();
+    let frames: Vec<Frame> = (0..PAGES)
+        .map(|i| Frame::new(page_from_bytes(&i.to_le_bytes())))
+        .collect();
+    let seg = world.segs.create(server_nms, PAGES);
+    world.segs.add_refs(seg, PAGES).unwrap();
+    world.fabric.install_cache(server, seg, frames).unwrap();
+    let scratch = world.ports.allocate(relay);
+    let iou = Message::new(MsgKind::User(0x3D), scratch)
+        .push(MsgItem::Iou {
+            base_page: 0,
+            seg,
+            seg_offset: 0,
+            pages: PAGES,
+        })
+        .with_no_ious(true);
+    world.send_from(server, iou).unwrap();
+    let delivered = world.ports.dequeue(scratch).unwrap().unwrap();
+    let stand_in = match delivered.items.first() {
+        Some(MsgItem::Iou { seg, .. }) => *seg,
+        other => panic!("expected a rewritten IOU, got {other:?}"),
+    };
+    let relay_nms = world.fabric.nms_port(relay).unwrap();
+    let reply_port = world.ports.allocate(client);
+    (
+        world,
+        RelayHandles {
+            client,
+            relay_nms,
+            stand_in,
+            reply_port,
+        },
+    )
+}
+
+struct RelayHandles {
+    client: cor::ipc::NodeId,
+    relay_nms: cor::ipc::port::PortId,
+    stand_in: cor::mem::space::SegmentId,
+    reply_port: cor::ipc::port::PortId,
+}
+
+#[test]
+fn coalescing_with_retransmission_never_double_installs() {
+    // Duplicate in-flight faults for the same page, on a wire that also
+    // duplicates and reorders deliveries, with coalescing on: every
+    // outstanding fault must complete exactly once, every delivered page
+    // must carry the canonical bytes, and no reply may complete a fault
+    // twice (double installation).
+    let faults = LinkFaults {
+        duplicate: 0.25,
+        reorder: 0.15,
+        drop: 0.05,
+        ..LinkFaults::default()
+    };
+    let wire = WireParams {
+        faults: Some(FaultPlan::uniform(0xD0B1E, faults)),
+        ..WireParams::default()
+    }
+    .hot_path();
+    let (mut world, h) = relay_world(wire);
+    // Three waves of duplicate faults on a two-page hot set.
+    let mut outstanding = 0u64;
+    let mut seq = 50_000u64;
+    let mut completed = [0u32; 16];
+    for _wave in 0..3 {
+        for &offset in &[3u64, 3, 7, 3, 7, 7] {
+            let req =
+                protocol::imag_read_request(h.relay_nms, h.reply_port, h.stand_in, offset, 1)
+                    .with_seq(seq)
+                    .with_no_ious(true);
+            seq += 1;
+            world.send_from(h.client, req).unwrap();
+            outstanding += 1;
+        }
+        world.settle().unwrap();
+        while let Some(msg) = world.ports.dequeue(h.reply_port).unwrap() {
+            let Ok(ProtocolMsg::ImagReadReply {
+                seg: rseg,
+                offset: ro,
+                frames,
+                ..
+            }) = protocol::parse_owned(msg)
+            else {
+                panic!("unexpected message on the reply port");
+            };
+            assert_eq!(rseg, h.stand_in, "reply renamed to the stand-in");
+            for (i, f) in frames.iter().enumerate() {
+                let expect = page_from_bytes(&(ro + i as u64).to_le_bytes());
+                f.with(|data| {
+                    assert_eq!(
+                        &data[..],
+                        &expect[..],
+                        "page {} delivered with the wrong bytes",
+                        ro + i as u64
+                    )
+                });
+            }
+            for i in 0..frames.len() as u64 {
+                completed[(ro + i) as usize] += 1;
+            }
+            outstanding = outstanding.saturating_sub(1);
+        }
+    }
+    assert_eq!(outstanding, 0, "every fault completed");
+    // Coalescing answers each parked waiter once; duplicate *deliveries*
+    // are absorbed by the link layer (stale replies dropped), so the
+    // number of completions per page equals the number of requests for
+    // it — never more.
+    assert_eq!(completed[3], 9, "page 3: one completion per request");
+    assert_eq!(completed[7], 9, "page 7: one completion per request");
+    assert_eq!(
+        completed.iter().map(|&c| c as u64).sum::<u64>(),
+        18,
+        "no page was installed beyond its requests"
+    );
+    let stats = world.fabric.stats();
+    assert!(stats.coalesced_requests > 0, "coalescing engaged");
+}
