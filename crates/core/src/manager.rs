@@ -361,6 +361,13 @@ impl MigrationManager {
                 });
             }
         }
+        // With replicated page homes enabled, write-through the owed
+        // pages to the segment's replica set at page-out time (a
+        // fire-and-forget background transfer; bytes are ledgered under
+        // `Replicate` so the paper's categories stay untouched).
+        world
+            .fabric
+            .replicate_backing(&mut world.clock, self.node, seg, &owed_frames)?;
         self.store.insert(seg, owed_frames);
         excised.rimas.items = new_items;
         excised.rimas.no_ious = true;

@@ -295,6 +295,63 @@ pub fn run_checks(matrix: &mut Matrix, workloads: &[Workload]) -> Vec<Check> {
         0.0,
     ));
 
+    // Replication (ours): replicated page homes with content-addressed
+    // failover. The gate asserts (a) any factor >= 1 survives every
+    // single-node crash with no orphans, (b) the unreplicated baseline
+    // still orphans (the hazard is real), (c) every survivor is
+    // byte-identical to its crash-free twin, (d) the write-through wire
+    // overhead grows with the factor, and (e) failover fetches actually
+    // fired and their latency registered on the clock.
+    let repl = crate::replication::replication_outcomes(workloads, &matrix.pool());
+    let replicated: Vec<_> = repl.iter().filter(|o| o.factor >= 1).collect();
+    checks.push(rel(
+        "replication f>=1 survival %",
+        pct(
+            replicated.iter().filter(|o| o.survived).count(),
+            replicated.len(),
+        ),
+        100.0,
+        0.0,
+    ));
+    let baseline_orphans = repl.iter().filter(|o| o.factor == 0 && !o.survived).count();
+    checks.push(bound(
+        "replication f=0 orphan count (>=1)",
+        baseline_orphans as f64,
+        1.0,
+        repl.len() as f64,
+    ));
+    let repl_survivors: Vec<_> = repl.iter().filter(|o| o.survived).collect();
+    checks.push(rel(
+        "replication survivor byte-identity %",
+        pct(
+            repl_survivors.iter().filter(|o| o.checksum_match).count(),
+            repl_survivors.len(),
+        ),
+        100.0,
+        0.0,
+    ));
+    let repl_bytes = |f: u64| -> f64 {
+        repl.iter()
+            .filter(|o| o.factor == f)
+            .map(|o| o.replicate_bytes)
+            .sum::<u64>() as f64
+    };
+    checks.push(bound(
+        "replication overhead grows with factor (f2/f1)",
+        repl_bytes(2) / repl_bytes(1).max(1.0),
+        1.0 + f64::EPSILON,
+        4.0,
+    ));
+    let failover_ok = repl
+        .iter()
+        .any(|o| o.failover_pages > 0 && o.failover_time > cor_sim::SimDuration::ZERO);
+    checks.push(rel(
+        "replication failover fires with measured latency",
+        if failover_ok { 1.0 } else { 0.0 },
+        1.0,
+        0.0,
+    ));
+
     // Fleet (ours): migration storms on routed N-node fabrics. The gate
     // runs the 16-node slice and asserts (a) storms drain cleanly with no
     // orphans, (b) multi-hop routing bills every traversed link, (c) the

@@ -238,11 +238,18 @@ pub fn run_cell(spec: FleetSpec) -> FleetOutcome {
     for &source in &drain_set {
         for pid in world.resident_pids(source).unwrap() {
             let loads = world.loads();
+            let down = world.fabric.crashed_nodes();
+            for &cand in &candidates {
+                if down.contains(&cand) {
+                    world.note(|| cor_trace::TraceEvent::PlacementSkip { node: cand, source });
+                }
+            }
             let ctx = PlacementCtx {
                 source,
                 candidates: &candidates,
                 loads: &loads,
                 topology: world.fabric.params.topology.as_ref(),
+                down: &down,
                 seed: FLEET_SEED,
             };
             let dest = policy.choose(&ctx, pid.0).expect("candidates exist");

@@ -13,6 +13,8 @@
 //!   loss-sweep  completion time vs wire drop rate (ours)
 //!   survivability      crash time × strategy × drain rate sweep (ours)
 //!   survivability-csv  the same sweep as CSV for downstream analysis
+//!   replication      replication factor × crash delay × strategy sweep (ours)
+//!   replication-csv  the same sweep as CSV for downstream analysis
 //!   fleet       migration storms on routed N-node fabrics (ours)
 //!   fleet-csv   the same sweep as CSV for downstream analysis
 //!   saturation      remote-fault service under offered load (ours)
@@ -36,7 +38,8 @@
 //! (`off|summary|full`) sets the journal level of sweep trials.
 
 use cor_experiments::{
-    figures, fleet, loss, runner::Matrix, saturation, summary, survivability, tables, trace,
+    figures, fleet, loss, replication, runner::Matrix, saturation, summary, survivability, tables,
+    trace,
 };
 use cor_pool::Pool;
 use cor_sim::JournalLevel;
@@ -87,6 +90,8 @@ fn main() {
         "loss-sweep" => emit(loss::loss_sweep(&workloads, &pool)),
         "survivability" => emit(survivability::survivability(&workloads, &pool)),
         "survivability-csv" => print!("{}", survivability::survivability_csv(&workloads, &pool)),
+        "replication" => emit(replication::replication(&workloads, &pool)),
+        "replication-csv" => print!("{}", replication::replication_csv(&workloads, &pool)),
         "fleet" => emit(fleet::fleet(&pool)),
         "fleet-csv" => print!("{}", fleet::fleet_csv(&pool)),
         "saturation" => emit(saturation::saturation(&pool)),
@@ -172,6 +177,7 @@ fn main() {
             emit(summary::policy_demo());
             emit(loss::loss_sweep(&workloads, &pool));
             emit(survivability::survivability(&workloads, &pool));
+            emit(replication::replication(&workloads, &pool));
             emit(fleet::fleet(&pool));
             emit(saturation::saturation(&pool));
         }
@@ -181,7 +187,7 @@ fn main() {
                 "usage: experiments [--threads N] [--trace-out FILE] <command>\n\
                  commands: table4-1..table4-5, fig4-1..fig4-5, constants, summary, \
                  speedups, ablation, loss-sweep, survivability, survivability-csv, \
-                 fleet, fleet-csv, saturation, saturation-csv, \
+                 replication, replication-csv, fleet, fleet-csv, saturation, saturation-csv, \
                  cow-study, sensitivity, modern, \
                  trace [name] [--jsonl] [--summary], \
                  journal [name], metrics [name], policy, csv, check, all"

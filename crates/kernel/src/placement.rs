@@ -21,7 +21,7 @@
 //!   traffic on short routes, which is exactly what the fleet sweep
 //!   measures.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cor_ipc::NodeId;
 use cor_net::Topology;
@@ -46,6 +46,11 @@ pub struct PlacementCtx<'a> {
     pub loads: &'a BTreeMap<NodeId, u64>,
     /// The routed interconnect, when the fabric has one.
     pub topology: Option<&'a Topology>,
+    /// Nodes currently down under the fabric's crash plan. The
+    /// load/locality policies never place a process on one of these;
+    /// the storm driver journals each exclusion as a
+    /// [`cor_trace::TraceEvent::PlacementSkip`].
+    pub down: &'a BTreeSet<NodeId>,
     /// World seed for deterministic tie-breaking.
     pub seed: u64,
 }
@@ -163,7 +168,8 @@ impl Placement for LocalityAware {
 
 /// Shared argmin over a two-level key with the seeded coin as the final
 /// tie-break. Candidates are scanned in sorted order, so the set of
-/// coin flips is identical run to run.
+/// coin flips is identical run to run. Candidates in `ctx.down` are
+/// skipped outright — a crashed node is never a destination.
 fn pick_min(
     ctx: &PlacementCtx<'_>,
     salt: u64,
@@ -171,6 +177,9 @@ fn pick_min(
 ) -> Option<NodeId> {
     let mut best: Option<(NodeId, (u64, u64))> = None;
     for &cand in ctx.candidates {
+        if ctx.down.contains(&cand) {
+            continue;
+        }
         let k = key(ctx, cand);
         best = Some(match best {
             None => (cand, k),
@@ -186,6 +195,8 @@ fn pick_min(
 mod tests {
     use super::*;
 
+    static NO_DOWN: BTreeSet<NodeId> = BTreeSet::new();
+
     fn ctx<'a>(
         source: NodeId,
         candidates: &'a [NodeId],
@@ -197,6 +208,7 @@ mod tests {
             candidates,
             loads,
             topology,
+            down: &NO_DOWN,
             seed: 7,
         }
     }
@@ -253,6 +265,45 @@ mod tests {
                 ll.choose(&ctx(NodeId(0), &cands, &loads, None), salt),
             );
         }
+    }
+
+    #[test]
+    fn down_nodes_are_never_picked() {
+        let cands = [NodeId(1), NodeId(2), NodeId(3)];
+        // Node 2 is both the least loaded *and* down: every policy must
+        // look past it.
+        let loads: BTreeMap<NodeId, u64> =
+            [(NodeId(1), 5), (NodeId(2), 0), (NodeId(3), 2)].into();
+        let down: BTreeSet<NodeId> = [NodeId(2)].into();
+        let topo = Topology::ring(4);
+        for salt in 0..8 {
+            let c = PlacementCtx {
+                source: NodeId(0),
+                candidates: &cands,
+                loads: &loads,
+                topology: None,
+                down: &down,
+                seed: 7,
+            };
+            assert_eq!(LeastLoaded::new().choose(&c, salt), Some(NodeId(3)));
+            let c = PlacementCtx {
+                topology: Some(&topo),
+                ..c
+            };
+            let pick = LocalityAware::new().choose(&c, salt).unwrap();
+            assert_ne!(pick, NodeId(2), "locality placed onto a down node");
+        }
+        // All candidates down: no destination at all.
+        let all_down: BTreeSet<NodeId> = cands.iter().copied().collect();
+        let c = PlacementCtx {
+            source: NodeId(0),
+            candidates: &cands,
+            loads: &loads,
+            topology: None,
+            down: &all_down,
+            seed: 7,
+        };
+        assert_eq!(LeastLoaded::new().choose(&c, 0), None);
     }
 
     #[test]

@@ -647,6 +647,17 @@ impl World {
         self.clock.advance(self.costs.fault_dispatch);
         let want = self.prefetch + 1;
         let count = self.contiguous_owed(node, pid, page, seg, offset, want)?;
+        // With replicated page homes the fetch is content-addressed: a
+        // replica may answer instead of the primary backing site — always
+        // when the primary is down, and in Quorum mode also when a replica
+        // is simply closer on the topology.
+        if self.fabric.params.replication.is_some() {
+            if let Some(installed) =
+                self.try_replica_read(node, pid, page, seg, offset, count, fault_start)?
+            {
+                return Ok(installed);
+            }
+        }
         let pager_port = self.node(node)?.pager_port;
         let backing = self.segs.backing_port(seg)?;
         let seq = self.next_seq();
@@ -808,6 +819,124 @@ impl World {
         Ok(count.max(1))
     }
 
+    /// Tries to satisfy an owed fetch content-addressed from a replica
+    /// page home (see `docs/REPLICATION.md`) instead of the primary
+    /// backing site. The fabric decides whether a replica may answer —
+    /// always when the primary is down (the failover path, rung 0 of the
+    /// recovery ladder), and under [`cor_net::ReplicationMode::Quorum`]
+    /// also when a live replica is nearer on the topology. Returns
+    /// `Ok(None)` when no replica can or should serve the read; the
+    /// caller then proceeds exactly as without replication.
+    #[allow(clippy::too_many_arguments)]
+    fn try_replica_read(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        page: PageNum,
+        seg: SegmentId,
+        offset: u64,
+        count: u64,
+        fault_start: SimTime,
+    ) -> Result<Option<u64>, KernelError> {
+        // A broken chain here is not ours to diagnose: fall through and
+        // let the ordinary fetch surface the seed-identical error.
+        let Ok((backer, bseg, boff)) =
+            self.fabric
+                .resolve_owed(&self.ports, &self.segs, seg, offset)
+        else {
+            return Ok(None);
+        };
+        if backer == node {
+            return Ok(None);
+        }
+        // Clip the prefetch run to the prefix resolving contiguously to
+        // the same terminal home (mirrors the disk-salvage rung).
+        let mut run = 1u64;
+        while run < count {
+            match self
+                .fabric
+                .resolve_owed(&self.ports, &self.segs, seg, offset + run)
+            {
+                Ok((n2, s2, o2)) if n2 == backer && s2 == bseg && o2 == boff + run => run += 1,
+                _ => break,
+            }
+        }
+        let Some((replica, frames, failover)) =
+            self.fabric
+                .replica_read(&mut self.clock, node, backer, bseg, boff, run)
+        else {
+            return Ok(None);
+        };
+        let mapin_span = self.span_enter("map-in", Some(node));
+        self.clock.advance(
+            self.costs.map_in
+                + self
+                    .costs
+                    .map_in_extra
+                    .saturating_mul(frames.len().saturating_sub(1) as u64),
+        );
+        let mut installed = 0u64;
+        {
+            let n = self.node_mut(node)?;
+            let process = n
+                .processes
+                .get_mut(&pid)
+                .ok_or(KernelError::UnknownProcess(pid))?;
+            for (i, frame) in frames.into_iter().enumerate() {
+                let target = page.offset(i as u64);
+                if matches!(
+                    process.space.page_state(target),
+                    Some(PageState::Imaginary { .. })
+                ) {
+                    process
+                        .space
+                        .satisfy_imaginary_frame(target, frame, &mut n.disk)?;
+                    installed += 1;
+                    if i > 0 {
+                        process.stats.prefetched_pages += 1;
+                        process.stats.prefetch_pending.insert(target);
+                    }
+                }
+            }
+            process.stats.imag_faults += 1;
+        }
+        self.span_exit(mapin_span);
+        if installed > 0 {
+            self.fabric.release_refs(
+                &mut self.clock,
+                &mut self.ports,
+                &mut self.segs,
+                node,
+                seg,
+                installed,
+            )?;
+            self.settle()?;
+        }
+        let service_time = self.clock.now().since(fault_start);
+        self.process_mut(node, pid)?
+            .stats
+            .record_fault_time(service_time);
+        self.note(|| TraceEvent::Imaginary {
+            pid: pid.0,
+            node,
+            page: page.0,
+            seg: seg.0,
+            prefetched: installed.saturating_sub(1),
+            service: service_time,
+        });
+        if failover {
+            self.note(|| TraceEvent::Failover {
+                pid: pid.0,
+                node,
+                dead: backer,
+                replica,
+                pages: installed,
+                seg: bseg.0,
+            });
+        }
+        Ok(Some(installed))
+    }
+
     fn note_touch(
         &mut self,
         node: NodeId,
@@ -852,7 +981,10 @@ impl World {
                 let (backer, bseg, boff) =
                     self.fabric
                         .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
-                if backer != node && !self.fabric.disk_has(backer, bseg, boff) {
+                if backer != node
+                    && !self.fabric.disk_has(backer, bseg, boff)
+                    && !self.fabric.replica_live_elsewhere(backer, bseg, boff)
+                {
                     *deps.entry(backer).or_insert(0) += 1;
                 }
             }
@@ -904,7 +1036,10 @@ impl World {
                 let (backer, bseg, boff) =
                     self.fabric
                         .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
-                if backer != node && !self.fabric.disk_has(backer, bseg, boff) {
+                if backer != node
+                    && !self.fabric.disk_has(backer, bseg, boff)
+                    && !self.fabric.replica_live_elsewhere(backer, bseg, boff)
+                {
                     return Ok(Some((page, *seg, *offset)));
                 }
             }
@@ -959,7 +1094,10 @@ impl World {
                     let (backer, bseg, boff) =
                         self.fabric
                             .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
-                    if backer != node && !self.fabric.disk_has(backer, bseg, boff) {
+                    if backer != node
+                        && !self.fabric.disk_has(backer, bseg, boff)
+                        && !self.fabric.replica_live_elsewhere(backer, bseg, boff)
+                    {
                         t.push((backer, bseg, boff));
                     }
                 }
@@ -1063,6 +1201,19 @@ impl World {
             }
             _ => return Err(err),
         };
+        // Rung 0: with replicated page homes, a surviving replica serves
+        // the read content-addressed — no data loss, no drain, and the
+        // fetch is charged like a wire round trip (the measured failover
+        // latency). Reached when the primary died *mid-flight*: a fetch
+        // that found it already down failed over before sending.
+        if self.fabric.params.replication.is_some() {
+            let now = self.clock.now();
+            if let Some(installed) =
+                self.try_replica_read(node, pid, page, seg, offset, count, now)?
+            {
+                return Ok(installed);
+            }
+        }
         // Rung 1: the crashed node's disk backer, page by page; prefetch
         // pages beyond the faulting one are best-effort.
         let mut recovered = Vec::new();
@@ -1169,7 +1320,10 @@ impl World {
                 let (bnode, bseg, boff) =
                     self.fabric
                         .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
-                if bnode == dead && !self.fabric.disk_has(bnode, bseg, boff) {
+                if bnode == dead
+                    && !self.fabric.disk_has(bnode, bseg, boff)
+                    && !self.fabric.replica_live_elsewhere(bnode, bseg, boff)
+                {
                     lost += 1;
                 }
             }

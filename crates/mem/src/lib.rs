@@ -27,6 +27,7 @@
 //! installs pages via the mutators exposed here.
 
 pub mod amap;
+pub mod content;
 pub mod disk;
 pub mod error;
 pub mod fault;
@@ -35,6 +36,7 @@ pub mod resident;
 pub mod space;
 
 pub use amap::{AMap, AMapEntry, Access};
+pub use content::ContentStore;
 pub use disk::{Disk, DiskAddr};
 pub use error::MemError;
 pub use fault::Fault;

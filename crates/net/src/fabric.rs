@@ -7,13 +7,14 @@ use cor_ipc::port::{PortId, PortRegistry};
 use cor_ipc::protocol::{self, ProtocolMsg};
 use cor_ipc::segment::SegmentRegistry;
 use cor_ipc::NodeId;
+use cor_mem::content::ContentStore;
 use cor_mem::page::Frame;
 use cor_mem::space::SegmentId;
 use cor_sim::{Clock, Ledger, LedgerCategory, Pcg32, ReliabilityStats, SimDuration, SimTime};
 use cor_trace::{Journal, SpanId, TraceEvent};
 
 use crate::error::NetError;
-use crate::params::{CrashTrigger, LinkFaults, WireParams};
+use crate::params::{CrashTrigger, LinkFaults, ReplicationMode, WireParams};
 use crate::topology::LinkStats;
 
 /// Outcome of one `send`.
@@ -52,6 +53,18 @@ struct PendingRelay {
     count: u64,
 }
 
+/// One interned page in a node's reply-dedup table, stamped for LRU
+/// eviction and tagged with the node whose reply carried it so a crash
+/// of that source can invalidate exactly its contributions.
+#[derive(Debug, Clone)]
+struct DedupEntry {
+    frame: Frame,
+    /// Monotonic recency stamp (per node); refreshed on every hit.
+    stamp: u64,
+    /// The node whose reply first interned this page.
+    src: NodeId,
+}
+
 /// Per-node NetMsgServer state.
 #[derive(Debug)]
 struct NmsState {
@@ -67,21 +80,70 @@ struct NmsState {
     /// from the single upstream reply.
     pending: HashMap<(SegmentId, u64), Vec<PendingRelay>>,
     /// Content-addressed page cache for incoming COR replies: content hash
-    /// → frames already held with that hash (a short list, since unequal
+    /// → entries already held with that hash (a short list, since unequal
     /// pages practically never collide). Replies carrying bytes this node
     /// already holds install the held frame instead of a fresh copy.
     /// Volatile: wiped on crash like the rest of the NMS state.
-    dedup: HashMap<u64, Vec<Frame>>,
+    dedup: HashMap<u64, Vec<DedupEntry>>,
+    /// Deterministic LRU order over `dedup`: recency stamp → content
+    /// hash. At [`DEDUP_CAP_PAGES`] the least-recently-used entry
+    /// (`pop_first`) is evicted to make room.
+    dedup_lru: BTreeMap<u64, u64>,
+    /// Source of `DedupEntry::stamp` values, bumped on insert and hit.
+    dedup_stamp: u64,
     /// Pages currently interned in `dedup`, bounded by
     /// [`DEDUP_CAP_PAGES`] so the table cannot grow without limit.
     dedup_pages: u64,
+    /// Content-addressed replica store: pages the replication layer
+    /// write-through installed here at page-out time, resolvable by any
+    /// COR requester holding the content hash. Volatile — a crash wipes
+    /// it, which is why survival requires a *live* replica.
+    replicas: ContentStore,
     cpu: SimDuration,
 }
 
 /// Upper bound on pages a node's reply-dedup table may intern (2 MiB of
-/// page data at 512-byte pages). Lookups keep working at the cap; only new
-/// insertions stop.
+/// page data at 512-byte pages). At the cap, inserting a new page first
+/// evicts the least-recently-used entry, deterministically.
 const DEDUP_CAP_PAGES: u64 = 4096;
+
+impl NmsState {
+    /// Evicts the least-recently-used dedup entry (smallest recency
+    /// stamp). Deterministic: stamps are unique and totally ordered.
+    fn evict_lru_dedup_entry(&mut self) {
+        let Some((stamp, hash)) = self.dedup_lru.pop_first() else {
+            return;
+        };
+        if let Some(bucket) = self.dedup.get_mut(&hash) {
+            bucket.retain(|e| e.stamp != stamp);
+            if bucket.is_empty() {
+                self.dedup.remove(&hash);
+            }
+        }
+        self.dedup_pages = self.dedup_pages.saturating_sub(1);
+    }
+
+    /// Wipes every dedup entry whose bytes were interned from `src`'s
+    /// replies — called when `src` crashes, so stale contributions of a
+    /// dead (possibly later amnesiac-rebooted) node cannot linger.
+    fn wipe_dedup_from(&mut self, src: NodeId) -> u64 {
+        let mut wiped = 0u64;
+        self.dedup.retain(|_, bucket| {
+            bucket.retain(|e| {
+                if e.src == src {
+                    self.dedup_lru.remove(&e.stamp);
+                    wiped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            !bucket.is_empty()
+        });
+        self.dedup_pages = self.dedup_pages.saturating_sub(wiped);
+        wiped
+    }
+}
 
 /// Aggregate fabric statistics.
 #[derive(Debug, Clone, Default)]
@@ -176,6 +238,16 @@ pub struct Fabric {
     /// The instant each physical link frees up, for per-link queueing
     /// under a routed topology.
     link_busy: HashMap<(NodeId, NodeId), SimTime>,
+    /// Replica directory: origin segment → the replica nodes its pages
+    /// were write-through installed on (primary excluded). Populated only
+    /// under [`WireParams::replication`]; survives crashes — liveness is
+    /// checked at lookup time, which is what makes the failover ladder's
+    /// "all homes down" outcome reachable.
+    replica_homes: HashMap<SegmentId, Vec<NodeId>>,
+    /// Content-hash directory: `(origin segment, offset)` → the page's
+    /// content hash at page-out time, the key a content-addressed COR
+    /// request resolves against a replica's [`ContentStore`].
+    replica_hash: HashMap<(u64, u64), u64>,
 }
 
 fn category_for(kind: MsgKind) -> LedgerCategory {
@@ -189,6 +261,11 @@ fn category_for(kind: MsgKind) -> LedgerCategory {
 /// Injection RNG stream selector, so fault draws never collide with any
 /// workload RNG seeded from the same number.
 const FAULT_STREAM: u64 = 0xFA_17;
+
+/// Replica-placement RNG stream, disjoint from the fault, crash and
+/// kernel placement streams so enabling replication never perturbs any
+/// other seeded draw.
+const REPLICA_STREAM: u64 = 0x9E_0F;
 
 impl Fabric {
     /// Creates a fabric with the given wire parameters.
@@ -214,6 +291,8 @@ impl Fabric {
             drain_accounting: false,
             link_stats: BTreeMap::new(),
             link_busy: HashMap::new(),
+            replica_homes: HashMap::new(),
+            replica_hash: HashMap::new(),
         }
     }
 
@@ -261,7 +340,10 @@ impl Fabric {
                 forward: HashMap::new(),
                 pending: HashMap::new(),
                 dedup: HashMap::new(),
+                dedup_lru: BTreeMap::new(),
+                dedup_stamp: 0,
                 dedup_pages: 0,
+                replicas: ContentStore::new(),
                 cpu: SimDuration::ZERO,
             },
         );
@@ -376,7 +458,7 @@ impl Fabric {
         let start = clock.now();
         // 1. Outgoing translation: cache page runs and substitute IOUs.
         if !msg.no_ious {
-            let cached = self.cache_page_items(segs, from, &mut msg)?;
+            let cached = self.cache_page_items(clock, segs, from, &mut msg)?;
             if cached > 0 {
                 clock.advance(SimDuration::from_micros(
                     cached.saturating_mul(self.params.iou_cache_per_page_ns) / 1_000,
@@ -595,7 +677,7 @@ impl Fabric {
         // the already-held frame instead of a fresh copy. Pure bookkeeping
         // on identical bytes — no virtual time is charged.
         if matches!(kind, MsgKind::ImagReadReply) {
-            let hits = self.dedup_reply_pages(dest_home, &mut msg);
+            let hits = self.dedup_reply_pages(dest_home, from, &mut msg);
             if hits > 0 {
                 self.note(clock.now(), || TraceEvent::NetDedup {
                     node: dest_home,
@@ -688,6 +770,7 @@ impl Fabric {
 
     fn cache_page_items(
         &mut self,
+        clock: &mut Clock,
         segs: &mut SegmentRegistry,
         from: NodeId,
         msg: &mut Message,
@@ -705,6 +788,12 @@ impl Fabric {
                 let cached = std::mem::take(frames);
                 self.stats.pages_cached += pages;
                 cached_total += pages;
+                // Page-out: the sending NMS becomes these pages' primary
+                // home. With replicated page homes enabled, write them
+                // through to the segment's replica set as well.
+                if self.params.replication.is_some() {
+                    self.replicate_backing(clock, from, seg, &cached)?;
+                }
                 let nms = self
                     .nodes
                     .get_mut(&from)
@@ -1061,7 +1150,34 @@ impl Fabric {
             )
             .with_seq(seq)
             .with_no_ious(true);
-            self.send(clock, ports, segs, node, req)?;
+            if let Err(e) = self.send(clock, ports, segs, node, req) {
+                // The upstream hop is gone (crashed peer or exhausted
+                // retries): every waiter parked under this key would hang
+                // forever waiting on a reply that cannot come. Unpark
+                // them — the faulters' own error/retry ladders take over
+                // — and propagate the failure unchanged.
+                if matches!(
+                    e,
+                    NetError::NodeDown { .. } | NetError::SourceUnreachable { .. }
+                ) {
+                    if let Some(nms) = self.nodes.get_mut(&node) {
+                        if let Some(waiters) = nms.pending.remove(&key) {
+                            let upstream = ports.home(backer).unwrap_or(node);
+                            let n = waiters.len() as u64;
+                            self.reliability.pit_waiters_failed.add(n);
+                            self.note(clock.now(), || TraceEvent::NetPitFail {
+                                node,
+                                upstream,
+                                seg: key.0 .0,
+                                offset: key.1,
+                                waiters: n,
+                                rerouted: 0,
+                            });
+                        }
+                    }
+                }
+                return Err(e);
+            }
             return Ok(());
         }
         Err(NetError::MissingData { seg, offset })
@@ -1189,6 +1305,15 @@ impl Fabric {
             // Release anything reorder injection is still holding, so a
             // pump always drains the wire completely.
             self.flush_limbo(ports)?;
+            // A crash mid-flight strands coalesced waiters whose upstream
+            // fetch died with the peer: unpark them (re-routing through a
+            // live replica when one holds the pages) so no pump leaves
+            // the pending-interest table pointing at a dead node. Gated on
+            // `ever_crashed`: an amnesiac reboot clears `crashed` but the
+            // purged in-flight fetch is just as unanswerable.
+            if self.params.coalesce && !self.ever_crashed.is_empty() {
+                self.sweep_dead_pit_waiters(clock, ports, segs)?;
+            }
             let mut quiescent = true;
             for &node in &nodes {
                 if self.crashed.contains(&node) {
@@ -1207,6 +1332,113 @@ impl Fabric {
                 return Ok(processed);
             }
         }
+    }
+
+    /// Fails or re-routes every pending-interest waiter whose upstream
+    /// fetch died with a crashed peer. For each live node, each parked
+    /// key (deterministic segment/offset order) whose origin backer's
+    /// home is down is drained: when a live replica holds the requested
+    /// pages the waiters are answered from it through the retry path
+    /// ([`ReliabilityStats::pit_waiters_rerouted`]); otherwise they are
+    /// dropped ([`ReliabilityStats::pit_waiters_failed`]) and the
+    /// faulters' empty reply queues push them onto the ordinary recovery
+    /// ladder. Without this sweep a coalesced waiter whose upstream
+    /// crashed mid-flight would hang parked forever.
+    fn sweep_dead_pit_waiters(
+        &mut self,
+        clock: &mut Clock,
+        ports: &mut PortRegistry,
+        segs: &mut SegmentRegistry,
+    ) -> Result<(), NetError> {
+        let nodes: Vec<NodeId> = self.node_order.iter().copied().collect();
+        for node in nodes {
+            if self.crashed.contains(&node) {
+                continue;
+            }
+            let mut keys: Vec<(SegmentId, u64)> = match self.nodes.get(&node) {
+                Some(nms) if !nms.pending.is_empty() => nms.pending.keys().copied().collect(),
+                _ => continue,
+            };
+            keys.sort_unstable_by_key(|&(s, o)| (s.0, o));
+            for key in keys {
+                let (oseg, ooff) = key;
+                // The upstream hop is the origin segment's backing home;
+                // a dead segment means the waiters can never be answered
+                // either way.
+                let upstream = match segs.backing_port(oseg).ok().and_then(|p| ports.home(p).ok())
+                {
+                    Some(h) => h,
+                    None => node,
+                };
+                // A waiter is unanswerable once the upstream lost its
+                // volatile state — whether it is still down or already
+                // answering the wire again after an amnesiac reboot (the
+                // in-flight fetch was purged either way). The one
+                // exception: a rebooted node that has since re-cached the
+                // segment serves fetches normally again, so its waiters
+                // stay parked for the live reply.
+                let upstream_answers = !self.is_crashed(upstream)
+                    && (!self.lost_volatile_state(upstream)
+                        || self
+                            .nodes
+                            .get(&upstream)
+                            .is_some_and(|n| n.cache.contains_key(&oseg)));
+                if upstream != node && upstream_answers {
+                    continue;
+                }
+                let Some(waiters) = self
+                    .nodes
+                    .get_mut(&node)
+                    .and_then(|nms| nms.pending.remove(&key))
+                else {
+                    continue;
+                };
+                let total = waiters.len() as u64;
+                let mut rerouted = 0u64;
+                for w in waiters {
+                    let served = self
+                        .replica_read(clock, node, upstream, oseg, ooff, w.count)
+                        .map(|(_, frames, _)| frames);
+                    match served {
+                        Some(frames) => {
+                            let renamed = protocol::imag_read_reply(
+                                w.final_reply,
+                                w.stand_in,
+                                w.stand_in_offset,
+                                frames,
+                            )
+                            .with_seq(w.seq)
+                            .with_no_ious(true);
+                            match self.send(clock, ports, segs, node, renamed) {
+                                Ok(_) => {
+                                    self.reliability.pit_waiters_rerouted.incr();
+                                    rerouted += 1;
+                                }
+                                // The waiter's own node died too; nothing
+                                // left to deliver to.
+                                Err(NetError::NodeDown { .. })
+                                | Err(NetError::SourceUnreachable { .. }) => {
+                                    self.reliability.pit_waiters_failed.incr();
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        None => {
+                            self.reliability.pit_waiters_failed.incr();
+                        }
+                    }
+                }
+                self.note(clock.now(), || TraceEvent::NetPitFail {
+                    node,
+                    upstream,
+                    seg: oseg.0,
+                    offset: ooff,
+                    waiters: total,
+                    rerouted,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Resolves where a segment's data *ultimately* lives, following the
@@ -1280,7 +1512,19 @@ impl Fabric {
         nms.forward.clear();
         nms.pending.clear();
         nms.dedup.clear();
+        nms.dedup_lru.clear();
         nms.dedup_pages = 0;
+        // Replica pages are volatile NMS state too: this is why a process
+        // survives only while at least one of its f+1 homes is up.
+        nms.replicas.clear();
+        // Every *other* node's dedup table drops the entries this node's
+        // replies interned: the contributions of a dead (possibly later
+        // amnesiac-rebooted) source must not linger.
+        for (&n, other) in self.nodes.iter_mut() {
+            if n != node {
+                other.wipe_dedup_from(node);
+            }
+        }
         let mut dropped = ports.purge_node(node) as u64;
         // Limbo entries headed to the node die in flight too.
         let before = self.limbo.len();
@@ -1385,41 +1629,365 @@ impl Fabric {
         self.disk.get(&node).map(|d| d.len() as u64).unwrap_or(0)
     }
 
+    // ----- page-home replication ------------------------------------------
+
+    /// The deterministic replica homes for `seg` with primary `primary`:
+    /// a seeded draw of up to `factor` distinct nodes from the registered
+    /// set (primary excluded), keyed on the plan seed and the segment so
+    /// every segment spreads independently but reproducibly.
+    fn replica_targets(&self, primary: NodeId, seg: SegmentId, factor: u64, seed: u64) -> Vec<NodeId> {
+        let mut pool: Vec<NodeId> = self
+            .node_order
+            .iter()
+            .copied()
+            .filter(|&n| n != primary)
+            .collect();
+        let mut rng = Pcg32::with_stream(
+            seed ^ seg.0.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            REPLICA_STREAM,
+        );
+        let take = (factor as usize).min(pool.len());
+        let mut targets = Vec::with_capacity(take);
+        for _ in 0..take {
+            let i = rng.range(0, pool.len() as u64) as usize;
+            targets.push(pool.swap_remove(i));
+        }
+        targets.sort_unstable();
+        targets
+    }
+
+    /// Write-through installs `seg`'s page backing on its replica homes
+    /// (the migration page-out hook). Under a
+    /// [`ReplicationParams`](crate::ReplicationParams) plan with factor
+    /// `f`, the pages land in `f` replica [`ContentStore`]s, the replica
+    /// directory and content-hash directory are recorded, and each
+    /// replica's copy is charged to the wire — bytes under
+    /// [`LedgerCategory::Replicate`] (spread over the transmission
+    /// interval), handling CPU at both ends, and per-link accounting
+    /// when a topology is installed. The install is fire-and-forget on
+    /// the virtual clock (the same discipline as segment-death notices):
+    /// the migration's foreground path is never stalled by its own
+    /// replication traffic. Without a plan (the default) this is a
+    /// no-op, byte-identical to the seed.
+    ///
+    /// Returns the total pages installed across all replicas.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if `primary` was never added.
+    pub fn replicate_backing(
+        &mut self,
+        clock: &mut Clock,
+        primary: NodeId,
+        seg: SegmentId,
+        frames: &[Frame],
+    ) -> Result<u64, NetError> {
+        let Some(rep) = self.params.replication else {
+            return Ok(0);
+        };
+        if !self.nodes.contains_key(&primary) {
+            return Err(NetError::UnknownNode(primary));
+        }
+        if rep.factor == 0 || frames.is_empty() {
+            return Ok(0);
+        }
+        let targets = self.replica_targets(primary, seg, rep.factor, rep.seed);
+        if targets.is_empty() {
+            return Ok(0);
+        }
+        for (i, f) in frames.iter().enumerate() {
+            self.replica_hash.insert((seg.0, i as u64), f.content_hash());
+        }
+        let pages = frames.len() as u64;
+        let payload = pages * cor_mem::PAGE_SIZE;
+        let wire_bytes = self.params.wire_bytes(payload);
+        let xmit = self.params.xmit_time(payload, 1);
+        let cpu = self.params.handling_cpu(payload);
+        let now = clock.now();
+        let mut total = 0u64;
+        for &replica in &targets {
+            let nms = self
+                .nodes
+                .get_mut(&replica)
+                .expect("replica targets are drawn from registered nodes");
+            for f in frames {
+                nms.replicas.insert(f);
+            }
+            self.record_spread(now, now + xmit, wire_bytes, LedgerCategory::Replicate);
+            self.charge_cpu(primary, cpu);
+            self.charge_cpu(replica, cpu);
+            if self.params.topology.is_some() {
+                self.route_and_charge(clock, primary, replica, wire_bytes, MsgKind::Rimas, true)?;
+            }
+            self.reliability.replicated_pages.add(pages);
+            total += pages;
+            self.note(now, || TraceEvent::NetReplicate {
+                node: primary,
+                replica,
+                pages,
+            });
+        }
+        self.replica_homes.insert(seg, targets);
+        Ok(total)
+    }
+
+    /// Whether a *live* replica other than `avoid` holds the page of
+    /// `oseg` at `ooff`. The residual-dependency and lost-page
+    /// accounting use this: a page with a surviving replica home is not
+    /// hostage to `avoid`'s volatile state.
+    pub fn replica_live_elsewhere(&self, avoid: NodeId, oseg: SegmentId, ooff: u64) -> bool {
+        if self.params.replication.is_none() {
+            return false;
+        }
+        let Some(&hash) = self.replica_hash.get(&(oseg.0, ooff)) else {
+            return false;
+        };
+        self.replica_homes.get(&oseg).is_some_and(|homes| {
+            homes.iter().any(|&r| {
+                r != avoid
+                    && !self.is_crashed(r)
+                    && !self.lost_volatile_state(r)
+                    && self.nodes.get(&r).is_some_and(|n| n.replicas.contains(hash))
+            })
+        })
+    }
+
+    /// The hop distance from `from` to `to` for nearest-replica routing:
+    /// zero for a local copy, the topology's hop count when one is
+    /// installed, and one hop on the point-to-point wire.
+    fn replica_distance(&self, from: NodeId, to: NodeId) -> u64 {
+        if from == to {
+            return 0;
+        }
+        match &self.params.topology {
+            Some(t) => t.distance(from, to).map(u64::from).unwrap_or(u64::MAX),
+            None => 1,
+        }
+    }
+
+    /// Content-addressed COR read against the replica directory: resolves
+    /// the content hashes of `count` pages of `oseg` starting at `ooff`
+    /// and serves them from the nearest live replica (hop-count metric,
+    /// deterministic smallest-`NodeId` tie-break). `backer` is the
+    /// page's primary home as resolved through the forwarding chain.
+    ///
+    /// Routing discipline by [`ReplicationMode`]:
+    /// * `PrimaryBackup` serves from a replica only once the primary is
+    ///   down (crashed, or amnesiac — its volatile copy is gone either
+    ///   way);
+    /// * `Quorum` additionally serves healthy reads whenever a live
+    ///   replica is strictly nearer than the primary.
+    ///
+    /// The fetch is charged like the request/reply round trip it
+    /// replaces — wire bytes under [`LedgerCategory::Replicate`], clock
+    /// time for both transmissions plus the replica's NMS service, and
+    /// per-link accounting under a topology. A same-node replica costs
+    /// one local delivery.
+    ///
+    /// Returns `(replica, frames, failover)` — `failover` is `true` when
+    /// the read substituted for a down primary — or `None` when no live
+    /// replica can serve the full run (the caller falls through to the
+    /// ordinary path or the next recovery rung).
+    pub fn replica_read(
+        &mut self,
+        clock: &mut Clock,
+        requester: NodeId,
+        backer: NodeId,
+        oseg: SegmentId,
+        ooff: u64,
+        count: u64,
+    ) -> Option<(NodeId, Vec<Frame>, bool)> {
+        let rep = self.params.replication?;
+        if count == 0 {
+            return None;
+        }
+        let homes = self.replica_homes.get(&oseg)?;
+        let mut hashes = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            hashes.push(*self.replica_hash.get(&(oseg.0, ooff + i))?);
+        }
+        let primary_down = self.is_crashed(backer) || self.lost_volatile_state(backer);
+        let mut best: Option<(u64, NodeId)> = None;
+        for &r in homes {
+            if r == backer || self.is_crashed(r) || self.lost_volatile_state(r) {
+                continue;
+            }
+            let Some(nms) = self.nodes.get(&r) else {
+                continue;
+            };
+            if !hashes.iter().all(|&h| nms.replicas.contains(h)) {
+                continue;
+            }
+            let cand = (self.replica_distance(requester, r), r);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        let (d, replica) = best?;
+        match rep.mode {
+            ReplicationMode::PrimaryBackup => {
+                if !primary_down {
+                    return None;
+                }
+            }
+            ReplicationMode::Quorum => {
+                if !primary_down && d >= self.replica_distance(requester, backer) {
+                    return None;
+                }
+            }
+        }
+        let frames: Vec<Frame> = {
+            let store = &self.nodes.get(&replica)?.replicas;
+            hashes
+                .iter()
+                .map(|&h| store.get(h).cloned())
+                .collect::<Option<Vec<_>>>()?
+        };
+        let start = clock.now();
+        if replica == requester {
+            clock.advance(self.params.local_delivery);
+        } else {
+            // Request out, replica NMS service, reply back — the same
+            // shape as the round trip it replaces, with real message
+            // sizes.
+            let my_port = self.nodes.get(&requester)?.port;
+            let req_payload =
+                protocol::imag_read_request(my_port, my_port, oseg, ooff, count).wire_size();
+            let reply_payload =
+                protocol::imag_read_reply(my_port, oseg, ooff, frames.clone()).wire_size();
+            let req_bytes = self.params.wire_bytes(req_payload);
+            let reply_bytes = self.params.wire_bytes(reply_payload);
+            clock.advance(self.params.xmit_time(req_payload, 0));
+            clock.advance(self.params.nms_service);
+            clock.advance(self.params.xmit_time(reply_payload, 1));
+            self.record_spread(
+                start,
+                clock.now(),
+                req_bytes + reply_bytes,
+                LedgerCategory::Replicate,
+            );
+            let cpu = self.params.handling_cpu(req_payload) + self.params.handling_cpu(reply_payload);
+            self.charge_cpu(requester, cpu);
+            self.charge_cpu(replica, cpu);
+            if self.params.topology.is_some() {
+                self.route_and_charge(
+                    clock,
+                    requester,
+                    replica,
+                    req_bytes,
+                    MsgKind::ImagReadRequest,
+                    false,
+                )
+                .ok()?;
+                self.route_and_charge(
+                    clock,
+                    replica,
+                    requester,
+                    reply_bytes,
+                    MsgKind::ImagReadReply,
+                    false,
+                )
+                .ok()?;
+            }
+        }
+        let elapsed = clock.now().since(start);
+        if primary_down {
+            self.reliability.failover_fetches.incr();
+            self.reliability.failover_pages.add(count);
+            self.reliability.failover_time += elapsed;
+        } else {
+            self.reliability.replica_reads.incr();
+        }
+        Some((replica, frames, primary_down))
+    }
+
+    /// Pages held in `node`'s replica [`ContentStore`].
+    pub fn replica_pages(&self, node: NodeId) -> u64 {
+        self.nodes.get(&node).map(|n| n.replicas.pages()).unwrap_or(0)
+    }
+
+    /// The recorded replica homes of `oseg` (empty when no replication
+    /// plan installed pages for it).
+    pub fn replica_homes_of(&self, oseg: SegmentId) -> &[NodeId] {
+        self.replica_homes
+            .get(&oseg)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The set of nodes currently down, for crash-aware placement.
+    pub fn crashed_nodes(&self) -> BTreeSet<NodeId> {
+        self.crashed.iter().copied().collect()
+    }
+
+    /// Parked pending-interest waiters on `node` (all keys), for tests.
+    pub fn pending_waiters(&self, node: NodeId) -> usize {
+        self.nodes
+            .get(&node)
+            .map(|n| n.pending.values().map(Vec::len).sum())
+            .unwrap_or(0)
+    }
+
     /// Replaces reply page frames whose bytes `node` already holds with
-    /// the held frames, interning unseen pages up to [`DEDUP_CAP_PAGES`].
-    /// Hits are counted in [`ReliabilityStats::dedup_hits`] and returned.
-    /// Byte-for-byte equality is confirmed on every hash match, so a
-    /// collision can never substitute wrong contents.
-    fn dedup_reply_pages(&mut self, node: NodeId, msg: &mut Message) -> u64 {
+    /// the held frames, interning unseen pages tagged with the sending
+    /// node `from`. Hits are counted in
+    /// [`ReliabilityStats::dedup_hits`] and returned. Byte-for-byte
+    /// equality is confirmed on every hash match, so a collision can
+    /// never substitute wrong contents.
+    ///
+    /// The table is bounded at [`DEDUP_CAP_PAGES`] with deterministic
+    /// least-recently-used eviction: every hit refreshes an entry's
+    /// recency stamp, and an insert at the cap evicts the entry with the
+    /// smallest stamp (counted in
+    /// [`ReliabilityStats::dedup_evictions`]). A crash of `from` later
+    /// wipes exactly the entries it contributed
+    /// ([`Fabric::crash_node`]).
+    fn dedup_reply_pages(&mut self, node: NodeId, from: NodeId, msg: &mut Message) -> u64 {
         let Some(nms) = self.nodes.get_mut(&node) else {
             return 0;
         };
         let mut hits = 0u64;
+        let mut evictions = 0u64;
         for item in &mut msg.items {
             let MsgItem::Pages { frames, .. } = item else {
                 continue;
             };
             for frame in frames.iter_mut() {
                 let hash = frame.content_hash();
-                let held = nms
-                    .dedup
-                    .get(&hash)
-                    .and_then(|bucket| bucket.iter().find(|h| h.same_contents(frame)))
-                    .cloned();
+                let held = nms.dedup.get_mut(&hash).and_then(|bucket| {
+                    bucket.iter_mut().find(|e| e.frame.same_contents(frame))
+                });
                 match held {
-                    Some(held) => {
-                        *frame = held;
+                    Some(entry) => {
+                        *frame = entry.frame.clone();
+                        // Refresh recency: the hit entry moves to the
+                        // youngest LRU position.
+                        nms.dedup_lru.remove(&entry.stamp);
+                        nms.dedup_stamp += 1;
+                        entry.stamp = nms.dedup_stamp;
+                        nms.dedup_lru.insert(entry.stamp, hash);
                         self.reliability.dedup_hits.incr();
                         hits += 1;
                     }
-                    None if nms.dedup_pages < DEDUP_CAP_PAGES => {
-                        nms.dedup.entry(hash).or_default().push(frame.clone());
+                    None => {
+                        if nms.dedup_pages >= DEDUP_CAP_PAGES {
+                            nms.evict_lru_dedup_entry();
+                            evictions += 1;
+                        }
+                        nms.dedup_stamp += 1;
+                        let stamp = nms.dedup_stamp;
+                        nms.dedup.entry(hash).or_default().push(DedupEntry {
+                            frame: frame.clone(),
+                            stamp,
+                            src: from,
+                        });
+                        nms.dedup_lru.insert(stamp, hash);
                         nms.dedup_pages += 1;
                     }
-                    None => {}
                 }
             }
         }
+        self.reliability.dedup_evictions.add(evictions);
         hits
     }
 
@@ -2745,5 +3313,161 @@ mod tests {
         send_reply(&mut w);
         // The post-crash reply found an empty table: no hit.
         assert_eq!(w.fabric.reliability.dedup_hits.get(), 0);
+    }
+
+    /// Sends one `ImagReadReply` carrying `frames` from `a` toward a port
+    /// on the node that owns `dest`, so the receiver's dedup table interns
+    /// (or hits) every frame.
+    fn send_reply_frames(w: &mut World, from: NodeId, dest: PortId, frames: Vec<Frame>) {
+        let msg = Message::new(MsgKind::ImagReadReply, dest)
+            .push(MsgItem::Pages {
+                base_page: 0,
+                frames,
+            })
+            .with_no_ious(true);
+        w.fabric
+            .send(&mut w.clock, &mut w.ports, &mut w.segs, from, msg)
+            .unwrap();
+    }
+
+    #[test]
+    fn dedup_table_evicts_lru_at_cap_deterministically() {
+        let (mut w, a, b) = world();
+        let dest = w.ports.allocate(b);
+        let page_for = |i: u64| Frame::new(page_from_bytes(&i.to_le_bytes()));
+        // Fill b's table exactly to the cap with distinct pages.
+        let mut i = 0u64;
+        while i < DEDUP_CAP_PAGES {
+            let chunk: Vec<Frame> = (i..(i + 64).min(DEDUP_CAP_PAGES)).map(page_for).collect();
+            i += chunk.len() as u64;
+            send_reply_frames(&mut w, a, dest, chunk);
+        }
+        assert_eq!(w.fabric.reliability.dedup_evictions.get(), 0);
+        // Refresh page 0: the hit bumps its recency stamp past page 1's.
+        send_reply_frames(&mut w, a, dest, vec![page_for(0)]);
+        assert_eq!(w.fabric.reliability.dedup_hits.get(), 1);
+        // Insert one more page at the cap: the LRU entry — page 1, not the
+        // just-refreshed page 0 — is evicted, deterministically.
+        send_reply_frames(&mut w, a, dest, vec![page_for(DEDUP_CAP_PAGES)]);
+        assert_eq!(w.fabric.reliability.dedup_evictions.get(), 1);
+        send_reply_frames(&mut w, a, dest, vec![page_for(0)]);
+        assert_eq!(
+            w.fabric.reliability.dedup_hits.get(),
+            2,
+            "the refreshed entry survived the eviction"
+        );
+        send_reply_frames(&mut w, a, dest, vec![page_for(1)]);
+        assert_eq!(
+            w.fabric.reliability.dedup_hits.get(),
+            2,
+            "the least-recently-used entry was the one evicted"
+        );
+    }
+
+    #[test]
+    fn crash_wipes_dedup_entries_interned_from_the_dead_node() {
+        let mut w = fleet_world(WireParams::default(), 3);
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        let dest = w.ports.allocate(b);
+        // b interns a page from a's reply…
+        send_reply_frames(&mut w, a, dest, vec![Frame::new(page_from_bytes(b"from a"))]);
+        // …then a dies. b's own table survives the crash of a *different*
+        // node, but every entry a's replies contributed must go: a dead
+        // (possibly amnesiac-rebooted) source cannot keep vouching for
+        // bytes.
+        w.fabric.crash_node(w.clock.now(), &mut w.ports, a, false);
+        send_reply_frames(&mut w, c, dest, vec![Frame::new(page_from_bytes(b"from a"))]);
+        assert_eq!(
+            w.fabric.reliability.dedup_hits.get(),
+            0,
+            "the dead node's contribution was wiped, not re-used"
+        );
+    }
+
+    #[test]
+    fn replicate_backing_spreads_pages_and_replica_read_fails_over() {
+        let mut params = WireParams::default();
+        params.replication = Some(crate::ReplicationParams::primary_backup(2, 7));
+        let mut w = fleet_world(params, 4);
+        let primary = NodeId(0);
+        let seg = SegmentId(91);
+        let frames: Vec<Frame> = (0..5u64)
+            .map(|i| Frame::new(page_from_bytes(&[i as u8 + 1])))
+            .collect();
+        let installed = w
+            .fabric
+            .replicate_backing(&mut w.clock, primary, seg, &frames)
+            .unwrap();
+        assert_eq!(installed, 10, "5 pages × factor 2");
+        let homes: Vec<NodeId> = w.fabric.replica_homes_of(seg).to_vec();
+        assert_eq!(homes.len(), 2);
+        assert!(!homes.contains(&primary), "the primary is not its own replica");
+        for &h in &homes {
+            assert_eq!(w.fabric.replica_pages(h), 5);
+        }
+        assert!(
+            w.fabric.ledger.total_for(LedgerCategory::Replicate) > 0,
+            "write-through bytes land in their own category"
+        );
+        assert_eq!(w.fabric.ledger.total_for(LedgerCategory::Bulk), 0);
+        // The install is fire-and-forget: the foreground clock never moved.
+        assert_eq!(w.clock.now(), SimTime::ZERO);
+        // The requester is the one node that is neither primary nor
+        // replica (4 nodes, 1 primary, 2 replicas → exactly one).
+        let requester = (1..4).map(NodeId).find(|n| !homes.contains(n)).unwrap();
+        // Primary up, PrimaryBackup mode: the primary still answers.
+        assert!(w
+            .fabric
+            .replica_read(&mut w.clock, requester, primary, seg, 0, 2)
+            .is_none());
+        // Primary down: the nearest live replica serves the same bytes,
+        // flagged as a failover, with the fetch latency on the clock.
+        w.fabric.crash_node(w.clock.now(), &mut w.ports, primary, false);
+        let before = w.clock.now();
+        let (replica, got, failover) = w
+            .fabric
+            .replica_read(&mut w.clock, requester, primary, seg, 0, 2)
+            .expect("a live replica must answer");
+        assert!(failover);
+        assert!(homes.contains(&replica));
+        assert_eq!(got.len(), 2);
+        assert!(got[0].same_contents(&frames[0]));
+        assert!(got[1].same_contents(&frames[1]));
+        assert!(w.clock.now() > before, "the failover fetch costs real time");
+        assert_eq!(w.fabric.reliability.failover_fetches.get(), 1);
+        assert_eq!(w.fabric.reliability.failover_pages.get(), 2);
+        // Kill every home: content-addressed resolution has nowhere left
+        // to go, and the caller falls through to the next recovery rung.
+        for &h in &homes {
+            w.fabric.crash_node(w.clock.now(), &mut w.ports, h, false);
+        }
+        assert!(w
+            .fabric
+            .replica_read(&mut w.clock, requester, primary, seg, 0, 2)
+            .is_none());
+        assert!(!w.fabric.replica_live_elsewhere(primary, seg, 0));
+    }
+
+    #[test]
+    fn replica_placement_is_deterministic_per_segment() {
+        let mut params = WireParams::default();
+        params.replication = Some(crate::ReplicationParams::quorum(2, 0xABCD));
+        let build = || {
+            let mut w = fleet_world(params.clone(), 6);
+            let frames = vec![Frame::new(page_from_bytes(b"page"))];
+            for seg in [SegmentId(1), SegmentId(2), SegmentId(3)] {
+                w.fabric
+                    .replicate_backing(&mut w.clock, NodeId(0), seg, &frames)
+                    .unwrap();
+            }
+            [SegmentId(1), SegmentId(2), SegmentId(3)]
+                .map(|s| w.fabric.replica_homes_of(s).to_vec())
+        };
+        let first = build();
+        assert_eq!(first, build(), "same seed, same placement, run over run");
+        assert!(
+            first.iter().any(|h| h != &first[0]),
+            "segments spread independently: {first:?}"
+        );
     }
 }

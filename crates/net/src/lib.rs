@@ -67,5 +67,8 @@ pub mod topology;
 
 pub use error::NetError;
 pub use fabric::{Fabric, FabricStats, SendReport};
-pub use params::{CrashEvent, CrashPlan, CrashTrigger, FaultPlan, LinkFaults, WireParams};
+pub use params::{
+    CrashEvent, CrashPlan, CrashTrigger, FaultPlan, LinkFaults, ReplicationMode,
+    ReplicationParams, WireParams,
+};
 pub use topology::{link_table, LinkStats, Topology, TopologyKind};

@@ -307,6 +307,59 @@ impl CrashPlan {
     }
 }
 
+/// How replicated page homes answer content-addressed COR reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Replicas are cold standbys: every COR read goes to the primary
+    /// home, and a replica serves pages only after the primary has
+    /// crashed (the failover ladder promotes the nearest live replica).
+    PrimaryBackup,
+    /// Replicas are live read targets: every COR read routes to the
+    /// nearest live home — primary or replica — by the topology's
+    /// hop-count metric with deterministic tie-breaks, so a well-placed
+    /// replica shortens the fault path even before any crash.
+    Quorum,
+}
+
+/// An opt-in page-home replication plan: the migration page-out path
+/// write-through installs page backing on `factor` extra deterministic
+/// replica nodes, and the COR fault path resolves each page's content
+/// hash against the resulting replica directory. `None` on
+/// [`WireParams::replication`] (the default) keeps every output
+/// byte-identical to a fabric built before replication existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationParams {
+    /// Number of replicas beyond the primary home (`f`); a page is backed
+    /// on `f + 1` nodes. `0` installs no replicas but still builds the
+    /// directory, which is useful only for tests.
+    pub factor: u64,
+    /// Read-routing discipline across the `f + 1` homes.
+    pub mode: ReplicationMode,
+    /// Seed for the deterministic replica-placement draws (a dedicated
+    /// `cor-sim` PCG stream, disjoint from fault/crash/placement streams).
+    pub seed: u64,
+}
+
+impl ReplicationParams {
+    /// A primary-backup plan with `factor` replicas.
+    pub fn primary_backup(factor: u64, seed: u64) -> Self {
+        ReplicationParams {
+            factor,
+            mode: ReplicationMode::PrimaryBackup,
+            seed,
+        }
+    }
+
+    /// A quorum-read plan with `factor` replicas.
+    pub fn quorum(factor: u64, seed: u64) -> Self {
+        ReplicationParams {
+            factor,
+            mode: ReplicationMode::Quorum,
+            seed,
+        }
+    }
+}
+
 /// Link and NetMsgServer cost parameters.
 #[derive(Debug, Clone)]
 pub struct WireParams {
@@ -378,6 +431,11 @@ pub struct WireParams {
     /// waiters from the single upstream reply instead of re-forwarding.
     /// Off (the default) keeps the seed's latest-waiter-wins semantics.
     pub coalesce: bool,
+    /// Optional page-home replication plan. `None` (the default) keeps
+    /// the seed's single-home semantics byte-identical; `Some` installs
+    /// page backing on `factor + 1` nodes at page-out and routes COR
+    /// reads content-addressed across the live homes.
+    pub replication: Option<ReplicationParams>,
 }
 
 impl Default for WireParams {
@@ -402,6 +460,7 @@ impl Default for WireParams {
             batch_replies: false,
             max_batch_pages: 32,
             coalesce: false,
+            replication: None,
         }
     }
 }
@@ -491,6 +550,7 @@ mod tests {
         let p = WireParams::default();
         assert!(p.faults.is_none(), "fault injection is strictly opt-in");
         assert!(p.crashes.is_none(), "crash injection is strictly opt-in");
+        assert!(p.replication.is_none(), "replication is strictly opt-in");
         assert!(p.retry_budget >= 2);
         assert!(p.retry_timeout > SimDuration::ZERO);
         assert!(LinkFaults::default().is_clean());

@@ -61,16 +61,23 @@ pub enum LedgerCategory {
     /// policy or crash plan is configured, so the paper's byte categories
     /// are untouched by the robustness machinery.
     Drain,
+    /// Page-home replication: write-through installs of owed-page backing
+    /// on replica nodes and content-addressed reads served by a replica
+    /// (nearest-replica routing and crash failover). Zero unless a
+    /// replication plan is configured, so the paper's byte categories are
+    /// untouched by the replication machinery.
+    Replicate,
 }
 
 impl LedgerCategory {
     /// All categories, in display order.
-    pub const ALL: [LedgerCategory; 5] = [
+    pub const ALL: [LedgerCategory; 6] = [
         LedgerCategory::Bulk,
         LedgerCategory::FaultSupport,
         LedgerCategory::Control,
         LedgerCategory::Retransmit,
         LedgerCategory::Drain,
+        LedgerCategory::Replicate,
     ];
 
     fn index(self) -> usize {
@@ -80,6 +87,7 @@ impl LedgerCategory {
             LedgerCategory::Control => 2,
             LedgerCategory::Retransmit => 3,
             LedgerCategory::Drain => 4,
+            LedgerCategory::Replicate => 5,
         }
     }
 }
@@ -92,6 +100,7 @@ impl fmt::Display for LedgerCategory {
             LedgerCategory::Control => "control",
             LedgerCategory::Retransmit => "retransmit",
             LedgerCategory::Drain => "drain",
+            LedgerCategory::Replicate => "replicate",
         };
         f.write_str(s)
     }
@@ -125,7 +134,7 @@ pub struct LedgerEntry {
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
     entries: Vec<LedgerEntry>,
-    totals: [u64; 5],
+    totals: [u64; 6],
     coarse: bool,
 }
 
@@ -264,6 +273,29 @@ pub struct ReliabilityStats {
     /// zero/constant pages): the held frame was installed instead of a
     /// fresh copy.
     pub dedup_hits: Counter,
+    /// Dedup-cache pages evicted by the deterministic LRU at the cap, or
+    /// wiped because the node that sourced them crashed.
+    pub dedup_evictions: Counter,
+    /// Owed-page copies installed on replica homes by write-through
+    /// replication (one count per page per replica).
+    pub replicated_pages: Counter,
+    /// Owed pages served from a live replica on the healthy fault path
+    /// (quorum-mode nearest-replica routing, the primary still up).
+    pub replica_reads: Counter,
+    /// Failover fetches: copy-on-reference reads promoted to a surviving
+    /// replica because the primary home lost its volatile state.
+    pub failover_fetches: Counter,
+    /// Owed pages delivered by those failover fetches.
+    pub failover_pages: Counter,
+    /// Total virtual time spent in failover fetches (the replication
+    /// ladder's recovery latency).
+    pub failover_time: SimDuration,
+    /// Coalesced pending-interest waiters failed out of the table because
+    /// their upstream crashed mid-flight (instead of hanging parked).
+    pub pit_waiters_failed: Counter,
+    /// Coalesced pending-interest waiters re-routed to a live replica
+    /// after their upstream crashed mid-flight.
+    pub pit_waiters_rerouted: Counter,
 }
 
 impl ReliabilityStats {
@@ -440,7 +472,31 @@ mod tests {
         assert_eq!(l.total_for(LedgerCategory::Bulk), 100);
         assert_eq!(l.total(), 200);
         assert_eq!(LedgerCategory::Retransmit.to_string(), "retransmit");
-        assert_eq!(LedgerCategory::ALL.len(), 5);
+        assert_eq!(LedgerCategory::ALL.len(), 6);
+    }
+
+    #[test]
+    fn replicate_category_is_separate_and_displayed() {
+        let mut l = Ledger::new();
+        l.record(SimTime::from_millis(1), 100, LedgerCategory::Bulk);
+        l.record(SimTime::from_millis(2), 40, LedgerCategory::Replicate);
+        assert_eq!(l.total_for(LedgerCategory::Replicate), 40);
+        assert_eq!(l.total_for(LedgerCategory::Bulk), 100);
+        assert_eq!(l.total(), 140);
+        assert_eq!(LedgerCategory::Replicate.to_string(), "replicate");
+    }
+
+    #[test]
+    fn replication_counters_stay_zero_without_a_plan() {
+        let r = ReliabilityStats::default();
+        assert_eq!(r.replicated_pages.get(), 0);
+        assert_eq!(r.replica_reads.get(), 0);
+        assert_eq!(r.failover_fetches.get(), 0);
+        assert_eq!(r.failover_pages.get(), 0);
+        assert_eq!(r.failover_time, SimDuration::ZERO);
+        assert_eq!(r.pit_waiters_failed.get(), 0);
+        assert_eq!(r.pit_waiters_rerouted.get(), 0);
+        assert_eq!(r.dedup_evictions.get(), 0);
     }
 
     #[test]

@@ -305,6 +305,59 @@ pub enum TraceEvent {
         /// The origin page offset.
         offset: u64,
     },
+    /// `net-replicate` — the replication layer write-through installed a
+    /// segment's page backing on a replica node at page-out time.
+    NetReplicate {
+        /// The primary home the pages were paged out to.
+        node: NodeId,
+        /// The replica that now also holds them.
+        replica: NodeId,
+        /// Pages installed.
+        pages: u64,
+    },
+    /// `failover` — the primary page home was down, and a COR fetch was
+    /// served content-addressed from a surviving replica instead of
+    /// draining or terminating.
+    Failover {
+        /// The faulting process.
+        pid: u64,
+        /// The node it runs on.
+        node: NodeId,
+        /// The down primary home.
+        dead: NodeId,
+        /// The replica promoted to serve the read.
+        replica: NodeId,
+        /// Pages installed from the replica.
+        pages: u64,
+        /// The faulted segment.
+        seg: u64,
+    },
+    /// `placement-skip` — a load/locality placement policy excluded a
+    /// candidate node because it is currently down under a crash plan.
+    PlacementSkip {
+        /// The excluded (down) candidate.
+        node: NodeId,
+        /// The node placing the work.
+        source: NodeId,
+    },
+    /// `net-pit-fail` — parked pending-interest waiters whose upstream
+    /// fetch died with a crashed peer were unparked: re-routed through a
+    /// live replica where possible, failed onto the faulters' recovery
+    /// ladders otherwise.
+    NetPitFail {
+        /// The relaying node whose pending-interest table was drained.
+        node: NodeId,
+        /// The dead upstream the in-flight fetch was headed to.
+        upstream: NodeId,
+        /// The origin segment being fetched.
+        seg: u64,
+        /// The origin page offset.
+        offset: u64,
+        /// Waiters that were parked under the key.
+        waiters: u64,
+        /// How many of them a live replica answered.
+        rerouted: u64,
+    },
 }
 
 impl TraceEvent {
@@ -336,6 +389,10 @@ impl TraceEvent {
             TraceEvent::NetRoute { .. } => "net-route",
             TraceEvent::NetBatch { .. } => "net-batch",
             TraceEvent::NetCoalesce { .. } => "net-coalesce",
+            TraceEvent::NetReplicate { .. } => "net-replicate",
+            TraceEvent::Failover { .. } => "failover",
+            TraceEvent::PlacementSkip { .. } => "placement-skip",
+            TraceEvent::NetPitFail { .. } => "net-pit-fail",
         }
     }
 
@@ -357,6 +414,7 @@ impl TraceEvent {
                 | TraceEvent::NetNodeDown { .. }
                 | TraceEvent::NetUnreachable { .. }
                 | TraceEvent::NetDeathLost { .. }
+                | TraceEvent::Failover { .. }
         )
     }
 
@@ -379,7 +437,11 @@ impl TraceEvent {
             | TraceEvent::NetDedup { node, .. }
             | TraceEvent::NetBatch { node, .. }
             | TraceEvent::NetCoalesce { node, .. }
+            | TraceEvent::NetReplicate { node, .. }
+            | TraceEvent::Failover { node, .. }
+            | TraceEvent::NetPitFail { node, .. }
             | TraceEvent::NetCrash { node, .. } => Some(node),
+            TraceEvent::PlacementSkip { source, .. } => Some(source),
             TraceEvent::Send { from, .. }
             | TraceEvent::NetDrop { from, .. }
             | TraceEvent::NetUnreachable { from, .. }
@@ -560,6 +622,36 @@ impl fmt::Display for TraceEvent {
             TraceEvent::NetCoalesce { node, seg, offset } => write!(
                 f,
                 "{node} coalesced request for seg {seg} page {offset} onto in-flight fetch"
+            ),
+            TraceEvent::NetReplicate {
+                node,
+                replica,
+                pages,
+            } => write!(f, "{node} replicated {pages} pages to {replica}"),
+            TraceEvent::Failover {
+                pid,
+                node,
+                dead,
+                replica,
+                pages,
+                seg,
+            } => write!(
+                f,
+                "pid{pid} on {node} failed over to {replica}: {pages} pages of seg {seg} ({dead} down)"
+            ),
+            TraceEvent::PlacementSkip { node, source } => {
+                write!(f, "{source} placement skipped {node}: node is down")
+            }
+            TraceEvent::NetPitFail {
+                node,
+                upstream,
+                seg,
+                offset,
+                waiters,
+                rerouted,
+            } => write!(
+                f,
+                "{node} unparked {waiters} waiters for seg {seg} page {offset} ({upstream} down, {rerouted} rerouted)"
             ),
         }
     }

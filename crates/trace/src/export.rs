@@ -246,6 +246,43 @@ fn event_args(e: &TraceEvent) -> String {
         TraceEvent::NetCoalesce { node: n, seg, offset } => {
             format!("\"node\":{},\"seg\":{seg},\"offset\":{offset}", node(n))
         }
+        TraceEvent::NetReplicate {
+            node: n,
+            replica,
+            pages,
+        } => format!(
+            "\"node\":{},\"replica\":{},\"pages\":{pages}",
+            node(n),
+            node(replica)
+        ),
+        TraceEvent::Failover {
+            pid,
+            node: n,
+            dead,
+            replica,
+            pages,
+            seg,
+        } => format!(
+            "\"pid\":{pid},\"node\":{},\"dead\":{},\"replica\":{},\"pages\":{pages},\"seg\":{seg}",
+            node(n),
+            node(dead),
+            node(replica)
+        ),
+        TraceEvent::PlacementSkip { node: n, source } => {
+            format!("\"node\":{},\"source\":{}", node(n), node(source))
+        }
+        TraceEvent::NetPitFail {
+            node: n,
+            upstream,
+            seg,
+            offset,
+            waiters,
+            rerouted,
+        } => format!(
+            "\"node\":{},\"upstream\":{},\"seg\":{seg},\"offset\":{offset},\"waiters\":{waiters},\"rerouted\":{rerouted}",
+            node(n),
+            node(upstream)
+        ),
     }
 }
 

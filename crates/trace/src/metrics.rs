@@ -173,6 +173,7 @@ fn category_name(c: LedgerCategory) -> &'static str {
         LedgerCategory::Control => "wire.control",
         LedgerCategory::Retransmit => "wire.retransmit",
         LedgerCategory::Drain => "wire.drain",
+        LedgerCategory::Replicate => "wire.replicate",
     }
 }
 

@@ -71,11 +71,13 @@ fn main() {
     for &source in &drain_set {
         for pid in world.resident_pids(source).unwrap() {
             let loads = world.loads();
+            let down = world.fabric.crashed_nodes();
             let ctx = PlacementCtx {
                 source,
                 candidates: &candidates,
                 loads: &loads,
                 topology: world.fabric.params.topology.as_ref(),
+                down: &down,
                 seed: 7,
             };
             let dest = policy.choose(&ctx, pid.0).unwrap();

@@ -1,0 +1,415 @@
+//! Replicated page homes: content-addressed failover end to end.
+//!
+//! `docs/REPLICATION.md` describes the design: migration page-out
+//! write-throughs every owed page to `f` seeded replica homes, and a
+//! copy-on-reference fault whose primary backing site is dead fails over
+//! to a surviving replica instead of orphaning. These properties pin the
+//! machinery down:
+//!
+//! 1. **Survival.** With `f >= 1`, *any* single-node crash of the backing
+//!    site leaves the migrated run byte-identical to the crash-free image
+//!    — no drains, no orphans, every strategy.
+//! 2. **Exhaustion.** When a second crash takes the last live home down
+//!    mid-failover, the run fails with the same typed
+//!    [`KernelError::OrphanedProcess`] as the unreplicated hazard — never
+//!    a panic, a hang, or a third outcome.
+//! 3. **Invisibility.** A crash-free run under a primary-backup plan is
+//!    byte-identical to the unreplicated run on the virtual clock and on
+//!    every paper ledger category: the write-through is fire-and-forget
+//!    and all its bytes land in the `Replicate` category.
+//! 4. **PIT hygiene.** A relay NMS that parked pending-interest waiters
+//!    for an upstream fetch unparks and accounts every one of them when
+//!    the upstream dies: no leaked waiters under any crash plan.
+//!
+//! `COR_CHAOS_SEED` (default 1) perturbs the crash seeds and
+//! `COR_REPLICATION_FACTOR` (default 1) sets the replication factor, so
+//! CI sweeps distinct crash universes and factors while each leg stays
+//! individually reproducible.
+
+use proptest::prelude::*;
+
+use cor::ipc::NodeId;
+use cor::kernel::program::Trace;
+use cor::kernel::{KernelError, ProcessId, World};
+use cor::mem::{AddressSpace, PageNum, VAddr, PAGE_SIZE};
+use cor::migrate::{MigrationManager, Strategy};
+use cor::net::{CrashPlan, CrashTrigger, ReplicationParams, WireParams};
+use cor::sim::{LedgerCategory, SimDuration};
+
+/// CI-swept perturbation of every crash and placement seed in this suite.
+fn chaos_seed() -> u64 {
+    std::env::var("COR_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// CI-swept replication factor (0 = the unreplicated baseline).
+fn replication_factor() -> u64 {
+    std::env::var("COR_REPLICATION_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn primary_backup(factor: u64, seed: u64) -> Option<ReplicationParams> {
+    (factor > 0).then(|| ReplicationParams::primary_backup(factor, seed))
+}
+
+/// Write every page, then read them all back twice — one page per op, so
+/// a test can stop the run between individual faults.
+fn hopper_trace(pages: u64) -> Trace {
+    let mut tb = Trace::builder();
+    for i in 0..pages {
+        tb.write(PageNum(i).base(), 64);
+    }
+    for _ in 0..2 {
+        for i in 0..pages {
+            tb.read(PageNum(i).base(), 64);
+        }
+    }
+    tb.terminate()
+}
+
+/// The same trace run start-to-finish on one node: the reference image.
+fn hopper_reference(pages: u64) -> u64 {
+    let mut world = World::new(Default::default(), Default::default());
+    let a = world.add_node();
+    let mut space = AddressSpace::new();
+    space.validate(VAddr(0), pages * PAGE_SIZE).unwrap();
+    let pid = world
+        .create_process(a, "hopper", space, hopper_trace(pages))
+        .unwrap();
+    world.run(a, pid).unwrap();
+    world.touched_checksum(a, pid).unwrap()
+}
+
+struct Rig {
+    world: World,
+    nodes: Vec<NodeId>,
+    pid: ProcessId,
+}
+
+/// Four nodes, a replication plan seeded with `seed`, and the hopper
+/// migrated one hop `a -> b` with its writes already done at `a` (so
+/// every page is owed by the source afterward).
+fn single_hop_rig(pages: u64, factor: u64, seed: u64, strategy: Strategy) -> Rig {
+    let params = WireParams {
+        replication: primary_backup(factor, seed),
+        ..WireParams::default()
+    };
+    let mut world = World::new(Default::default(), params);
+    let nodes: Vec<NodeId> = (0..4).map(|_| world.add_node()).collect();
+    let (a, b) = (nodes[0], nodes[1]);
+    let src = MigrationManager::new(&mut world, a);
+    let dst = MigrationManager::new(&mut world, b);
+    let mut space = AddressSpace::new();
+    space.validate(VAddr(0), pages * PAGE_SIZE).unwrap();
+    let pid = world
+        .create_process(a, "hopper", space, hopper_trace(pages))
+        .unwrap();
+    world.run_for(a, pid, pages as usize).unwrap();
+    src.migrate_to(&mut world, &dst, pid, strategy).unwrap();
+    world.reset_touch_tracking(b, pid).unwrap();
+    Rig { world, nodes, pid }
+}
+
+/// Four nodes on the batched + coalescing hot path, the hopper migrated
+/// `a -> b` (3 pages touched at `b`) and then `b -> c`: faults at `c`
+/// relay through `b`'s NMS, parking pending-interest waiters there while
+/// the upstream fetch is in flight.
+fn chain_rig(pages: u64, factor: u64, seed: u64) -> Rig {
+    let mut params = WireParams::default().hot_path();
+    params.replication = primary_backup(factor, seed);
+    let mut world = World::new(Default::default(), params);
+    world.enable_journal();
+    let nodes: Vec<NodeId> = (0..4).map(|_| world.add_node()).collect();
+    let (a, b, c) = (nodes[0], nodes[1], nodes[2]);
+    let managers: Vec<MigrationManager> = nodes
+        .iter()
+        .map(|&n| MigrationManager::new(&mut world, n))
+        .collect();
+    let mut space = AddressSpace::new();
+    space.validate(VAddr(0), pages * PAGE_SIZE).unwrap();
+    let pid = world
+        .create_process(a, "hopper", space, hopper_trace(pages))
+        .unwrap();
+    world.run_for(a, pid, pages as usize).unwrap();
+    managers[0]
+        .migrate_to(&mut world, &managers[1], pid, Strategy::PureIou { prefetch: 0 })
+        .unwrap();
+    world.run_for(b, pid, 3).unwrap();
+    managers[1]
+        .migrate_to(&mut world, &managers[2], pid, Strategy::PureIou { prefetch: 0 })
+        .unwrap();
+    world.reset_touch_tracking(c, pid).unwrap();
+    Rig { world, nodes, pid }
+}
+
+fn assert_no_parked_waiters(rig: &Rig) {
+    for &n in &rig.nodes {
+        assert_eq!(
+            rig.world.fabric.pending_waiters(n),
+            0,
+            "leaked pending-interest waiters on {n}"
+        );
+    }
+}
+
+const STRATEGIES: [Strategy; 3] = [
+    Strategy::PureCopy,
+    Strategy::PureIou { prefetch: 0 },
+    Strategy::ResidentSet { prefetch: 0 },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Survival: with `f >= 1`, any crash of the backing site at any
+    /// delay leaves every strategy's run byte-identical to the crash-free
+    /// image — zero orphans, zero lost pages, no draining anywhere.
+    #[test]
+    fn any_single_node_crash_with_replication_survives_byte_identically(
+        seed in any::<u64>(),
+        delay_ms in 0u64..2_000,
+        strat_idx in 0usize..3,
+        pages in 8u64..20,
+    ) {
+        let strategy = STRATEGIES[strat_idx];
+        let factor = replication_factor().max(1);
+        let reference = hopper_reference(pages);
+        let mut rig = single_hop_rig(pages, factor, seed ^ chaos_seed(), strategy);
+        let (a, b) = (rig.nodes[0], rig.nodes[1]);
+        let at = rig.world.clock.now() + SimDuration::from_millis(delay_ms);
+        rig.world.fabric.params.crashes =
+            Some(CrashPlan::new(seed ^ chaos_seed()).killing(a, CrashTrigger::AtTime(at)));
+        let run = rig.world.run(b, rig.pid);
+        prop_assert!(run.is_ok(), "f={factor} must survive the crash: {run:?}");
+        prop_assert_eq!(
+            rig.world.touched_checksum(b, rig.pid).unwrap(),
+            reference,
+            "a surviving run must be byte-identical to the crash-free image"
+        );
+        prop_assert_eq!(rig.world.fabric.reliability.pages_lost.get(), 0);
+    }
+
+    /// PIT hygiene under chaos: any crash plan against the chain's origin
+    /// node — any trigger, amnesiac or not — obeys the two-outcome law
+    /// (with `f >= 1` it always lands in the surviving outcome), and the
+    /// relay's pending-interest table is empty when the dust settles.
+    #[test]
+    fn any_chain_crash_leaves_no_parked_waiters(
+        seed in any::<u64>(),
+        delay_ms in 0u64..1_500,
+        after_n in 1u64..60,
+        by_messages in any::<bool>(),
+        amnesiac in any::<bool>(),
+    ) {
+        let factor = replication_factor();
+        let pages = 12;
+        let reference = hopper_reference(pages);
+        let mut rig = chain_rig(pages, factor, seed ^ chaos_seed());
+        let (a, c) = (rig.nodes[0], rig.nodes[2]);
+        let trigger = if by_messages {
+            CrashTrigger::AfterMessages(after_n)
+        } else {
+            CrashTrigger::AtTime(rig.world.clock.now() + SimDuration::from_millis(delay_ms))
+        };
+        let plan = if amnesiac {
+            CrashPlan::new(seed ^ chaos_seed()).rebooting(a, trigger)
+        } else {
+            CrashPlan::new(seed ^ chaos_seed()).killing(a, trigger)
+        };
+        rig.world.fabric.params.crashes = Some(plan);
+        match rig.world.run(c, rig.pid) {
+            Ok(_) => prop_assert_eq!(
+                rig.world.touched_checksum(c, rig.pid).unwrap(),
+                reference
+            ),
+            Err(KernelError::OrphanedProcess { lost_pages, .. }) => {
+                prop_assert_eq!(factor, 0, "f>=1 must never orphan on a single crash");
+                prop_assert!(lost_pages > 0, "an orphan must have lost something");
+            }
+            Err(other) => prop_assert!(false, "third outcome is forbidden: {other:?}"),
+        }
+        assert_no_parked_waiters(&rig);
+    }
+}
+
+/// The CI-swept factor obeys the two-outcome law at the fixed seed, and
+/// with `f >= 1` the lazy strategies survive outright.
+#[test]
+fn env_factor_crash_obeys_the_two_outcome_law() {
+    let factor = replication_factor();
+    let pages = 12;
+    let reference = hopper_reference(pages);
+    for (i, strategy) in STRATEGIES.into_iter().enumerate() {
+        let mut rig = single_hop_rig(pages, factor, 0x5EED ^ chaos_seed() ^ i as u64, strategy);
+        let (a, b) = (rig.nodes[0], rig.nodes[1]);
+        let at = rig.world.clock.now() + SimDuration::from_millis(1);
+        rig.world.fabric.params.crashes =
+            Some(CrashPlan::new(chaos_seed()).killing(a, CrashTrigger::AtTime(at)));
+        match rig.world.run(b, rig.pid) {
+            Ok(_) => {
+                assert_eq!(rig.world.touched_checksum(b, rig.pid).unwrap(), reference);
+            }
+            Err(KernelError::OrphanedProcess { lost_pages, .. }) => {
+                assert_eq!(factor, 0, "f>=1 must survive a single crash ({strategy:?})");
+                assert!(lost_pages > 0);
+            }
+            Err(other) => panic!("third outcome is forbidden: {other:?}"),
+        }
+        assert_no_parked_waiters(&rig);
+    }
+}
+
+/// Invisibility: a crash-free primary-backup run is byte-identical to
+/// the unreplicated run on the virtual clock and on every paper ledger
+/// category — the write-through's bytes all land under `Replicate`.
+#[test]
+fn crash_free_replication_is_invisible_on_the_clock_and_paper_ledger() {
+    let pages = 16;
+    let run = |factor: u64| {
+        let mut rig = single_hop_rig(pages, factor, 0xC0DE, Strategy::PureIou { prefetch: 0 });
+        let b = rig.nodes[1];
+        rig.world.run(b, rig.pid).unwrap();
+        let sum = rig.world.touched_checksum(b, rig.pid).unwrap();
+        (rig, sum)
+    };
+    let (flat, flat_sum) = run(0);
+    let (repl, repl_sum) = run(1);
+    assert_eq!(flat_sum, repl_sum);
+    assert_eq!(
+        flat.world.clock.now(),
+        repl.world.clock.now(),
+        "the write-through is fire-and-forget: the foreground clock never sees it"
+    );
+    for cat in [
+        LedgerCategory::Bulk,
+        LedgerCategory::FaultSupport,
+        LedgerCategory::Control,
+        LedgerCategory::Retransmit,
+        LedgerCategory::Drain,
+    ] {
+        assert_eq!(
+            flat.world.fabric.ledger.total_for(cat),
+            repl.world.fabric.ledger.total_for(cat),
+            "paper ledger category {cat:?} must be untouched by replication"
+        );
+    }
+    assert_eq!(flat.world.fabric.ledger.total_for(LedgerCategory::Replicate), 0);
+    assert!(repl.world.fabric.ledger.total_for(LedgerCategory::Replicate) > 0);
+    assert_eq!(flat.world.fabric.reliability.replicated_pages.get(), 0);
+    assert!(repl.world.fabric.reliability.replicated_pages.get() > 0);
+    assert_eq!(repl.world.fabric.reliability.failover_fetches.get(), 0);
+}
+
+/// Exhaustion: the primary dies, failover carries the run for a while,
+/// and then the last live home dies too — the run must end in the same
+/// typed orphan as the unreplicated hazard, with the loss accounted.
+#[test]
+fn second_crash_mid_failover_exhausts_every_home_into_a_typed_orphan() {
+    let pages = 12;
+    let strategy = Strategy::PureIou { prefetch: 0 };
+    // Find a placement seed whose replica home is a pool node rather than
+    // the destination itself (killing the destination would just kill the
+    // process with it, which is not the scenario under test).
+    let seed = (0..64)
+        .find(|&s| {
+            let rig = single_hop_rig(pages, 1, s, strategy);
+            rig.world.fabric.replica_pages(rig.nodes[1]) == 0
+        })
+        .expect("some seed places the replica off the destination");
+    let mut rig = single_hop_rig(pages, 1, seed, strategy);
+    let (a, b) = (rig.nodes[0], rig.nodes[1]);
+    let homes: Vec<NodeId> = rig
+        .nodes
+        .iter()
+        .copied()
+        .filter(|&n| rig.world.fabric.replica_pages(n) > 0)
+        .collect();
+    assert!(!homes.is_empty() && !homes.contains(&b), "{homes:?}");
+    // First crash: the primary dies the moment the migration lands.
+    let now = rig.world.clock.now();
+    rig.world
+        .fabric
+        .crash_node(now, &mut rig.world.ports, a, false);
+    // Three single-page reads fail over to the replica and keep running.
+    rig.world.run_for(b, rig.pid, 3).unwrap();
+    assert!(
+        rig.world.fabric.reliability.failover_fetches.get() >= 3,
+        "the run is mid-failover"
+    );
+    assert!(rig.world.fabric.reliability.failover_time > SimDuration::ZERO);
+    // Second crash: every remaining home dies. Content-addressed
+    // resolution now has nowhere to go.
+    for &h in &homes {
+        let now = rig.world.clock.now();
+        rig.world
+            .fabric
+            .crash_node(now, &mut rig.world.ports, h, false);
+    }
+    match rig.world.run(b, rig.pid) {
+        Err(KernelError::OrphanedProcess { node, lost_pages, .. }) => {
+            assert_eq!(node, a, "the orphan names the dead backing site");
+            assert!(lost_pages > 0);
+        }
+        other => panic!("all homes down must orphan with the typed error: {other:?}"),
+    }
+    assert!(rig.world.fabric.reliability.pages_lost.get() > 0);
+    assert_no_parked_waiters(&rig);
+}
+
+/// PIT hygiene, deterministic shape: with the upstream already dead, the
+/// relay parks a waiter for the forwarded fetch, the forward send fails
+/// fast, and the waiter is unparked and accounted — never leaked.
+#[test]
+fn relay_pit_unparks_and_accounts_waiters_when_the_upstream_dies() {
+    let mut rig = chain_rig(12, 0, 0x917);
+    let (a, c) = (rig.nodes[0], rig.nodes[2]);
+    let now = rig.world.clock.now();
+    rig.world
+        .fabric
+        .crash_node(now, &mut rig.world.ports, a, false);
+    match rig.world.run(c, rig.pid) {
+        Err(KernelError::OrphanedProcess { lost_pages, .. }) => assert!(lost_pages > 0),
+        other => panic!("unreplicated chain with a dead origin must orphan: {other:?}"),
+    }
+    assert_no_parked_waiters(&rig);
+    assert!(
+        rig.world.fabric.reliability.pit_waiters_failed.get() >= 1,
+        "the parked relay waiter was unparked and counted"
+    );
+    let journal: Vec<String> = rig
+        .world
+        .fabric
+        .journal
+        .as_ref()
+        .map(|j| j.events().iter().map(|e| e.kind().to_string()).collect())
+        .unwrap_or_default();
+    assert!(
+        journal.iter().any(|k| k == "net-pit-fail"),
+        "the unpark is journaled as a typed event: {journal:?}"
+    );
+}
+
+/// The replicated chain sails through the same upstream crash: every
+/// fault on a dead-origin page resolves content-addressed against a
+/// replica, nothing parks, nothing orphans.
+#[test]
+fn replicated_chain_survives_the_upstream_crash_without_parked_waiters() {
+    let factor = replication_factor().max(1);
+    let pages = 12;
+    let reference = hopper_reference(pages);
+    let mut rig = chain_rig(pages, factor, 0x42 ^ chaos_seed());
+    let (a, c) = (rig.nodes[0], rig.nodes[2]);
+    let now = rig.world.clock.now();
+    rig.world
+        .fabric
+        .crash_node(now, &mut rig.world.ports, a, false);
+    rig.world.run(c, rig.pid).unwrap();
+    assert_eq!(rig.world.touched_checksum(c, rig.pid).unwrap(), reference);
+    assert!(rig.world.fabric.reliability.failover_fetches.get() >= 1);
+    assert_eq!(rig.world.fabric.reliability.pages_lost.get(), 0);
+    assert_no_parked_waiters(&rig);
+}
