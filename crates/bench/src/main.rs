@@ -237,6 +237,75 @@ fn saturation_alloc_gate() -> u64 {
     allocs
 }
 
+/// Headline numbers of the fleet-storm intra-simulation scaling study:
+/// the 64-node × 512-migration torus storm as one cell, timed under the
+/// lock-step loop and under the actor runtime at a thread ladder.
+struct FleetStormSummary {
+    /// `nodes/topology/placement/storm` of the measured cell.
+    cell: String,
+    lockstep_wallclock_s: f64,
+    /// `(threads, wallclock_s)` per actor run (shards = threads).
+    actor_wallclock_s: Vec<(usize, f64)>,
+    /// Actor 1-thread wall-clock over actor 4-thread wall-clock: the
+    /// *intra-simulation* speedup (one big simulation split across
+    /// cores), as opposed to `matrix_speedup` (independent cells fanned
+    /// out). Meaningful only when `host_cores >= 4`.
+    intra_sim_speedup_4t: f64,
+}
+
+/// Times the 64-node torus storm under both runtimes, asserting the CSVs
+/// byte-identical at every thread count. The actor executor shards the
+/// storm's process chains across the pool, so — on a machine with the
+/// cores to back it — this is the speedup a single simulation gets,
+/// which the lock-step engine structurally cannot have.
+fn run_fleet_storm() -> FleetStormSummary {
+    use cor_experiments::fleet::{cells, csv_for, run_cell};
+    use cor_experiments::fleet_actor::run_cell_actor;
+    let spec = cells()
+        .into_iter()
+        .find(|c| c.nodes == 64)
+        .expect("the 64-node storm cell exists");
+    let t0 = Instant::now();
+    let lockstep = run_cell(spec);
+    let lockstep_wallclock_s = t0.elapsed().as_secs_f64();
+    let reference = csv_for(&[lockstep]);
+    let mut actor_wallclock_s = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        let t0 = Instant::now();
+        let outcome = run_cell_actor(spec, &pool, threads);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            csv_for(&[outcome]),
+            reference,
+            "actor storm CSV diverged from lock-step at {threads} threads"
+        );
+        actor_wallclock_s.push((threads, secs));
+    }
+    let at = |t: usize| {
+        actor_wallclock_s
+            .iter()
+            .find(|&&(n, _)| n == t)
+            .map(|&(_, s)| s)
+            .expect("ladder point present")
+    };
+    FleetStormSummary {
+        cell: format!(
+            "{}/{}/{}/{}",
+            spec.nodes, spec.topology, spec.placement, spec.storm.name
+        ),
+        lockstep_wallclock_s,
+        intra_sim_speedup_4t: at(1) / at(4),
+        actor_wallclock_s,
+    }
+}
+
+/// Physical parallelism of the bench host; intra-simulation speedups are
+/// only meaningful when this covers the thread ladder.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
@@ -262,24 +331,31 @@ fn render_entry(
     sparse_s: f64,
     frame_allocs_sparse: Option<u64>,
     saturation: Option<&SaturationSummary>,
+    fleet_storm: Option<&FleetStormSummary>,
     cells: &[CellTiming],
 ) -> String {
     let mut e = String::from("    {\n");
     e.push_str(&format!("      \"label\": \"{label}\",\n"));
     e.push_str(&format!("      \"threads\": {threads},\n"));
+    e.push_str(&format!("      \"host_cores\": {},\n", host_cores()));
     e.push_str(&format!("      \"quick\": {quick},\n"));
     e.push_str(&format!("      \"warmup\": {warmed_up},\n"));
     e.push_str(&format!(
         "      \"matrix_wallclock_s\": {},\n",
         json_f64(matrix_s)
     ));
+    // `matrix_speedup` is *inter-cell* scaling: independent matrix cells
+    // fanned across the pool. Intra-simulation scaling (one big storm
+    // split across cores) lives in the `fleet_storm` section.
     match serial {
         Some(s) => e.push_str(&format!(
-            "      \"serial_wallclock_s\": {},\n      \"speedup\": {},\n",
+            "      \"serial_wallclock_s\": {},\n      \"matrix_speedup\": {},\n",
             json_f64(s),
             json_f64(s / matrix_s)
         )),
-        None => e.push_str("      \"serial_wallclock_s\": null,\n      \"speedup\": null,\n"),
+        None => {
+            e.push_str("      \"serial_wallclock_s\": null,\n      \"matrix_speedup\": null,\n")
+        }
     }
     e.push_str(&format!(
         "      \"sparse_sweep_wallclock_s\": {},\n",
@@ -308,6 +384,22 @@ fn render_entry(
             json_f64(s.wallclock_s),
         ));
     }
+    if let Some(f) = fleet_storm {
+        let ladder: Vec<String> = f
+            .actor_wallclock_s
+            .iter()
+            .map(|&(t, s)| format!("\"{t}\": {}", json_f64(s)))
+            .collect();
+        e.push_str(&format!(
+            "      \"fleet_storm\": {{\"cell\": \"{}\", \"lockstep_wallclock_s\": {}, \
+             \"fleet_storm_wallclock_s\": {{{}}}, \"intra_sim_speedup_4t\": {}, \
+             \"csv_identical\": true}},\n",
+            f.cell,
+            json_f64(f.lockstep_wallclock_s),
+            ladder.join(", "),
+            json_f64(f.intra_sim_speedup_4t),
+        ));
+    }
     e.push_str("      \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         e.push_str(&format!(
@@ -327,7 +419,7 @@ fn render_entry(
 /// `\n  ]\n}\n`), so splicing before the array's closing bracket is exact,
 /// not heuristic; an unrecognisable file is an error, never overwritten.
 fn write_report(out: &str, entry: &str) -> Result<(), String> {
-    const HEAD: &str = "{\n  \"schema\": 1,\n  \"entries\": [\n";
+    const HEAD: &str = "{\n  \"schema\": 2,\n  \"entries\": [\n";
     const TAIL: &str = "\n  ]\n}\n";
     let body = match std::fs::read_to_string(out) {
         Ok(existing) => {
@@ -360,6 +452,7 @@ fn main() {
     let mut label = String::from("HEAD");
     let mut out = default_out();
     let mut saturation_mode: Option<bool> = None;
+    let mut fleet_storm_flag = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -406,11 +499,16 @@ fn main() {
                 }
                 i += 2;
             }
+            "--fleet-storm" => {
+                fleet_storm_flag = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: cor-bench [--threads N] [--baseline] [--quick] \
-                     [--label NAME] [--out PATH] [--saturation base|optimized]"
+                     [--label NAME] [--out PATH] [--saturation base|optimized] \
+                     [--fleet-storm]"
                 );
                 std::process::exit(2);
             }
@@ -485,6 +583,25 @@ fn main() {
         s
     });
 
+    let fleet_storm = fleet_storm_flag.then(|| {
+        let f = run_fleet_storm();
+        let ladder: Vec<String> = f
+            .actor_wallclock_s
+            .iter()
+            .map(|&(t, s)| format!("{t}t {s:.2}s"))
+            .collect();
+        eprintln!(
+            "fleet storm {} ({} host cores): lockstep {:.2}s, actor [{}], \
+             intra-sim speedup at 4 threads {:.2}x, CSVs identical",
+            f.cell,
+            host_cores(),
+            f.lockstep_wallclock_s,
+            ladder.join(", "),
+            f.intra_sim_speedup_4t
+        );
+        f
+    });
+
     let entry = render_entry(
         &label,
         threads,
@@ -495,6 +612,7 @@ fn main() {
         sparse_s,
         frame_allocs_sparse,
         saturation.as_ref(),
+        fleet_storm.as_ref(),
         &cells,
     );
     if let Err(e) = write_report(&out, &entry) {

@@ -144,7 +144,7 @@ pub fn gate_cells() -> Vec<FleetSpec> {
     cells().into_iter().filter(|c| c.nodes == 16).collect()
 }
 
-fn topology_for(name: &str, n: u32) -> Topology {
+pub(crate) fn topology_for(name: &str, n: u32) -> Topology {
     let t = match name {
         "full-mesh" => Topology::full_mesh(n),
         "ring" => Topology::ring(n),
@@ -161,7 +161,7 @@ fn topology_for(name: &str, n: u32) -> Topology {
     t.with_seed(FLEET_SEED)
 }
 
-fn placement_for(name: &str) -> Box<dyn Placement> {
+pub(crate) fn placement_for(name: &str) -> Box<dyn Placement> {
     match name {
         "round-robin" => Box::new(RoundRobin::new()),
         "least-loaded" => Box::new(LeastLoaded::new()),
@@ -172,7 +172,7 @@ fn placement_for(name: &str) -> Box<dyn Placement> {
 
 /// Builds one synthetic fleet process on `node` and runs its write
 /// phase there, leaving the read-back phase for after migration.
-fn spawn_proc(world: &mut World, node: NodeId) -> cor_kernel::ProcessId {
+pub(crate) fn spawn_proc(world: &mut World, node: NodeId) -> cor_kernel::ProcessId {
     let mut space = AddressSpace::new();
     space.validate(VAddr(0), 4 * PROC_PAGES * PAGE_SIZE).unwrap();
     let mut tb = cor_kernel::Trace::builder();
@@ -329,7 +329,13 @@ pub fn fleet_outcomes(pool: &Pool) -> Vec<FleetOutcome> {
 /// Runs the sweep and renders the table (serial, cell-order rendering:
 /// byte-identical at any thread count).
 pub fn fleet(pool: &Pool) -> String {
-    let outcomes = fleet_outcomes(pool);
+    render_table(&fleet_outcomes(pool))
+}
+
+/// Renders outcomes as the human-readable fleet table (shared by the
+/// lock-step and actor runtimes, so the two are diffable byte for
+/// byte).
+pub fn render_table(outcomes: &[FleetOutcome]) -> String {
     let mut t = TextTable::new(&[
         "nodes",
         "topology",
@@ -345,7 +351,7 @@ pub fn fleet(pool: &Pool) -> String {
         "max link",
         "hops",
     ]);
-    for o in &outcomes {
+    for o in outcomes {
         t.row(vec![
             o.spec.nodes.to_string(),
             o.spec.topology.to_string(),

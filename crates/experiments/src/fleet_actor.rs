@@ -1,0 +1,544 @@
+//! The conservative parallel fleet executor (`--runtime actor`).
+//!
+//! [`crate::fleet::run_cell`] drives a storm cell through the global
+//! lock-step loop: one thread, one world, every migration strictly
+//! sequential on the virtual clock. This module executes the *same
+//! cell* as a conservative parallel discrete-event simulation:
+//!
+//! 1. **Plan (serial).** A dry pre-pass replays the storm's control
+//!    decisions without simulating anything: pid assignment in spawn
+//!    order, and one placement decision per migrant against the evolving
+//!    load counts — exactly the sequence the lock-step driver makes,
+//!    reproducible because every placement policy is deterministic over
+//!    `(loads, topology, seed, pid)`. The result is the cell's full
+//!    chain list: `(pid, source, dest)` per migrating process.
+//! 2. **Execute (parallel).** Chains are partitioned into shards; each
+//!    shard executes its chains on a private world (same topology, same
+//!    seeds) driven by per-node [`cor_sim::NodeRuntime`]s, advancing in
+//!    three epochs (spawn → storm → post-storm run) whose events pop in
+//!    `(virtual_time, node, seq)` order — the lock-step order. Each
+//!    chain unit (one migration, one post-storm run) executes with link
+//!    occupancy cleared at its start and records its routed
+//!    transmissions ([`cor_net::replay::WireSend`]), so what the shard
+//!    measures is the unit's *nominal* schedule, independent of which
+//!    shard ran it or what ran before it.
+//! 3. **Merge (deterministic).** Byte counts, link tables, and survivor
+//!    counts are order-independent sums. The *timing* couplings the
+//!    isolated units could not see — a unit's first messages queueing
+//!    behind link residue left by the previous unit's tail in the
+//!    lock-step schedule — are re-imposed exactly by a serial
+//!    [`cor_net::replay::LinkReplay`] pass over the recorded wire
+//!    schedules in global order, which re-runs only the per-link
+//!    `route_and_charge` arithmetic (microseconds of work per cell).
+//!    The corrected migration durations and imag-fault spans — and
+//!    therefore the rendered CSV — are byte-identical to the lock-step
+//!    cell at every shard and thread count.
+//!
+//! Configurations that couple chains beyond the wire (injected faults,
+//! crash plans, replication write-through, the batched/coalesced hot
+//! path) are rejected by [`parallel_eligible`] and take the single-shard
+//! schedule instead. `docs/RUNTIME.md` gives the full determinism
+//! argument.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cor_ipc::NodeId;
+use cor_kernel::placement::PlacementCtx;
+use cor_kernel::{CostModel, World};
+use cor_migrate::{MigrationManager, Strategy};
+use cor_net::replay::{LinkReplay, UnitSend};
+use cor_net::WireParams;
+use cor_pool::Pool;
+use cor_sim::runtime::{run_serial, NodeRuntime};
+use cor_sim::{JournalLevel, SimDuration};
+use cor_trace::LogHistogram;
+
+use crate::fleet::{
+    csv_for, placement_for, render_table, spawn_proc, topology_for, FleetOutcome, FleetSpec,
+    FLEET_SEED,
+};
+
+/// Whether a wire configuration admits the parallel chain-sharded
+/// executor. Anything that lets one chain's traffic perturb another
+/// beyond link occupancy — injected faults (time- and count-triggered
+/// plans observe global message order), node crashes, replication
+/// write-through, or the batched/coalesced hot path (cross-request state
+/// at the NMS) — requires the single-shard schedule instead.
+pub fn parallel_eligible(w: &WireParams) -> bool {
+    w.faults.is_none()
+        && w.crashes.is_none()
+        && w.replication.is_none()
+        && !w.batch_replies
+        && !w.coalesce
+}
+
+/// One migrating process's lifecycle, planned by the pre-pass.
+#[derive(Debug, Clone, Copy)]
+struct Chain {
+    /// Global pid, as the lock-step world would assign it.
+    pid: u64,
+    source: NodeId,
+    dest: NodeId,
+}
+
+/// The planned cell: every control decision the storm will make, in
+/// lock-step order.
+struct CellPlan {
+    drain_set: BTreeSet<NodeId>,
+    /// Chains in storm order (source ascending, pid ascending) — which
+    /// is also spawn order.
+    chains: Vec<Chain>,
+}
+
+/// Replays the storm's placement decisions without simulating: the same
+/// candidate list, the same evolving load counts, the same seeded
+/// stateless tie-breaks ([`cor_kernel::placement`]), the same policy
+/// cursor state. Pure control flow — no world is built.
+fn plan_cell(spec: FleetSpec) -> CellPlan {
+    let nodes: Vec<NodeId> = (0..spec.nodes).map(NodeId).collect();
+    let topo = topology_for(spec.topology, spec.nodes);
+    let drain_set: BTreeSet<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|n| n.0 % spec.storm.drain_every == 0)
+        .collect();
+    let candidates: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|n| !drain_set.contains(n))
+        .collect();
+
+    // Pid assignment mirrors spawn order: drain nodes ascending, then
+    // spawn index; the lock-step world hands out sequential pids.
+    let mut loads: BTreeMap<NodeId, u64> = nodes.iter().map(|&n| (n, 0)).collect();
+    let mut spawned: BTreeMap<NodeId, Vec<u64>> = BTreeMap::new();
+    let mut next_pid = 0u64;
+    for &node in &drain_set {
+        for _ in 0..spec.storm.procs_per_node {
+            spawned.entry(node).or_default().push(next_pid);
+            *loads.get_mut(&node).unwrap() += 1;
+            next_pid += 1;
+        }
+    }
+
+    // The storm: one placement decision per process against live loads.
+    let down = BTreeSet::new();
+    let mut policy = placement_for(spec.placement);
+    let mut chains = Vec::with_capacity(next_pid as usize);
+    for (&source, pids) in &spawned {
+        for &pid in pids {
+            let ctx = PlacementCtx {
+                source,
+                candidates: &candidates,
+                loads: &loads,
+                topology: Some(&topo),
+                down: &down,
+                seed: FLEET_SEED,
+            };
+            let dest = policy.choose(&ctx, pid).expect("candidates exist");
+            *loads.get_mut(&source).unwrap() -= 1;
+            *loads.get_mut(&dest).unwrap() += 1;
+            chains.push(Chain { pid, source, dest });
+        }
+    }
+    CellPlan { drain_set, chains }
+}
+
+/// One chain unit's nominal measurement: its length, its recorded wire
+/// schedule, and (for run units) its imag-fault spans, all relative to
+/// the unit's start on idle links.
+struct UnitTrace {
+    len: SimDuration,
+    sends: Vec<UnitSend>,
+    /// `(start offset, nominal duration)` per imag-fault span.
+    spans: Vec<(SimDuration, SimDuration)>,
+}
+
+/// What one shard measured about its chains. Counters are deltas that
+/// merge by plain summation; unit traces are keyed by global chain
+/// index, so gathering them across shards reconstructs the full global
+/// schedule regardless of the partition.
+struct ShardResult {
+    /// Storm-phase unit per chain: `(global chain index, trace)`.
+    mig_units: Vec<(usize, UnitTrace)>,
+    /// Post-storm run unit per chain.
+    run_units: Vec<(usize, UnitTrace)>,
+    survived: u64,
+    drain_residents: u64,
+    wire_bytes: u64,
+    /// Per-link `(from, to) -> (msgs, bytes)` deltas.
+    links: BTreeMap<(u32, u32), (u64, u64)>,
+    remote_msgs: u64,
+}
+
+/// The three storm epochs, as events on the per-node runtimes.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Build and run chain `i`'s process at its source (write phase).
+    Spawn(usize),
+    /// Migrate chain `i` to its planned destination.
+    Migrate(usize),
+    /// Resume chain `i` at its destination (the read-back phase that
+    /// drives copy-on-reference faults across the fabric).
+    Run(usize),
+}
+
+/// Executes `chains` (a subset of the plan, in global order) on a
+/// private world and harvests per-chain measurements.
+///
+/// The world is full-size — all `spec.nodes` nodes and managers exist,
+/// so node ids, routes, and placement geometry are identical to the
+/// lock-step cell — but only this shard's processes are spawned.
+fn run_shard(
+    spec: FleetSpec,
+    chains: Vec<(usize, Chain)>,
+    drain_set: &BTreeSet<NodeId>,
+) -> ShardResult {
+    let topo = topology_for(spec.topology, spec.nodes);
+    let wire = WireParams {
+        topology: Some(topo),
+        ..WireParams::default()
+    };
+    debug_assert!(parallel_eligible(&wire));
+    let (mut world, nodes) = World::fleet(spec.nodes, CostModel::default(), wire);
+    world.fabric.validate_plans().expect("a well-wired fleet");
+    world.enable_journal_at(JournalLevel::Full);
+    world.fabric.record_wire_sends(true);
+    let managers: Vec<MigrationManager> = nodes
+        .iter()
+        .map(|&n| MigrationManager::new(&mut world, n))
+        .collect();
+
+    let mut rts: Vec<NodeRuntime<Ev>> = (0..spec.nodes).map(|n| NodeRuntime::new(n, 0)).collect();
+    let mut pids = vec![cor_kernel::ProcessId(u64::MAX); chains.len()];
+    let mut mig_units: Vec<(usize, UnitTrace)> = Vec::with_capacity(chains.len());
+    let mut run_units: Vec<(usize, UnitTrace)> = Vec::with_capacity(chains.len());
+    let mut survived = 0u64;
+
+    // Epoch 1: spawns. All events at the same instant, popping in
+    // (node, seq) order — the lock-step spawn order restricted to this
+    // shard, so pids come out in the same relative order.
+    let t0 = world.clock.now();
+    for (local, &(_, c)) in chains.iter().enumerate() {
+        rts[c.source.0 as usize].post(t0, Ev::Spawn(local));
+    }
+    run_serial(&mut rts, |_, _, _, ev| {
+        if let Ev::Spawn(local) = ev {
+            pids[local] = spawn_proc(&mut world, chains[local].1.source);
+        }
+    });
+
+    // Spawning is purely node-local: nothing has touched a link yet, so
+    // the absolute link/remote-message counters harvested below are
+    // pure storm+run deltas, the same accounting the lock-step cell's
+    // post-spawn snapshot performs.
+    let bytes_before = world.fabric.ledger.total();
+    assert!(
+        world.fabric.link_stats().is_empty() && world.fabric.stats().msgs_remote == 0,
+        "spawn epoch must not touch the fabric"
+    );
+
+    // Epoch 2: the storm. One migration unit per chain, events posted in
+    // global storm order and popped in (source, seq) order. Links are
+    // cleared at each unit start so the recorded schedule is nominal.
+    let t1 = world.clock.now();
+    for (local, &(_, c)) in chains.iter().enumerate() {
+        rts[c.source.0 as usize].post(t1, Ev::Migrate(local));
+    }
+    run_serial(&mut rts, |_, _, _, ev| {
+        if let Ev::Migrate(local) = ev {
+            let (global, c) = chains[local];
+            world.fabric.clear_link_busy();
+            let started = world.clock.now();
+            managers[c.source.0 as usize]
+                .migrate_to(
+                    &mut world,
+                    &managers[c.dest.0 as usize],
+                    pids[local],
+                    Strategy::PureIou { prefetch: 1 },
+                )
+                .expect("storm migration");
+            let len = world.clock.now().since(started);
+            let sends = world
+                .fabric
+                .take_wire_sends()
+                .into_iter()
+                .map(|s| s.rebase(started))
+                .collect();
+            mig_units.push((
+                global,
+                UnitTrace {
+                    len,
+                    sends,
+                    spans: Vec::new(),
+                },
+            ));
+        }
+    });
+
+    // Epoch 3: post-storm runs, in the lock-step order (destination
+    // ascending, then pid): the read phase faults pages back. The
+    // journal cursor attributes each unit's imag-fault spans.
+    let t2 = world.clock.now();
+    let mut run_order: Vec<usize> = (0..chains.len()).collect();
+    run_order.sort_by_key(|&l| (chains[l].1.dest, chains[l].1.pid));
+    for local in run_order {
+        rts[chains[local].1.dest.0 as usize].post(t2, Ev::Run(local));
+    }
+    let mut spans_seen = 0usize;
+    run_serial(&mut rts, |_, _, _, ev| {
+        if let Ev::Run(local) = ev {
+            let (global, c) = chains[local];
+            world.fabric.clear_link_busy();
+            let started = world.clock.now();
+            if let Some(journal) = &world.journal {
+                spans_seen = journal.spans().len();
+            }
+            let report = world.run(c.dest, pids[local]).expect("post-storm run");
+            if report.finished {
+                survived += 1;
+            }
+            let len = world.clock.now().since(started);
+            let sends = world
+                .fabric
+                .take_wire_sends()
+                .into_iter()
+                .map(|s| s.rebase(started))
+                .collect();
+            let mut spans = Vec::new();
+            if let Some(journal) = &world.journal {
+                for span in &journal.spans()[spans_seen..] {
+                    if span.name == "imag-fault" {
+                        if let Some(d) = span.duration() {
+                            spans.push((span.start.since(started), d));
+                        }
+                    }
+                }
+            }
+            run_units.push((global, UnitTrace { len, sends, spans }));
+        }
+    });
+
+    let drain_residents = drain_set.iter().map(|&n| world.node_load(n).unwrap()).sum();
+    let links = world
+        .fabric
+        .link_stats()
+        .iter()
+        .map(|(&(a, b), s)| ((a.0, b.0), (s.msgs, s.bytes)))
+        .collect();
+    ShardResult {
+        mig_units,
+        run_units,
+        survived,
+        drain_residents,
+        wire_bytes: world.fabric.ledger.total() - bytes_before,
+        links,
+        remote_msgs: world.fabric.stats().msgs_remote,
+    }
+}
+
+/// Merges shard measurements into the cell outcome. Counters merge by
+/// addition and a max over merged per-link sums. Timings go through the
+/// [`LinkReplay`]: unit traces are gathered by global index and replayed
+/// in the lock-step schedule order — all migrations in storm order, then
+/// all runs in run order, one carried link table throughout — so every
+/// cross-unit queue wait lands on exactly the duration the sequential
+/// world charges. No step depends on shard count or merge order, which
+/// is what makes the CSV byte-identical at every thread count.
+fn merge(spec: FleetSpec, chains: &[Chain], shards: Vec<ShardResult>) -> FleetOutcome {
+    let mut survived = 0u64;
+    let mut drain_residents_after = 0u64;
+    let mut wire_bytes = 0u64;
+    let mut links: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
+    let mut remote_msgs = 0u64;
+    let mut mig: BTreeMap<usize, UnitTrace> = BTreeMap::new();
+    let mut run: BTreeMap<usize, UnitTrace> = BTreeMap::new();
+    for s in shards {
+        for (g, t) in s.mig_units {
+            mig.insert(g, t);
+        }
+        for (g, t) in s.run_units {
+            run.insert(g, t);
+        }
+        survived += s.survived;
+        drain_residents_after += s.drain_residents;
+        wire_bytes += s.wire_bytes;
+        for (link, (msgs, bytes)) in s.links {
+            let e = links.entry(link).or_default();
+            e.0 += msgs;
+            e.1 += bytes;
+        }
+        remote_msgs += s.remote_msgs;
+    }
+
+    // The lock-step schedule: migrations in storm order (ascending
+    // global index), then runs in (destination, pid) order, links
+    // carried across every boundary — including storm → run.
+    let topo = topology_for(spec.topology, spec.nodes);
+    let per_byte_ns = WireParams::default().per_byte_ns;
+    let mut replay = LinkReplay::new(&topo, per_byte_ns);
+    let migrations = mig.len() as u64;
+    let mut storm_elapsed = SimDuration::ZERO;
+    for t in mig.values() {
+        let corr = replay.replay_unit(t.len, &t.sends);
+        storm_elapsed += t.len + corr.shift;
+    }
+    let mut run_order: Vec<usize> = run.keys().copied().collect();
+    run_order.sort_by_key(|&g| (chains[g].dest, chains[g].pid));
+    let mut faults = LogHistogram::new();
+    for g in run_order {
+        let t = &run[&g];
+        let corr = replay.replay_unit(t.len, &t.sends);
+        for &(start, nominal) in &t.spans {
+            faults.record_duration(nominal + corr.span_delta(start, start + nominal));
+        }
+    }
+
+    let link_bytes: u64 = links.values().map(|&(_, b)| b).sum();
+    let max_link_bytes = links.values().map(|&(_, b)| b).max().unwrap_or(0);
+    let link_msgs: u64 = links.values().map(|&(m, _)| m).sum();
+    FleetOutcome {
+        spec,
+        migrations,
+        survived,
+        drain_residents_after,
+        storm_elapsed,
+        throughput: migrations as f64 / storm_elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        fault_p50_us: faults.p50(),
+        fault_p99_us: faults.p99(),
+        faults: faults.count(),
+        wire_bytes,
+        link_bytes,
+        max_link_bytes,
+        mean_hops: link_msgs as f64 / remote_msgs.max(1) as f64,
+    }
+}
+
+/// Runs one cell under the actor runtime, fanning `shards` worlds
+/// across `pool`. Byte-identical to [`crate::fleet::run_cell`] for any
+/// `shards >= 1` at any thread count.
+pub fn run_cell_actor(spec: FleetSpec, pool: &Pool, shards: usize) -> FleetOutcome {
+    let plan = plan_cell(spec);
+    let shards = shards.clamp(1, plan.chains.len().max(1));
+    // Round-robin chains over shards, preserving global order inside
+    // each shard; the replay makes the outcome partition-invariant.
+    let mut parts: Vec<Vec<(usize, Chain)>> = vec![Vec::new(); shards];
+    for (i, &c) in plan.chains.iter().enumerate() {
+        parts[i % shards].push((i, c));
+    }
+    let drain_set = &plan.drain_set;
+    let jobs: Vec<_> = parts
+        .into_iter()
+        .map(|part| move || run_shard(spec, part, drain_set))
+        .collect();
+    let results = pool.run(jobs);
+    merge(spec, &plan.chains, results)
+}
+
+/// Computes the given cells under the actor runtime. Cells run one
+/// after another; the pool's parallelism goes *inside* each cell (the
+/// intra-simulation speedup the lock-step engine cannot have).
+pub fn actor_outcomes_for(specs: Vec<FleetSpec>, pool: &Pool) -> Vec<FleetOutcome> {
+    specs
+        .into_iter()
+        .map(|spec| run_cell_actor(spec, pool, pool.threads().max(1)))
+        .collect()
+}
+
+/// The fleet table under the actor runtime.
+pub fn fleet_actor(pool: &Pool) -> String {
+    render_table(&actor_outcomes_for(crate::fleet::cells(), pool))
+}
+
+/// The fleet CSV under the actor runtime.
+pub fn fleet_actor_csv(pool: &Pool) -> String {
+    csv_for(&actor_outcomes_for(crate::fleet::cells(), pool))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{gate_cells, run_cell, STORM_LOW};
+
+    fn spec16(placement: &'static str) -> FleetSpec {
+        FleetSpec {
+            nodes: 16,
+            topology: "torus",
+            placement,
+            storm: STORM_LOW,
+        }
+    }
+
+    #[test]
+    fn plan_matches_lockstep_destinations() {
+        // The pre-pass must predict exactly the destinations the
+        // lock-step storm picks; the least-loaded policy is the most
+        // state-sensitive (live load counts feed every choice).
+        for placement in ["round-robin", "least-loaded", "locality"] {
+            let spec = spec16(placement);
+            let plan = plan_cell(spec);
+            let lockstep = run_cell(spec);
+            assert_eq!(plan.chains.len() as u64, lockstep.migrations, "{placement}");
+        }
+    }
+
+    #[test]
+    fn single_shard_actor_cell_matches_lockstep_bytes() {
+        let spec = spec16("least-loaded");
+        let actor = csv_for(&[run_cell_actor(spec, &Pool::serial(), 1)]);
+        let lockstep = csv_for(&[run_cell(spec)]);
+        assert_eq!(actor, lockstep);
+    }
+
+    #[test]
+    fn sharded_actor_cell_is_byte_identical_to_lockstep() {
+        for placement in ["round-robin", "locality"] {
+            let spec = spec16(placement);
+            let lockstep = csv_for(&[run_cell(spec)]);
+            for shards in [2, 3, 7] {
+                let actor = csv_for(&[run_cell_actor(spec, &Pool::new(2), shards)]);
+                assert_eq!(actor, lockstep, "{placement} at {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_cell_with_cross_chain_queueing_is_byte_identical() {
+        // The ring/least-loaded cell is the regression that motivated
+        // the link replay: lock-step charges one fault a ~20ms queue
+        // wait behind the previous chain's reply still serializing on a
+        // shared ring link. Isolated shards cannot see that wait; the
+        // merge's replay must re-impose it exactly.
+        let spec = FleetSpec {
+            nodes: 16,
+            topology: "ring",
+            placement: "least-loaded",
+            storm: STORM_LOW,
+        };
+        let lockstep = csv_for(&[run_cell(spec)]);
+        for shards in [1, 2, 5] {
+            let actor = csv_for(&[run_cell_actor(spec, &Pool::new(2), shards)]);
+            assert_eq!(actor, lockstep, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn actor_gate_cells_match_lockstep_at_every_thread_count() {
+        let lockstep = csv_for(&crate::fleet::fleet_outcomes_for(
+            gate_cells(),
+            &Pool::serial(),
+        ));
+        for threads in [1, 2, 4] {
+            let actor = csv_for(&actor_outcomes_for(gate_cells(), &Pool::new(threads)));
+            assert_eq!(actor, lockstep, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn eligibility_gate_rejects_coupled_configurations() {
+        let mut w = WireParams::default();
+        assert!(parallel_eligible(&w));
+        w.batch_replies = true;
+        assert!(!parallel_eligible(&w));
+    }
+}

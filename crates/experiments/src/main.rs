@@ -1,7 +1,7 @@
 //! The `experiments` binary: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--threads N] <command>
+//! experiments [--threads N] [--runtime lockstep|actor] <command>
 //!
 //! commands:
 //!   table4-1 table4-2 table4-3 table4-4 table4-5
@@ -31,6 +31,15 @@
 //! thread count: each cell is its own deterministic simulation, and all
 //! rendering happens serially in cell order.
 //!
+//! `--runtime actor` (or `COR_RUNTIME=actor`) routes every simulation
+//! through the event-driven per-node runtimes: single trials post their
+//! causal phases to `cor_sim::NodeRuntime` inboxes, and the fleet sweep
+//! executes each storm cell as a conservative parallel simulation
+//! (per-process chains sharded across the pool, merged through the
+//! link-schedule replay). Every output remains byte-identical to the
+//! default `lockstep` runtime at any thread count — see
+//! `docs/RUNTIME.md`.
+//!
 //! `--trace-out FILE` writes a Perfetto `trace.json` to FILE: for the
 //! `trace` command it redirects that command's own trace there; for any
 //! other command (e.g. a sweep) it additionally captures a fixed-seed
@@ -38,8 +47,8 @@
 //! (`off|summary|full`) sets the journal level of sweep trials.
 
 use cor_experiments::{
-    figures, fleet, loss, replication, runner::Matrix, saturation, summary, survivability, tables,
-    trace,
+    figures, fleet, fleet_actor, loss, replication, runner::Matrix, saturation, summary,
+    survivability, tables, trace,
 };
 use cor_pool::Pool;
 use cor_sim::JournalLevel;
@@ -56,6 +65,24 @@ fn main() {
             Pool::new(n)
         }
         None => Pool::from_env(),
+    };
+    let runtime = match args.iter().position(|a| a == "--runtime") {
+        Some(i) => {
+            let Some(kind) = args
+                .get(i + 1)
+                .and_then(|v| cor_kernel::RuntimeKind::parse(v))
+            else {
+                eprintln!("--runtime requires `lockstep` or `actor`");
+                std::process::exit(2);
+            };
+            args.drain(i..=i + 1);
+            // Sweeps read the knob through the environment so every
+            // trial — including ones built deep inside table renderers —
+            // routes through the selected runtime.
+            std::env::set_var(cor_kernel::runtime::RUNTIME_ENV, kind.name());
+            kind
+        }
+        None => cor_kernel::RuntimeKind::from_env(),
     };
     let trace_out = match args.iter().position(|a| a == "--trace-out") {
         Some(i) => {
@@ -92,8 +119,17 @@ fn main() {
         "survivability-csv" => print!("{}", survivability::survivability_csv(&workloads, &pool)),
         "replication" => emit(replication::replication(&workloads, &pool)),
         "replication-csv" => print!("{}", replication::replication_csv(&workloads, &pool)),
-        "fleet" => emit(fleet::fleet(&pool)),
-        "fleet-csv" => print!("{}", fleet::fleet_csv(&pool)),
+        "fleet" => emit(match runtime {
+            cor_kernel::RuntimeKind::Lockstep => fleet::fleet(&pool),
+            cor_kernel::RuntimeKind::Actor => fleet_actor::fleet_actor(&pool),
+        }),
+        "fleet-csv" => print!(
+            "{}",
+            match runtime {
+                cor_kernel::RuntimeKind::Lockstep => fleet::fleet_csv(&pool),
+                cor_kernel::RuntimeKind::Actor => fleet_actor::fleet_actor_csv(&pool),
+            }
+        ),
         "saturation" => emit(saturation::saturation(&pool)),
         "saturation-csv" => print!("{}", saturation::saturation_csv(&pool)),
         "cow-study" => emit(summary::cow_study()),

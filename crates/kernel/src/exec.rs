@@ -1,0 +1,252 @@
+//! The executor: trace-driven process execution on the virtual clock.
+//!
+//! Split out of `world.rs` by the actor-runtime refactor: this module
+//! owns [`World::run`] and friends — the per-node instruction loop that
+//! consumes [`crate::program::Op`]s, charges compute time, and feeds
+//! memory touches to the pager.
+
+use std::collections::HashMap;
+
+use cor_ipc::NodeId;
+use cor_mem::space::SegmentId;
+use cor_mem::{PageNum, PageState};
+use cor_sim::SimDuration;
+use cor_trace::TraceEvent;
+
+use crate::error::KernelError;
+use crate::process::{ProcessId, RunStatus};
+use crate::program::Op;
+use crate::world::{ExecReport, World};
+
+impl World {
+    // ----- the executor ----------------------------------------------------
+
+    /// Runs `pid` until it terminates.
+    ///
+    /// # Errors
+    ///
+    /// Execution failures, or [`KernelError::TraceUnderrun`] if the trace
+    /// ends without `Terminate`.
+    pub fn run(&mut self, node: NodeId, pid: ProcessId) -> Result<ExecReport, KernelError> {
+        self.run_for(node, pid, usize::MAX)
+    }
+
+    /// Runs `pid` for at most `max_ops` trace ops (or to termination).
+    /// Execution resumes from the PCB's trace position, so a process can be
+    /// run partially, migrated, and resumed elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Execution failures, or [`KernelError::TraceUnderrun`] if the trace
+    /// ends without `Terminate`.
+    pub fn run_for(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        max_ops: usize,
+    ) -> Result<ExecReport, KernelError> {
+        // A milestone span per scheduling slice: at Summary level a trace
+        // still shows when each process ran and for how long.
+        let span = self.span_enter_milestone("exec", Some(node));
+        let result = self.run_for_inner(node, pid, max_ops);
+        self.span_exit(span);
+        result
+    }
+
+    pub(crate) fn run_for_inner(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        max_ops: usize,
+    ) -> Result<ExecReport, KernelError> {
+        let started_at = self.clock.now();
+        {
+            let process = self.process_mut(node, pid)?;
+            process.pcb.status = RunStatus::Running;
+        }
+        let mut ops_executed = 0usize;
+        let mut finished = false;
+        while ops_executed < max_ops {
+            let (op, op_index) = {
+                let process = self.process_mut(node, pid)?;
+                let idx = process.pcb.trace_pos;
+                match process.trace.ops().get(idx) {
+                    Some(op) => {
+                        process.pcb.trace_pos += 1;
+                        (op.clone(), idx)
+                    }
+                    None => return Err(KernelError::TraceUnderrun(pid)),
+                }
+            };
+            ops_executed += 1;
+            match op {
+                Op::Touch { addr, len, write } => {
+                    self.touch(node, pid, addr, len, write, op_index)?;
+                }
+                Op::Compute(d) => {
+                    self.clock.advance(d);
+                    self.process_mut(node, pid)?.stats.compute += d;
+                }
+                Op::ScreenUpdate => {
+                    self.clock.advance(self.costs.screen_update);
+                    self.process_mut(node, pid)?.stats.screen_updates += 1;
+                }
+                Op::Terminate => {
+                    self.terminate(node, pid)?;
+                    finished = true;
+                    break;
+                }
+            }
+        }
+        if !finished {
+            self.process_mut(node, pid)?.pcb.status = RunStatus::Ready;
+        }
+        self.note(|| TraceEvent::Exec {
+            pid: pid.0,
+            node,
+            ops: ops_executed as u64,
+            finished,
+        });
+        Ok(ExecReport {
+            started_at,
+            elapsed: self.clock.now().since(started_at),
+            ops_executed,
+            finished,
+        })
+    }
+
+    /// Runs every ready process on `node` to completion, round-robin in
+    /// slices of `slice_ops` trace ops — a minimal time-sharing scheduler
+    /// for multi-process studies. Returns `(pid, total execution time)` in
+    /// completion order, where the total sums that process's own slices.
+    ///
+    /// # Errors
+    ///
+    /// Any execution failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_ops` is zero (no slice could make progress).
+    pub fn run_round_robin(
+        &mut self,
+        node: NodeId,
+        slice_ops: usize,
+    ) -> Result<Vec<(ProcessId, SimDuration)>, KernelError> {
+        assert!(slice_ops > 0, "slices must make progress");
+        let mut spent: HashMap<ProcessId, SimDuration> = HashMap::new();
+        let mut finished = Vec::new();
+        loop {
+            let ready: Vec<ProcessId> = self
+                .node(node)?
+                .processes
+                .values()
+                .filter(|p| p.pcb.status != RunStatus::Terminated)
+                .map(|p| p.id)
+                .collect();
+            if ready.is_empty() {
+                return Ok(finished);
+            }
+            for pid in ready {
+                let report = self.run_for(node, pid, slice_ops)?;
+                let total = spent.entry(pid).or_insert(SimDuration::ZERO);
+                *total += report.elapsed;
+                if report.finished {
+                    finished.push((pid, *total));
+                }
+            }
+        }
+    }
+
+    /// Terminates `pid`: releases the references its address space holds on
+    /// imaginary segments (never-touched owed pages), triggering segment
+    /// deaths, and marks the PCB terminated. The address space itself is
+    /// preserved for post-mortem inspection.
+    ///
+    /// # Errors
+    ///
+    /// Network failures during reference release.
+    pub fn terminate(&mut self, node: NodeId, pid: ProcessId) -> Result<(), KernelError> {
+        let mut owed: HashMap<SegmentId, u64> = HashMap::new();
+        {
+            let process = self.process_mut(node, pid)?;
+            for (_, state) in process.space.materialized_pages() {
+                if let PageState::Imaginary { seg, .. } = state {
+                    *owed.entry(*seg).or_insert(0) += 1;
+                }
+            }
+            process.pcb.status = RunStatus::Terminated;
+        }
+        let mut owed: Vec<(SegmentId, u64)> = owed.into_iter().collect();
+        owed.sort_unstable_by_key(|&(s, _)| s);
+        for (seg, pages) in owed {
+            self.fabric.release_refs(
+                &mut self.clock,
+                &mut self.ports,
+                &mut self.segs,
+                node,
+                seg,
+                pages,
+            )?;
+        }
+        self.settle()?;
+        Ok(())
+    }
+
+    /// Clears `pid`'s touch and prefetch tracking. Experiments call this at
+    /// a phase boundary (e.g. the moment of migration) so that
+    /// [`ExecStats::touched`](crate::process::ExecStats) afterwards reports
+    /// exactly the pages referenced *at the remote site* — the quantity
+    /// Table 4-3 of the paper tabulates.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node or process.
+    pub fn reset_touch_tracking(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+    ) -> Result<(), KernelError> {
+        let process = self.process_mut(node, pid)?;
+        process.stats.touched.clear();
+        process.stats.prefetch_pending.clear();
+        Ok(())
+    }
+
+    /// A deterministic digest of the contents of every page `pid` has
+    /// touched (in page order). Two runs of the same program — migrated or
+    /// not, under any strategy — must agree.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/process, or internal state errors for touched pages
+    /// that have no data.
+    pub fn touched_checksum(&mut self, node: NodeId, pid: ProcessId) -> Result<u64, KernelError> {
+        let mut pages: Vec<PageNum> = {
+            let process = self.process(node, pid)?;
+            process.stats.touched.iter().copied().collect()
+        };
+        pages.sort_unstable();
+        let mut digest: u64 = 0xcbf29ce484222325;
+        for page in pages {
+            let n = self.node_mut(node)?;
+            let process = n
+                .processes
+                .get_mut(&pid)
+                .ok_or(KernelError::UnknownProcess(pid))?;
+            let frame = process
+                .space
+                .peek_frame(page, &mut n.disk)
+                .ok_or(KernelError::Mem(cor_mem::MemError::NotResident(page)))?;
+            digest ^= page.0;
+            digest = digest.wrapping_mul(0x100000001b3);
+            frame.with(|data| {
+                for &b in data.iter() {
+                    digest ^= b as u64;
+                    digest = digest.wrapping_mul(0x100000001b3);
+                }
+            });
+        }
+        Ok(digest)
+    }
+
+}

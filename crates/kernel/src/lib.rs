@@ -37,9 +37,13 @@ pub mod backer;
 pub mod costs;
 pub mod error;
 pub mod node;
+pub mod exec;
+pub mod pager;
 pub mod placement;
 pub mod process;
 pub mod program;
+pub mod recovery;
+pub mod runtime;
 pub mod world;
 
 pub use backer::PageStore;
@@ -49,4 +53,5 @@ pub use node::Node;
 pub use placement::{LeastLoaded, LocalityAware, Placement, PlacementCtx, RoundRobin};
 pub use process::{ExecStats, Pcb, Process, ProcessId, RunStatus};
 pub use program::{Op, Trace};
+pub use runtime::RuntimeKind;
 pub use world::{DrainMode, DrainPolicy, ExecReport, World};

@@ -1,0 +1,442 @@
+//! Crash tolerance: residual dependencies, draining, and the recovery
+//! ladder.
+//!
+//! Split out of `world.rs` by the actor-runtime refactor: this module
+//! owns everything that runs when a node crashes or is about to — the
+//! multi-hop residual-dependency walk, the background drainer
+//! ([`crate::DrainPolicy`]), and the salvage-or-orphan ladder.
+
+use std::collections::BTreeMap;
+
+use cor_ipc::NodeId;
+use cor_mem::space::SegmentId;
+use cor_mem::{PageNum, PageRange, PageState, VAddr};
+use cor_trace::TraceEvent;
+
+use crate::error::KernelError;
+use crate::process::ProcessId;
+use crate::world::{DrainMode, DrainPolicy, World};
+
+impl World {
+    // ----- crash tolerance: residual deps, draining, recovery --------------
+
+    /// The residual dependencies of `pid`: for every still-owed
+    /// (imaginary) page, the node whose *volatile* state the process
+    /// depends on — resolved through the full stand-in forwarding chain,
+    /// multi-hop included. Pages whose bytes already sit in the backer's
+    /// crash-survivable disk backer are crash-recoverable and therefore
+    /// not counted, which is what makes flush-draining monotonically
+    /// shrink this map. Local dependencies (pages the node owes itself)
+    /// are omitted: a node cannot outlive its own crash.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/process, or a broken backing chain.
+    pub fn residual_dependencies(
+        &self,
+        node: NodeId,
+        pid: ProcessId,
+    ) -> Result<BTreeMap<NodeId, u64>, KernelError> {
+        let mut deps = BTreeMap::new();
+        let process = self.process(node, pid)?;
+        for (_, state) in process.space.materialized_pages() {
+            if let PageState::Imaginary { seg, offset } = state {
+                // A dead segment means the references were already
+                // released (e.g. at termination): no dependency remains.
+                if self.segs.get(*seg).is_none() {
+                    continue;
+                }
+                let (backer, bseg, boff) =
+                    self.fabric
+                        .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
+                if backer != node
+                    && !self.fabric.disk_has(backer, bseg, boff)
+                    && !self.fabric.replica_live_elsewhere(backer, bseg, boff)
+                {
+                    *deps.entry(backer).or_insert(0) += 1;
+                }
+            }
+        }
+        Ok(deps)
+    }
+
+    /// One round of background IOU draining under `policy`; returns the
+    /// number of pages made crash-safe this round (zero means the
+    /// dependency set is fully drained — or nothing more is drainable).
+    /// Every drained page is counted in
+    /// [`ReliabilityStats::drained_pages`](cor_sim::ReliabilityStats) and
+    /// its traffic ledgered under [`cor_sim::LedgerCategory::Drain`], so paper
+    /// tables built from the other categories are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/process, broken chains, or (for prefetch draining
+    /// against a crashed backer) the recovery-ladder outcomes of
+    /// [`World::touch`].
+    pub fn drain_round(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        policy: DrainPolicy,
+    ) -> Result<u64, KernelError> {
+        if policy.pages_per_round == 0 {
+            return Ok(0);
+        }
+        match policy.mode {
+            DrainMode::Prefetch => self.drain_prefetch(node, pid, policy.pages_per_round),
+            DrainMode::FlushToDisk => self.drain_flush(node, pid, policy.pages_per_round),
+        }
+    }
+
+    /// The first still-owed page of `pid` whose resolved backer is remote
+    /// and not yet crash-safe on that backer's disk.
+    pub(crate) fn first_remote_owed(
+        &self,
+        node: NodeId,
+        pid: ProcessId,
+    ) -> Result<Option<(PageNum, SegmentId, u64)>, KernelError> {
+        let process = self.process(node, pid)?;
+        for (page, state) in process.space.materialized_pages() {
+            if let PageState::Imaginary { seg, offset } = state {
+                if self.segs.get(*seg).is_none() {
+                    continue;
+                }
+                let (backer, bseg, boff) =
+                    self.fabric
+                        .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
+                if backer != node
+                    && !self.fabric.disk_has(backer, bseg, boff)
+                    && !self.fabric.replica_live_elsewhere(backer, bseg, boff)
+                {
+                    return Ok(Some((page, *seg, *offset)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Prefetch-mode draining: pull up to `quota` owed pages across the
+    /// wire during idle time, exactly as an imaginary fault would, so the
+    /// dependency disappears outright.
+    pub(crate) fn drain_prefetch(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        quota: u64,
+    ) -> Result<u64, KernelError> {
+        let Some((page, seg, offset)) = self.first_remote_owed(node, pid)? else {
+            return Ok(0);
+        };
+        let saved = self.prefetch;
+        self.prefetch = quota - 1;
+        self.fabric.set_drain_accounting(true);
+        let fetched = self.handle_imaginary_fault(node, pid, page, seg, offset);
+        self.fabric.set_drain_accounting(false);
+        self.prefetch = saved;
+        let installed = fetched?;
+        self.fabric.reliability.drained_pages.add(installed);
+        self.note(|| TraceEvent::DrainPrefetch {
+            pid: pid.0,
+            node,
+            pages: installed,
+            seg: seg.0,
+            offset,
+        });
+        Ok(installed)
+    }
+
+    /// Flush-mode draining ("flush to Sesame"): copy up to `quota` owed
+    /// pages from the backing site's volatile NMS cache (or user-level
+    /// backer) onto that site's crash-survivable disk backer. The pages
+    /// stay owed — no wire transfer happens — but a crash can no longer
+    /// lose them, so they leave [`World::residual_dependencies`].
+    pub(crate) fn drain_flush(&mut self, node: NodeId, pid: ProcessId, quota: u64) -> Result<u64, KernelError> {
+        let targets: Vec<(NodeId, SegmentId, u64)> = {
+            let process = self.process(node, pid)?;
+            let mut t = Vec::new();
+            for (_, state) in process.space.materialized_pages() {
+                if let PageState::Imaginary { seg, offset } = state {
+                    if self.segs.get(*seg).is_none() {
+                        continue;
+                    }
+                    let (backer, bseg, boff) =
+                        self.fabric
+                            .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
+                    if backer != node
+                        && !self.fabric.disk_has(backer, bseg, boff)
+                        && !self.fabric.replica_live_elsewhere(backer, bseg, boff)
+                    {
+                        t.push((backer, bseg, boff));
+                    }
+                }
+            }
+            t
+        };
+        let mut flushed = 0u64;
+        for (backer, bseg, boff) in targets {
+            if flushed >= quota {
+                break;
+            }
+            // A dead backer's volatile copy is already gone; there is
+            // nothing left to flush (prefetch-mode draining would instead
+            // climb the recovery ladder here).
+            if self.fabric.is_crashed(backer) {
+                continue;
+            }
+            let written = self.fabric.flush_cached_page_to_disk(backer, bseg, boff)
+                || self.flush_user_backed_page(backer, bseg, boff);
+            if !written {
+                continue;
+            }
+            // The flush is the *backer's* disk writing out its own cache —
+            // background work at another node that overlaps the foreground
+            // process's execution, so it costs ledger bytes but no global
+            // wall time (the destination never blocks on it).
+            let now = self.clock.now();
+            self.fabric
+                .ledger
+                .record(now, cor_mem::PAGE_SIZE, cor_sim::LedgerCategory::Drain);
+            self.fabric.reliability.drained_pages.incr();
+            flushed += 1;
+            self.note(|| TraceEvent::DrainFlush {
+                pid: pid.0,
+                node,
+                seg: bseg.0,
+                offset: boff,
+                backer,
+            });
+        }
+        Ok(flushed)
+    }
+
+    /// Flushes one page of a *user-level*-backed segment to the backing
+    /// node's disk backer. Returns `true` if a page was written.
+    pub(crate) fn flush_user_backed_page(&mut self, backer: NodeId, seg: SegmentId, offset: u64) -> bool {
+        let Ok(port) = self.segs.backing_port(seg) else {
+            return false;
+        };
+        let Some(mut frames) = self
+            .backers
+            .get_mut(&port)
+            .and_then(|e| e.store.fetch(seg, offset, 1))
+        else {
+            return false;
+        };
+        if frames.is_empty() {
+            return false;
+        }
+        self.fabric
+            .disk_install_page(backer, seg, offset, frames.remove(0));
+        true
+    }
+
+    /// The crash-recovery ladder, entered when an imaginary fetch failed.
+    /// Rung 1: if the failure traces to a *crashed* backing site, read the
+    /// owed pages back from that site's crash-survivable disk backer and
+    /// install them as the reply would have. Rung 2: if the faulting page
+    /// is not on disk either, the data is gone — count the losses,
+    /// terminate the orphan cleanly (releasing its remaining references),
+    /// and surface [`KernelError::OrphanedProcess`]. Failures unrelated to
+    /// a crash propagate unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn crash_recover_or_orphan(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        page: PageNum,
+        seg: SegmentId,
+        offset: u64,
+        count: u64,
+        err: KernelError,
+    ) -> Result<u64, KernelError> {
+        let dead = match &err {
+            KernelError::SourceUnreachable { to, .. } if self.fabric.is_crashed(*to) => *to,
+            // A missing reply (the backer died after the request left) or
+            // a transport error: recoverable only if the resolved backing
+            // site is in fact down.
+            KernelError::NoReply { .. } | KernelError::Net(_) => {
+                let (backer, _, _) =
+                    self.fabric
+                        .resolve_owed(&self.ports, &self.segs, seg, offset)?;
+                // An amnesiac reboot answers the wire again but its cache
+                // and forward tables are gone — for owed pages that is the
+                // same loss as staying down, so it climbs the same ladder.
+                if self.fabric.lost_volatile_state(backer) {
+                    backer
+                } else {
+                    return Err(err);
+                }
+            }
+            _ => return Err(err),
+        };
+        // Rung 0: with replicated page homes, a surviving replica serves
+        // the read content-addressed — no data loss, no drain, and the
+        // fetch is charged like a wire round trip (the measured failover
+        // latency). Reached when the primary died *mid-flight*: a fetch
+        // that found it already down failed over before sending.
+        if self.fabric.params.replication.is_some() {
+            let now = self.clock.now();
+            if let Some(installed) =
+                self.try_replica_read(node, pid, page, seg, offset, count, now)?
+            {
+                return Ok(installed);
+            }
+        }
+        // Rung 1: the crashed node's disk backer, page by page; prefetch
+        // pages beyond the faulting one are best-effort.
+        let mut recovered = Vec::new();
+        for i in 0..count {
+            let (bnode, bseg, boff) =
+                self.fabric
+                    .resolve_owed(&self.ports, &self.segs, seg, offset + i)?;
+            if bnode != dead {
+                break;
+            }
+            match self.fabric.disk_recover(bnode, bseg, boff, 1) {
+                Some(mut f) => recovered.push(f.remove(0)),
+                None => break,
+            }
+        }
+        if !recovered.is_empty() {
+            let n = recovered.len() as u64;
+            self.clock.advance(
+                self.costs.disk_service
+                    + self.costs.map_in
+                    + self.costs.map_in_extra.saturating_mul(n - 1),
+            );
+            let now = self.clock.now();
+            self.fabric.ledger.record(
+                now,
+                cor_mem::PAGE_SIZE * n,
+                cor_sim::LedgerCategory::Drain,
+            );
+            let mut installed = 0u64;
+            {
+                let nd = self.node_mut(node)?;
+                let process = nd
+                    .processes
+                    .get_mut(&pid)
+                    .ok_or(KernelError::UnknownProcess(pid))?;
+                for (i, frame) in recovered.into_iter().enumerate() {
+                    let target = page.offset(i as u64);
+                    if matches!(
+                        process.space.page_state(target),
+                        Some(PageState::Imaginary { .. })
+                    ) {
+                        process
+                            .space
+                            .satisfy_imaginary_frame(target, frame, &mut nd.disk)?;
+                        installed += 1;
+                    }
+                }
+                process.stats.imag_faults += 1;
+            }
+            self.fabric.reliability.pages_recovered.add(installed);
+            if installed > 0 {
+                self.fabric.release_refs(
+                    &mut self.clock,
+                    &mut self.ports,
+                    &mut self.segs,
+                    node,
+                    seg,
+                    installed,
+                )?;
+                self.settle()?;
+            }
+            self.note(|| TraceEvent::Recover {
+                pid: pid.0,
+                node,
+                pages: installed,
+                seg: seg.0,
+                dead,
+            });
+            return Ok(installed);
+        }
+        // Rung 2: the faulting page is unrecoverable. Tally every owed
+        // page this process will never see, then terminate it cleanly.
+        let lost = self.count_lost_pages(node, pid, dead)?;
+        self.fabric.reliability.pages_lost.add(lost);
+        self.note(|| TraceEvent::Orphan {
+            pid: pid.0,
+            node,
+            dead,
+            lost,
+        });
+        self.terminate(node, pid)?;
+        Err(KernelError::OrphanedProcess {
+            pid,
+            node: dead,
+            lost_pages: lost,
+        })
+    }
+
+    /// Owed pages of `pid` that resolve to `dead` and are not on its disk
+    /// backer: data that no rung of the recovery ladder can produce.
+    pub(crate) fn count_lost_pages(
+        &self,
+        node: NodeId,
+        pid: ProcessId,
+        dead: NodeId,
+    ) -> Result<u64, KernelError> {
+        let process = self.process(node, pid)?;
+        let mut lost = 0;
+        for (_, state) in process.space.materialized_pages() {
+            if let PageState::Imaginary { seg, offset } = state {
+                if self.segs.get(*seg).is_none() {
+                    continue;
+                }
+                let (bnode, bseg, boff) =
+                    self.fabric
+                        .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
+                if bnode == dead
+                    && !self.fabric.disk_has(bnode, bseg, boff)
+                    && !self.fabric.replica_live_elsewhere(bnode, bseg, boff)
+                {
+                    lost += 1;
+                }
+            }
+        }
+        Ok(lost)
+    }
+
+    /// A *kernel-context* read of process memory (paper §2.3): the caller
+    /// holds the system critical section, so touching a port-backed
+    /// (imaginary) page would deadlock — the backer could never execute
+    /// the `Receive` needed to answer the fault. The accessibility map is
+    /// consulted first and the read is refused, not deadlocked, when the
+    /// range is distantly accessible. FillZero and disk faults are safe
+    /// and serviced inline.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::WouldDeadlock`] for ImagMem ranges;
+    /// [`KernelError::AddressingViolation`] for BadMem; otherwise the
+    /// usual failures.
+    pub fn kernel_peek(
+        &mut self,
+        node: NodeId,
+        pid: ProcessId,
+        addr: VAddr,
+        len: u64,
+    ) -> Result<Vec<u8>, KernelError> {
+        let range = PageRange::covering(addr, len);
+        let access = {
+            let process = self.process(node, pid)?;
+            process.space.amap().max_access_in(range)
+        };
+        match access {
+            cor_mem::amap::Access::Imag => return Err(KernelError::WouldDeadlock { pid, addr }),
+            cor_mem::amap::Access::Bad => {
+                return Err(KernelError::AddressingViolation { pid, addr })
+            }
+            _ => {}
+        }
+        for page in range.iter() {
+            self.ensure_ready(node, pid, page, false)?;
+        }
+        let process = self.process(node, pid)?;
+        let mut buf = vec![0u8; len as usize];
+        process.space.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+}

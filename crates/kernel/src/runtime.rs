@@ -1,0 +1,82 @@
+//! The simulation-runtime knob: global lock-step vs. actor-style
+//! per-node runtimes.
+//!
+//! The seed path drives every world through a centralized lock-step
+//! schedule ([`RuntimeKind::Lockstep`]): the experiment driver calls
+//! into [`crate::World`] synchronously and the single virtual clock
+//! orders everything. [`RuntimeKind::Actor`] routes the same work
+//! through per-node event runtimes ([`cor_sim::runtime::NodeRuntime`])
+//! and — where a sweep decomposes into independent per-process chains —
+//! executes node groups concurrently under conservative synchronization
+//! (see `docs/RUNTIME.md`). Both runtimes are required to produce
+//! byte-identical paper tables, journals, and ledger totals; the
+//! cross-runtime equivalence suite is the oracle.
+
+use std::fmt;
+
+/// Environment variable consulted by [`RuntimeKind::from_env`]
+/// (`lockstep` | `actor`), mirroring the experiments binary's
+/// `--runtime` flag.
+pub const RUNTIME_ENV: &str = "COR_RUNTIME";
+
+/// Which simulation runtime executes a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeKind {
+    /// The seed path: one centralized loop per world, strictly
+    /// sequential on the virtual clock.
+    #[default]
+    Lockstep,
+    /// Actor-style per-node runtimes with a seeded virtual-time
+    /// scheduler; independent chains execute in parallel under a
+    /// conservative lookahead rule.
+    Actor,
+}
+
+impl RuntimeKind {
+    /// Parses a runtime name as accepted by `--runtime` / [`RUNTIME_ENV`].
+    pub fn parse(s: &str) -> Option<RuntimeKind> {
+        match s {
+            "lockstep" => Some(RuntimeKind::Lockstep),
+            "actor" => Some(RuntimeKind::Actor),
+            _ => None,
+        }
+    }
+
+    /// Reads [`RUNTIME_ENV`], defaulting to [`RuntimeKind::Lockstep`];
+    /// unknown values also fall back to the default (the seed path is
+    /// never silently replaced).
+    pub fn from_env() -> RuntimeKind {
+        std::env::var(RUNTIME_ENV)
+            .ok()
+            .and_then(|v| RuntimeKind::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// The canonical name (`lockstep` | `actor`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::Lockstep => "lockstep",
+            RuntimeKind::Actor => "actor",
+        }
+    }
+}
+
+impl fmt::Display for RuntimeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_runtimes_and_rejects_junk() {
+        assert_eq!(RuntimeKind::parse("lockstep"), Some(RuntimeKind::Lockstep));
+        assert_eq!(RuntimeKind::parse("actor"), Some(RuntimeKind::Actor));
+        assert_eq!(RuntimeKind::parse("fibers"), None);
+        assert_eq!(RuntimeKind::default(), RuntimeKind::Lockstep);
+        assert_eq!(RuntimeKind::Actor.to_string(), "actor");
+    }
+}

@@ -1,14 +1,15 @@
 //! The simulated testbed: nodes, the pager/scheduler, and the executor.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use cor_ipc::message::Message;
 use cor_ipc::port::{PortId, PortRegistry};
 use cor_ipc::protocol::{self, ProtocolMsg};
 use cor_ipc::segment::SegmentRegistry;
 use cor_ipc::NodeId;
-use cor_mem::space::SegmentId;
-use cor_mem::{AddressSpace, Fault, PageNum, PageRange, PageState, VAddr};
+use cor_mem::AddressSpace;
+#[cfg(test)]
+use cor_mem::{space::SegmentId, Fault, PageNum, PageRange, VAddr};
 use cor_net::{Fabric, SendReport, WireParams};
 use cor_sim::{Clock, JournalLevel, SimDuration, SimTime};
 use cor_trace::{Journal, MetricsRegistry, SpanId, TraceEvent};
@@ -17,8 +18,12 @@ use crate::backer::PageStore;
 use crate::costs::CostModel;
 use crate::error::KernelError;
 use crate::node::Node;
-use crate::process::{Process, ProcessId, RunStatus};
-use crate::program::{write_pattern, Op, Trace};
+use crate::process::{Process, ProcessId};
+#[cfg(test)]
+use crate::process::RunStatus;
+use crate::program::Trace;
+#[cfg(test)]
+use crate::program::write_pattern;
 
 /// Span-id base of the fabric's journal: the world journal mints ids
 /// from 1 and the fabric from `FABRIC_SPAN_BASE + 1`, so a merged export
@@ -82,9 +87,9 @@ impl DrainPolicy {
     }
 }
 
-struct BackerEntry {
-    node: NodeId,
-    store: Box<dyn PageStore>,
+pub(crate) struct BackerEntry {
+    pub(crate) node: NodeId,
+    pub(crate) store: Box<dyn PageStore>,
 }
 
 /// The simulated distributed system.
@@ -111,13 +116,13 @@ pub struct World {
     /// [`World::enable_journal`]; recording is skipped entirely when
     /// absent.
     pub journal: Option<Journal>,
-    nodes: BTreeMap<NodeId, Node>,
-    backers: BTreeMap<PortId, BackerEntry>,
-    next_pid: u64,
-    next_node: u32,
+    pub(crate) nodes: BTreeMap<NodeId, Node>,
+    pub(crate) backers: BTreeMap<PortId, BackerEntry>,
+    pub(crate) next_pid: u64,
+    pub(crate) next_node: u32,
     /// Monotonic sequence stamp for pager read requests; replies echo it
     /// so stale or duplicated responses can be recognised and dropped.
-    next_seq: u64,
+    pub(crate) next_seq: u64,
 }
 
 impl World {
@@ -235,7 +240,7 @@ impl World {
     }
 
     /// The next pager request sequence number (monotonic, never zero).
-    fn next_seq(&mut self) -> u64 {
+    pub(crate) fn next_seq(&mut self) -> u64 {
         self.next_seq += 1;
         self.next_seq
     }
@@ -429,7 +434,7 @@ impl World {
         }
     }
 
-    fn service_backers(&mut self) -> Result<usize, KernelError> {
+    pub(crate) fn service_backers(&mut self) -> Result<usize, KernelError> {
         let ports_list: Vec<PortId> = self.backers.keys().copied().collect();
         let mut served = 0;
         for port in ports_list {
@@ -485,1121 +490,6 @@ impl World {
             }
             _ => Err(KernelError::UnexpectedMessage { port }),
         }
-    }
-
-    // ----- the Pager/Scheduler ---------------------------------------------
-
-    /// Makes `[addr, addr+len)` of `pid` accessible (servicing any faults)
-    /// and performs the touch. Write-touches store the deterministic
-    /// [`write_pattern`] for `op_index`.
-    ///
-    /// # Errors
-    ///
-    /// Addressing violations, broken backing chains, or internal state
-    /// errors.
-    pub fn touch(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        addr: VAddr,
-        len: u64,
-        write: bool,
-        op_index: usize,
-    ) -> Result<(), KernelError> {
-        let range = PageRange::covering(addr, len);
-        let end = addr.0 + len;
-        for page in range.iter() {
-            self.ensure_ready(node, pid, page, write)?;
-            self.note_touch(node, pid, page)?;
-            // Move this page's slice of the data immediately — a touch
-            // spanning more pages than the frame budget would otherwise
-            // evict earlier pages before the access completes (thrashing
-            // is re-faulting, not failing).
-            let chunk_start = addr.0.max(page.base().0);
-            let chunk_end = end.min(page.offset(1).base().0);
-            let chunk_len = (chunk_end - chunk_start) as usize;
-            let process = self.process_mut(node, pid)?;
-            if write {
-                let data: Vec<u8> = (0..chunk_len as u64)
-                    .map(|i| write_pattern(VAddr(chunk_start + i), op_index))
-                    .collect();
-                process.space.write(VAddr(chunk_start), &data)?;
-            } else {
-                let mut scratch = vec![0u8; chunk_len];
-                process.space.read(VAddr(chunk_start), &mut scratch)?;
-            }
-        }
-        Ok(())
-    }
-
-    fn ensure_ready(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        page: PageNum,
-        write: bool,
-    ) -> Result<(), KernelError> {
-        for _ in 0..8 {
-            let fault = {
-                let process = self.process_mut(node, pid)?;
-                let res = if write {
-                    process.space.check_write(page)
-                } else {
-                    process.space.check_read(page)
-                };
-                match res {
-                    Ok(()) => return Ok(()),
-                    Err(f) => f,
-                }
-            };
-            self.handle_fault(node, pid, fault)?;
-        }
-        Err(KernelError::Mem(cor_mem::MemError::BadState(
-            page,
-            "page still faulting after repeated service",
-        )))
-    }
-
-    fn handle_fault(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        fault: Fault,
-    ) -> Result<(), KernelError> {
-        match fault {
-            Fault::FillZero { page } => {
-                let span = self.span_enter(fault.name(), Some(node));
-                self.clock.advance(self.costs.fill_zero_fault());
-                let n = self.node_mut(node)?;
-                let process = n
-                    .processes
-                    .get_mut(&pid)
-                    .ok_or(KernelError::UnknownProcess(pid))?;
-                process.space.fill_zero(page, &mut n.disk)?;
-                process.stats.zero_faults += 1;
-                self.note(|| TraceEvent::FillZero {
-                    pid: pid.0,
-                    node,
-                    page: page.0,
-                });
-                self.span_exit(span);
-                Ok(())
-            }
-            Fault::DiskIn { page, .. } => {
-                let span = self.span_enter(fault.name(), Some(node));
-                self.clock.advance(self.costs.disk_fault());
-                let n = self.node_mut(node)?;
-                let process = n
-                    .processes
-                    .get_mut(&pid)
-                    .ok_or(KernelError::UnknownProcess(pid))?;
-                process.space.page_in(page, &mut n.disk)?;
-                process.stats.disk_faults += 1;
-                self.note(|| TraceEvent::DiskIn {
-                    pid: pid.0,
-                    node,
-                    page: page.0,
-                });
-                self.span_exit(span);
-                Ok(())
-            }
-            Fault::Imaginary { page, seg, offset } => self
-                .handle_imaginary_fault(node, pid, page, seg, offset)
-                .map(|_| ()),
-            Fault::Addressing { addr } => Err(KernelError::AddressingViolation { pid, addr }),
-        }
-    }
-
-    /// The copy-on-reference fault path (paper §2.2): an IPC round trip to
-    /// the segment's backing port, through the NetMsgServers when the
-    /// backer is remote, with `self.prefetch` extra contiguous pages
-    /// requested. Returns the number of pages installed.
-    ///
-    /// When the backing site has crashed the fetch falls through to the
-    /// recovery ladder ([`World::crash_recover_or_orphan`]): the crashed
-    /// node's disk backer first, clean orphan termination second.
-    fn handle_imaginary_fault(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        page: PageNum,
-        seg: SegmentId,
-        offset: u64,
-    ) -> Result<u64, KernelError> {
-        // One span per copy-on-reference fault, closed on every exit —
-        // recovery-ladder errors included — so a trace is never left with
-        // a dangling fault interval.
-        let span = self.span_enter("imag-fault", Some(node));
-        let result = self.imaginary_fault_inner(node, pid, page, seg, offset);
-        self.span_exit(span);
-        result
-    }
-
-    fn imaginary_fault_inner(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        page: PageNum,
-        seg: SegmentId,
-        offset: u64,
-    ) -> Result<u64, KernelError> {
-        let fault_start = self.clock.now();
-        self.clock.advance(self.costs.fault_dispatch);
-        let want = self.prefetch + 1;
-        let count = self.contiguous_owed(node, pid, page, seg, offset, want)?;
-        // With replicated page homes the fetch is content-addressed: a
-        // replica may answer instead of the primary backing site — always
-        // when the primary is down, and in Quorum mode also when a replica
-        // is simply closer on the topology.
-        if self.fabric.params.replication.is_some() {
-            if let Some(installed) =
-                self.try_replica_read(node, pid, page, seg, offset, count, fault_start)?
-            {
-                return Ok(installed);
-            }
-        }
-        let pager_port = self.node(node)?.pager_port;
-        let backing = self.segs.backing_port(seg)?;
-        let seq = self.next_seq();
-        let req = protocol::imag_read_request(backing, pager_port, seg, offset, count)
-            .with_seq(seq)
-            .with_no_ious(true);
-        // The round-trip span covers the request send, every relay hop
-        // the NetMsgServers serve during the settle, and the reply's
-        // journey back. Wire spans opened by the fabric parent under it
-        // via the cross-journal hook.
-        let rt_span = self.span_enter("cor-roundtrip", Some(node));
-        self.fabric.set_trace_parent(rt_span);
-        let round_trip = self
-            .send_from(node, req)
-            .and_then(|_| self.settle())
-            .map(|_| ());
-        self.fabric.set_trace_parent(SpanId::NONE);
-        self.span_exit(rt_span);
-        if let Err(err) = round_trip {
-            return self.crash_recover_or_orphan(node, pid, page, seg, offset, count, err);
-        }
-        // Drain the pager port until *our* reply appears. Anything else —
-        // a reply to an earlier request that was duplicated or delayed on
-        // an unreliable wire — is stale: drop it and keep looking
-        // (idempotent handling).
-        let mut frames = loop {
-            let Some(reply) = self.ports.dequeue(pager_port)? else {
-                // The queue ran dry without our reply: if the backing site
-                // died mid-flight this is recoverable; otherwise it is the
-                // old broken-chain error.
-                let err = KernelError::NoReply {
-                    fault: Fault::Imaginary { page, seg, offset },
-                };
-                return self.crash_recover_or_orphan(node, pid, page, seg, offset, count, err);
-            };
-            // Owned parse: the reply's frames move out of the message
-            // instead of being cloned.
-            match protocol::parse_owned(reply) {
-                Ok(ProtocolMsg::ImagReadReply {
-                    seg: rseg,
-                    offset: roffset,
-                    frames,
-                    seq: rseq,
-                }) if rseg == seg && roffset == offset && (rseq == seq || rseq == 0) => {
-                    break frames;
-                }
-                _ => {
-                    self.fabric.reliability.stale_replies.incr();
-                    self.note(|| TraceEvent::StaleReply {
-                        pid: pid.0,
-                        node,
-                        seg: seg.0,
-                        offset,
-                        seq,
-                    });
-                }
-            }
-        };
-        let mapin_span = self.span_enter("map-in", Some(node));
-        self.clock.advance(
-            self.costs.map_in
-                + self
-                    .costs
-                    .map_in_extra
-                    .saturating_mul(frames.len().saturating_sub(1) as u64),
-        );
-        let mut installed = 0u64;
-        {
-            let n = self.node_mut(node)?;
-            let process = n
-                .processes
-                .get_mut(&pid)
-                .ok_or(KernelError::UnknownProcess(pid))?;
-            // Install the delivered frames by reference count, not by
-            // 512-byte snapshot: the page is mapped copy-on-write against
-            // the sender's cache, and a later write performs the deferred
-            // copy (Accent's own message semantics, paper §2.1).
-            for (i, frame) in frames.drain(..).enumerate() {
-                let target = page.offset(i as u64);
-                if matches!(
-                    process.space.page_state(target),
-                    Some(PageState::Imaginary { .. })
-                ) {
-                    process
-                        .space
-                        .satisfy_imaginary_frame(target, frame, &mut n.disk)?;
-                    installed += 1;
-                    if i > 0 {
-                        process.stats.prefetched_pages += 1;
-                        process.stats.prefetch_pending.insert(target);
-                    }
-                }
-            }
-            process.stats.imag_faults += 1;
-        }
-        // The drained reply vector goes back to the scratch pool for the
-        // next reply assembly on this thread.
-        cor_mem::page::frame_pool::give(frames);
-        self.span_exit(mapin_span);
-        if installed > 0 {
-            self.fabric.release_refs(
-                &mut self.clock,
-                &mut self.ports,
-                &mut self.segs,
-                node,
-                seg,
-                installed,
-            )?;
-            self.settle()?;
-        }
-        let service_time = self.clock.now().since(fault_start);
-        self.process_mut(node, pid)?
-            .stats
-            .record_fault_time(service_time);
-        self.note(|| TraceEvent::Imaginary {
-            pid: pid.0,
-            node,
-            page: page.0,
-            seg: seg.0,
-            prefetched: installed.saturating_sub(1),
-            service: service_time,
-        });
-        Ok(installed)
-    }
-
-    /// Counts how many pages starting at `page` are still owed by `seg`
-    /// with consecutive offsets, clipped to `want` and to the segment
-    /// length — the prefetchable run.
-    fn contiguous_owed(
-        &self,
-        node: NodeId,
-        pid: ProcessId,
-        page: PageNum,
-        seg: SegmentId,
-        offset: u64,
-        want: u64,
-    ) -> Result<u64, KernelError> {
-        let seg_len = self
-            .segs
-            .get(seg)
-            .map(|s| s.len_pages)
-            .ok_or(KernelError::Net(cor_net::NetError::MissingData {
-                seg,
-                offset,
-            }))?;
-        let process = self.process(node, pid)?;
-        let max = want.min(seg_len.saturating_sub(offset));
-        let mut count = 0;
-        for i in 0..max {
-            match process.space.page_state(page.offset(i)) {
-                Some(PageState::Imaginary { seg: s, offset: o })
-                    if *s == seg && *o == offset + i =>
-                {
-                    count += 1;
-                }
-                _ => break,
-            }
-        }
-        Ok(count.max(1))
-    }
-
-    /// Tries to satisfy an owed fetch content-addressed from a replica
-    /// page home (see `docs/REPLICATION.md`) instead of the primary
-    /// backing site. The fabric decides whether a replica may answer —
-    /// always when the primary is down (the failover path, rung 0 of the
-    /// recovery ladder), and under [`cor_net::ReplicationMode::Quorum`]
-    /// also when a live replica is nearer on the topology. Returns
-    /// `Ok(None)` when no replica can or should serve the read; the
-    /// caller then proceeds exactly as without replication.
-    #[allow(clippy::too_many_arguments)]
-    fn try_replica_read(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        page: PageNum,
-        seg: SegmentId,
-        offset: u64,
-        count: u64,
-        fault_start: SimTime,
-    ) -> Result<Option<u64>, KernelError> {
-        // A broken chain here is not ours to diagnose: fall through and
-        // let the ordinary fetch surface the seed-identical error.
-        let Ok((backer, bseg, boff)) =
-            self.fabric
-                .resolve_owed(&self.ports, &self.segs, seg, offset)
-        else {
-            return Ok(None);
-        };
-        if backer == node {
-            return Ok(None);
-        }
-        // Clip the prefetch run to the prefix resolving contiguously to
-        // the same terminal home (mirrors the disk-salvage rung).
-        let mut run = 1u64;
-        while run < count {
-            match self
-                .fabric
-                .resolve_owed(&self.ports, &self.segs, seg, offset + run)
-            {
-                Ok((n2, s2, o2)) if n2 == backer && s2 == bseg && o2 == boff + run => run += 1,
-                _ => break,
-            }
-        }
-        let Some((replica, frames, failover)) =
-            self.fabric
-                .replica_read(&mut self.clock, node, backer, bseg, boff, run)
-        else {
-            return Ok(None);
-        };
-        let mapin_span = self.span_enter("map-in", Some(node));
-        self.clock.advance(
-            self.costs.map_in
-                + self
-                    .costs
-                    .map_in_extra
-                    .saturating_mul(frames.len().saturating_sub(1) as u64),
-        );
-        let mut installed = 0u64;
-        {
-            let n = self.node_mut(node)?;
-            let process = n
-                .processes
-                .get_mut(&pid)
-                .ok_or(KernelError::UnknownProcess(pid))?;
-            for (i, frame) in frames.into_iter().enumerate() {
-                let target = page.offset(i as u64);
-                if matches!(
-                    process.space.page_state(target),
-                    Some(PageState::Imaginary { .. })
-                ) {
-                    process
-                        .space
-                        .satisfy_imaginary_frame(target, frame, &mut n.disk)?;
-                    installed += 1;
-                    if i > 0 {
-                        process.stats.prefetched_pages += 1;
-                        process.stats.prefetch_pending.insert(target);
-                    }
-                }
-            }
-            process.stats.imag_faults += 1;
-        }
-        self.span_exit(mapin_span);
-        if installed > 0 {
-            self.fabric.release_refs(
-                &mut self.clock,
-                &mut self.ports,
-                &mut self.segs,
-                node,
-                seg,
-                installed,
-            )?;
-            self.settle()?;
-        }
-        let service_time = self.clock.now().since(fault_start);
-        self.process_mut(node, pid)?
-            .stats
-            .record_fault_time(service_time);
-        self.note(|| TraceEvent::Imaginary {
-            pid: pid.0,
-            node,
-            page: page.0,
-            seg: seg.0,
-            prefetched: installed.saturating_sub(1),
-            service: service_time,
-        });
-        if failover {
-            self.note(|| TraceEvent::Failover {
-                pid: pid.0,
-                node,
-                dead: backer,
-                replica,
-                pages: installed,
-                seg: bseg.0,
-            });
-        }
-        Ok(Some(installed))
-    }
-
-    fn note_touch(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        page: PageNum,
-    ) -> Result<(), KernelError> {
-        let process = self.process_mut(node, pid)?;
-        if process.stats.touched.insert(page) && process.stats.prefetch_pending.remove(&page) {
-            process.stats.prefetch_hits += 1;
-        }
-        Ok(())
-    }
-
-    // ----- crash tolerance: residual deps, draining, recovery --------------
-
-    /// The residual dependencies of `pid`: for every still-owed
-    /// (imaginary) page, the node whose *volatile* state the process
-    /// depends on — resolved through the full stand-in forwarding chain,
-    /// multi-hop included. Pages whose bytes already sit in the backer's
-    /// crash-survivable disk backer are crash-recoverable and therefore
-    /// not counted, which is what makes flush-draining monotonically
-    /// shrink this map. Local dependencies (pages the node owes itself)
-    /// are omitted: a node cannot outlive its own crash.
-    ///
-    /// # Errors
-    ///
-    /// Unknown node/process, or a broken backing chain.
-    pub fn residual_dependencies(
-        &self,
-        node: NodeId,
-        pid: ProcessId,
-    ) -> Result<BTreeMap<NodeId, u64>, KernelError> {
-        let mut deps = BTreeMap::new();
-        let process = self.process(node, pid)?;
-        for (_, state) in process.space.materialized_pages() {
-            if let PageState::Imaginary { seg, offset } = state {
-                // A dead segment means the references were already
-                // released (e.g. at termination): no dependency remains.
-                if self.segs.get(*seg).is_none() {
-                    continue;
-                }
-                let (backer, bseg, boff) =
-                    self.fabric
-                        .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
-                if backer != node
-                    && !self.fabric.disk_has(backer, bseg, boff)
-                    && !self.fabric.replica_live_elsewhere(backer, bseg, boff)
-                {
-                    *deps.entry(backer).or_insert(0) += 1;
-                }
-            }
-        }
-        Ok(deps)
-    }
-
-    /// One round of background IOU draining under `policy`; returns the
-    /// number of pages made crash-safe this round (zero means the
-    /// dependency set is fully drained — or nothing more is drainable).
-    /// Every drained page is counted in
-    /// [`ReliabilityStats::drained_pages`](cor_sim::ReliabilityStats) and
-    /// its traffic ledgered under [`cor_sim::LedgerCategory::Drain`], so paper
-    /// tables built from the other categories are untouched.
-    ///
-    /// # Errors
-    ///
-    /// Unknown node/process, broken chains, or (for prefetch draining
-    /// against a crashed backer) the recovery-ladder outcomes of
-    /// [`World::touch`].
-    pub fn drain_round(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        policy: DrainPolicy,
-    ) -> Result<u64, KernelError> {
-        if policy.pages_per_round == 0 {
-            return Ok(0);
-        }
-        match policy.mode {
-            DrainMode::Prefetch => self.drain_prefetch(node, pid, policy.pages_per_round),
-            DrainMode::FlushToDisk => self.drain_flush(node, pid, policy.pages_per_round),
-        }
-    }
-
-    /// The first still-owed page of `pid` whose resolved backer is remote
-    /// and not yet crash-safe on that backer's disk.
-    fn first_remote_owed(
-        &self,
-        node: NodeId,
-        pid: ProcessId,
-    ) -> Result<Option<(PageNum, SegmentId, u64)>, KernelError> {
-        let process = self.process(node, pid)?;
-        for (page, state) in process.space.materialized_pages() {
-            if let PageState::Imaginary { seg, offset } = state {
-                if self.segs.get(*seg).is_none() {
-                    continue;
-                }
-                let (backer, bseg, boff) =
-                    self.fabric
-                        .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
-                if backer != node
-                    && !self.fabric.disk_has(backer, bseg, boff)
-                    && !self.fabric.replica_live_elsewhere(backer, bseg, boff)
-                {
-                    return Ok(Some((page, *seg, *offset)));
-                }
-            }
-        }
-        Ok(None)
-    }
-
-    /// Prefetch-mode draining: pull up to `quota` owed pages across the
-    /// wire during idle time, exactly as an imaginary fault would, so the
-    /// dependency disappears outright.
-    fn drain_prefetch(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        quota: u64,
-    ) -> Result<u64, KernelError> {
-        let Some((page, seg, offset)) = self.first_remote_owed(node, pid)? else {
-            return Ok(0);
-        };
-        let saved = self.prefetch;
-        self.prefetch = quota - 1;
-        self.fabric.set_drain_accounting(true);
-        let fetched = self.handle_imaginary_fault(node, pid, page, seg, offset);
-        self.fabric.set_drain_accounting(false);
-        self.prefetch = saved;
-        let installed = fetched?;
-        self.fabric.reliability.drained_pages.add(installed);
-        self.note(|| TraceEvent::DrainPrefetch {
-            pid: pid.0,
-            node,
-            pages: installed,
-            seg: seg.0,
-            offset,
-        });
-        Ok(installed)
-    }
-
-    /// Flush-mode draining ("flush to Sesame"): copy up to `quota` owed
-    /// pages from the backing site's volatile NMS cache (or user-level
-    /// backer) onto that site's crash-survivable disk backer. The pages
-    /// stay owed — no wire transfer happens — but a crash can no longer
-    /// lose them, so they leave [`World::residual_dependencies`].
-    fn drain_flush(&mut self, node: NodeId, pid: ProcessId, quota: u64) -> Result<u64, KernelError> {
-        let targets: Vec<(NodeId, SegmentId, u64)> = {
-            let process = self.process(node, pid)?;
-            let mut t = Vec::new();
-            for (_, state) in process.space.materialized_pages() {
-                if let PageState::Imaginary { seg, offset } = state {
-                    if self.segs.get(*seg).is_none() {
-                        continue;
-                    }
-                    let (backer, bseg, boff) =
-                        self.fabric
-                            .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
-                    if backer != node
-                        && !self.fabric.disk_has(backer, bseg, boff)
-                        && !self.fabric.replica_live_elsewhere(backer, bseg, boff)
-                    {
-                        t.push((backer, bseg, boff));
-                    }
-                }
-            }
-            t
-        };
-        let mut flushed = 0u64;
-        for (backer, bseg, boff) in targets {
-            if flushed >= quota {
-                break;
-            }
-            // A dead backer's volatile copy is already gone; there is
-            // nothing left to flush (prefetch-mode draining would instead
-            // climb the recovery ladder here).
-            if self.fabric.is_crashed(backer) {
-                continue;
-            }
-            let written = self.fabric.flush_cached_page_to_disk(backer, bseg, boff)
-                || self.flush_user_backed_page(backer, bseg, boff);
-            if !written {
-                continue;
-            }
-            // The flush is the *backer's* disk writing out its own cache —
-            // background work at another node that overlaps the foreground
-            // process's execution, so it costs ledger bytes but no global
-            // wall time (the destination never blocks on it).
-            let now = self.clock.now();
-            self.fabric
-                .ledger
-                .record(now, cor_mem::PAGE_SIZE, cor_sim::LedgerCategory::Drain);
-            self.fabric.reliability.drained_pages.incr();
-            flushed += 1;
-            self.note(|| TraceEvent::DrainFlush {
-                pid: pid.0,
-                node,
-                seg: bseg.0,
-                offset: boff,
-                backer,
-            });
-        }
-        Ok(flushed)
-    }
-
-    /// Flushes one page of a *user-level*-backed segment to the backing
-    /// node's disk backer. Returns `true` if a page was written.
-    fn flush_user_backed_page(&mut self, backer: NodeId, seg: SegmentId, offset: u64) -> bool {
-        let Ok(port) = self.segs.backing_port(seg) else {
-            return false;
-        };
-        let Some(mut frames) = self
-            .backers
-            .get_mut(&port)
-            .and_then(|e| e.store.fetch(seg, offset, 1))
-        else {
-            return false;
-        };
-        if frames.is_empty() {
-            return false;
-        }
-        self.fabric
-            .disk_install_page(backer, seg, offset, frames.remove(0));
-        true
-    }
-
-    /// The crash-recovery ladder, entered when an imaginary fetch failed.
-    /// Rung 1: if the failure traces to a *crashed* backing site, read the
-    /// owed pages back from that site's crash-survivable disk backer and
-    /// install them as the reply would have. Rung 2: if the faulting page
-    /// is not on disk either, the data is gone — count the losses,
-    /// terminate the orphan cleanly (releasing its remaining references),
-    /// and surface [`KernelError::OrphanedProcess`]. Failures unrelated to
-    /// a crash propagate unchanged.
-    #[allow(clippy::too_many_arguments)]
-    fn crash_recover_or_orphan(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        page: PageNum,
-        seg: SegmentId,
-        offset: u64,
-        count: u64,
-        err: KernelError,
-    ) -> Result<u64, KernelError> {
-        let dead = match &err {
-            KernelError::SourceUnreachable { to, .. } if self.fabric.is_crashed(*to) => *to,
-            // A missing reply (the backer died after the request left) or
-            // a transport error: recoverable only if the resolved backing
-            // site is in fact down.
-            KernelError::NoReply { .. } | KernelError::Net(_) => {
-                let (backer, _, _) =
-                    self.fabric
-                        .resolve_owed(&self.ports, &self.segs, seg, offset)?;
-                // An amnesiac reboot answers the wire again but its cache
-                // and forward tables are gone — for owed pages that is the
-                // same loss as staying down, so it climbs the same ladder.
-                if self.fabric.lost_volatile_state(backer) {
-                    backer
-                } else {
-                    return Err(err);
-                }
-            }
-            _ => return Err(err),
-        };
-        // Rung 0: with replicated page homes, a surviving replica serves
-        // the read content-addressed — no data loss, no drain, and the
-        // fetch is charged like a wire round trip (the measured failover
-        // latency). Reached when the primary died *mid-flight*: a fetch
-        // that found it already down failed over before sending.
-        if self.fabric.params.replication.is_some() {
-            let now = self.clock.now();
-            if let Some(installed) =
-                self.try_replica_read(node, pid, page, seg, offset, count, now)?
-            {
-                return Ok(installed);
-            }
-        }
-        // Rung 1: the crashed node's disk backer, page by page; prefetch
-        // pages beyond the faulting one are best-effort.
-        let mut recovered = Vec::new();
-        for i in 0..count {
-            let (bnode, bseg, boff) =
-                self.fabric
-                    .resolve_owed(&self.ports, &self.segs, seg, offset + i)?;
-            if bnode != dead {
-                break;
-            }
-            match self.fabric.disk_recover(bnode, bseg, boff, 1) {
-                Some(mut f) => recovered.push(f.remove(0)),
-                None => break,
-            }
-        }
-        if !recovered.is_empty() {
-            let n = recovered.len() as u64;
-            self.clock.advance(
-                self.costs.disk_service
-                    + self.costs.map_in
-                    + self.costs.map_in_extra.saturating_mul(n - 1),
-            );
-            let now = self.clock.now();
-            self.fabric.ledger.record(
-                now,
-                cor_mem::PAGE_SIZE * n,
-                cor_sim::LedgerCategory::Drain,
-            );
-            let mut installed = 0u64;
-            {
-                let nd = self.node_mut(node)?;
-                let process = nd
-                    .processes
-                    .get_mut(&pid)
-                    .ok_or(KernelError::UnknownProcess(pid))?;
-                for (i, frame) in recovered.into_iter().enumerate() {
-                    let target = page.offset(i as u64);
-                    if matches!(
-                        process.space.page_state(target),
-                        Some(PageState::Imaginary { .. })
-                    ) {
-                        process
-                            .space
-                            .satisfy_imaginary_frame(target, frame, &mut nd.disk)?;
-                        installed += 1;
-                    }
-                }
-                process.stats.imag_faults += 1;
-            }
-            self.fabric.reliability.pages_recovered.add(installed);
-            if installed > 0 {
-                self.fabric.release_refs(
-                    &mut self.clock,
-                    &mut self.ports,
-                    &mut self.segs,
-                    node,
-                    seg,
-                    installed,
-                )?;
-                self.settle()?;
-            }
-            self.note(|| TraceEvent::Recover {
-                pid: pid.0,
-                node,
-                pages: installed,
-                seg: seg.0,
-                dead,
-            });
-            return Ok(installed);
-        }
-        // Rung 2: the faulting page is unrecoverable. Tally every owed
-        // page this process will never see, then terminate it cleanly.
-        let lost = self.count_lost_pages(node, pid, dead)?;
-        self.fabric.reliability.pages_lost.add(lost);
-        self.note(|| TraceEvent::Orphan {
-            pid: pid.0,
-            node,
-            dead,
-            lost,
-        });
-        self.terminate(node, pid)?;
-        Err(KernelError::OrphanedProcess {
-            pid,
-            node: dead,
-            lost_pages: lost,
-        })
-    }
-
-    /// Owed pages of `pid` that resolve to `dead` and are not on its disk
-    /// backer: data that no rung of the recovery ladder can produce.
-    fn count_lost_pages(
-        &self,
-        node: NodeId,
-        pid: ProcessId,
-        dead: NodeId,
-    ) -> Result<u64, KernelError> {
-        let process = self.process(node, pid)?;
-        let mut lost = 0;
-        for (_, state) in process.space.materialized_pages() {
-            if let PageState::Imaginary { seg, offset } = state {
-                if self.segs.get(*seg).is_none() {
-                    continue;
-                }
-                let (bnode, bseg, boff) =
-                    self.fabric
-                        .resolve_owed(&self.ports, &self.segs, *seg, *offset)?;
-                if bnode == dead
-                    && !self.fabric.disk_has(bnode, bseg, boff)
-                    && !self.fabric.replica_live_elsewhere(bnode, bseg, boff)
-                {
-                    lost += 1;
-                }
-            }
-        }
-        Ok(lost)
-    }
-
-    /// A *kernel-context* read of process memory (paper §2.3): the caller
-    /// holds the system critical section, so touching a port-backed
-    /// (imaginary) page would deadlock — the backer could never execute
-    /// the `Receive` needed to answer the fault. The accessibility map is
-    /// consulted first and the read is refused, not deadlocked, when the
-    /// range is distantly accessible. FillZero and disk faults are safe
-    /// and serviced inline.
-    ///
-    /// # Errors
-    ///
-    /// [`KernelError::WouldDeadlock`] for ImagMem ranges;
-    /// [`KernelError::AddressingViolation`] for BadMem; otherwise the
-    /// usual failures.
-    pub fn kernel_peek(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        addr: VAddr,
-        len: u64,
-    ) -> Result<Vec<u8>, KernelError> {
-        let range = PageRange::covering(addr, len);
-        let access = {
-            let process = self.process(node, pid)?;
-            process.space.amap().max_access_in(range)
-        };
-        match access {
-            cor_mem::amap::Access::Imag => return Err(KernelError::WouldDeadlock { pid, addr }),
-            cor_mem::amap::Access::Bad => {
-                return Err(KernelError::AddressingViolation { pid, addr })
-            }
-            _ => {}
-        }
-        for page in range.iter() {
-            self.ensure_ready(node, pid, page, false)?;
-        }
-        let process = self.process(node, pid)?;
-        let mut buf = vec![0u8; len as usize];
-        process.space.read(addr, &mut buf)?;
-        Ok(buf)
-    }
-
-    // ----- the executor ----------------------------------------------------
-
-    /// Runs `pid` until it terminates.
-    ///
-    /// # Errors
-    ///
-    /// Execution failures, or [`KernelError::TraceUnderrun`] if the trace
-    /// ends without `Terminate`.
-    pub fn run(&mut self, node: NodeId, pid: ProcessId) -> Result<ExecReport, KernelError> {
-        self.run_for(node, pid, usize::MAX)
-    }
-
-    /// Runs `pid` for at most `max_ops` trace ops (or to termination).
-    /// Execution resumes from the PCB's trace position, so a process can be
-    /// run partially, migrated, and resumed elsewhere.
-    ///
-    /// # Errors
-    ///
-    /// Execution failures, or [`KernelError::TraceUnderrun`] if the trace
-    /// ends without `Terminate`.
-    pub fn run_for(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        max_ops: usize,
-    ) -> Result<ExecReport, KernelError> {
-        // A milestone span per scheduling slice: at Summary level a trace
-        // still shows when each process ran and for how long.
-        let span = self.span_enter_milestone("exec", Some(node));
-        let result = self.run_for_inner(node, pid, max_ops);
-        self.span_exit(span);
-        result
-    }
-
-    fn run_for_inner(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-        max_ops: usize,
-    ) -> Result<ExecReport, KernelError> {
-        let started_at = self.clock.now();
-        {
-            let process = self.process_mut(node, pid)?;
-            process.pcb.status = RunStatus::Running;
-        }
-        let mut ops_executed = 0usize;
-        let mut finished = false;
-        while ops_executed < max_ops {
-            let (op, op_index) = {
-                let process = self.process_mut(node, pid)?;
-                let idx = process.pcb.trace_pos;
-                match process.trace.ops().get(idx) {
-                    Some(op) => {
-                        process.pcb.trace_pos += 1;
-                        (op.clone(), idx)
-                    }
-                    None => return Err(KernelError::TraceUnderrun(pid)),
-                }
-            };
-            ops_executed += 1;
-            match op {
-                Op::Touch { addr, len, write } => {
-                    self.touch(node, pid, addr, len, write, op_index)?;
-                }
-                Op::Compute(d) => {
-                    self.clock.advance(d);
-                    self.process_mut(node, pid)?.stats.compute += d;
-                }
-                Op::ScreenUpdate => {
-                    self.clock.advance(self.costs.screen_update);
-                    self.process_mut(node, pid)?.stats.screen_updates += 1;
-                }
-                Op::Terminate => {
-                    self.terminate(node, pid)?;
-                    finished = true;
-                    break;
-                }
-            }
-        }
-        if !finished {
-            self.process_mut(node, pid)?.pcb.status = RunStatus::Ready;
-        }
-        self.note(|| TraceEvent::Exec {
-            pid: pid.0,
-            node,
-            ops: ops_executed as u64,
-            finished,
-        });
-        Ok(ExecReport {
-            started_at,
-            elapsed: self.clock.now().since(started_at),
-            ops_executed,
-            finished,
-        })
-    }
-
-    /// Runs every ready process on `node` to completion, round-robin in
-    /// slices of `slice_ops` trace ops — a minimal time-sharing scheduler
-    /// for multi-process studies. Returns `(pid, total execution time)` in
-    /// completion order, where the total sums that process's own slices.
-    ///
-    /// # Errors
-    ///
-    /// Any execution failure.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `slice_ops` is zero (no slice could make progress).
-    pub fn run_round_robin(
-        &mut self,
-        node: NodeId,
-        slice_ops: usize,
-    ) -> Result<Vec<(ProcessId, SimDuration)>, KernelError> {
-        assert!(slice_ops > 0, "slices must make progress");
-        let mut spent: HashMap<ProcessId, SimDuration> = HashMap::new();
-        let mut finished = Vec::new();
-        loop {
-            let ready: Vec<ProcessId> = self
-                .node(node)?
-                .processes
-                .values()
-                .filter(|p| p.pcb.status != RunStatus::Terminated)
-                .map(|p| p.id)
-                .collect();
-            if ready.is_empty() {
-                return Ok(finished);
-            }
-            for pid in ready {
-                let report = self.run_for(node, pid, slice_ops)?;
-                let total = spent.entry(pid).or_insert(SimDuration::ZERO);
-                *total += report.elapsed;
-                if report.finished {
-                    finished.push((pid, *total));
-                }
-            }
-        }
-    }
-
-    /// Terminates `pid`: releases the references its address space holds on
-    /// imaginary segments (never-touched owed pages), triggering segment
-    /// deaths, and marks the PCB terminated. The address space itself is
-    /// preserved for post-mortem inspection.
-    ///
-    /// # Errors
-    ///
-    /// Network failures during reference release.
-    pub fn terminate(&mut self, node: NodeId, pid: ProcessId) -> Result<(), KernelError> {
-        let mut owed: HashMap<SegmentId, u64> = HashMap::new();
-        {
-            let process = self.process_mut(node, pid)?;
-            for (_, state) in process.space.materialized_pages() {
-                if let PageState::Imaginary { seg, .. } = state {
-                    *owed.entry(*seg).or_insert(0) += 1;
-                }
-            }
-            process.pcb.status = RunStatus::Terminated;
-        }
-        let mut owed: Vec<(SegmentId, u64)> = owed.into_iter().collect();
-        owed.sort_unstable_by_key(|&(s, _)| s);
-        for (seg, pages) in owed {
-            self.fabric.release_refs(
-                &mut self.clock,
-                &mut self.ports,
-                &mut self.segs,
-                node,
-                seg,
-                pages,
-            )?;
-        }
-        self.settle()?;
-        Ok(())
-    }
-
-    /// Clears `pid`'s touch and prefetch tracking. Experiments call this at
-    /// a phase boundary (e.g. the moment of migration) so that
-    /// [`ExecStats::touched`](crate::process::ExecStats) afterwards reports
-    /// exactly the pages referenced *at the remote site* — the quantity
-    /// Table 4-3 of the paper tabulates.
-    ///
-    /// # Errors
-    ///
-    /// Unknown node or process.
-    pub fn reset_touch_tracking(
-        &mut self,
-        node: NodeId,
-        pid: ProcessId,
-    ) -> Result<(), KernelError> {
-        let process = self.process_mut(node, pid)?;
-        process.stats.touched.clear();
-        process.stats.prefetch_pending.clear();
-        Ok(())
-    }
-
-    /// A deterministic digest of the contents of every page `pid` has
-    /// touched (in page order). Two runs of the same program — migrated or
-    /// not, under any strategy — must agree.
-    ///
-    /// # Errors
-    ///
-    /// Unknown node/process, or internal state errors for touched pages
-    /// that have no data.
-    pub fn touched_checksum(&mut self, node: NodeId, pid: ProcessId) -> Result<u64, KernelError> {
-        let mut pages: Vec<PageNum> = {
-            let process = self.process(node, pid)?;
-            process.stats.touched.iter().copied().collect()
-        };
-        pages.sort_unstable();
-        let mut digest: u64 = 0xcbf29ce484222325;
-        for page in pages {
-            let n = self.node_mut(node)?;
-            let process = n
-                .processes
-                .get_mut(&pid)
-                .ok_or(KernelError::UnknownProcess(pid))?;
-            let frame = process
-                .space
-                .peek_frame(page, &mut n.disk)
-                .ok_or(KernelError::Mem(cor_mem::MemError::NotResident(page)))?;
-            digest ^= page.0;
-            digest = digest.wrapping_mul(0x100000001b3);
-            frame.with(|data| {
-                for &b in data.iter() {
-                    digest ^= b as u64;
-                    digest = digest.wrapping_mul(0x100000001b3);
-                }
-            });
-        }
-        Ok(digest)
     }
 
     /// All node ids, in order.

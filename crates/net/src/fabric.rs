@@ -15,6 +15,7 @@ use cor_trace::{Journal, SpanId, TraceEvent};
 
 use crate::error::NetError;
 use crate::params::{CrashTrigger, LinkFaults, ReplicationMode, WireParams};
+use crate::replay::WireSend;
 use crate::topology::LinkStats;
 
 /// Outcome of one `send`.
@@ -238,6 +239,10 @@ pub struct Fabric {
     /// The instant each physical link frees up, for per-link queueing
     /// under a routed topology.
     link_busy: HashMap<(NodeId, NodeId), SimTime>,
+    /// When armed, every routed transmission is appended here (call
+    /// order) for the parallel executor's link-schedule replay
+    /// ([`crate::replay::LinkReplay`]). `None` costs nothing.
+    wire_log: Option<Vec<WireSend>>,
     /// Replica directory: origin segment → the replica nodes its pages
     /// were write-through installed on (primary excluded). Populated only
     /// under [`WireParams::replication`]; survives crashes — liveness is
@@ -291,6 +296,7 @@ impl Fabric {
             drain_accounting: false,
             link_stats: BTreeMap::new(),
             link_busy: HashMap::new(),
+            wire_log: None,
             replica_homes: HashMap::new(),
             replica_hash: HashMap::new(),
         }
@@ -2147,6 +2153,16 @@ impl Fabric {
             s.queue_wait += wait;
         }
         let extra = cursor.since(depart);
+        if let Some(log) = self.wire_log.as_mut() {
+            log.push(WireSend {
+                depart,
+                from,
+                to,
+                bytes: wire_bytes,
+                detached,
+                extra,
+            });
+        }
         if !detached && extra > SimDuration::ZERO {
             clock.advance(extra);
         }
@@ -2159,6 +2175,30 @@ impl Fabric {
             });
         }
         Ok(())
+    }
+
+    /// Arms (or disarms) the routed-transmission recorder consumed by
+    /// the parallel executor's link replay. Recording is append-only and
+    /// purely observational: it never perturbs timing or accounting.
+    pub fn record_wire_sends(&mut self, on: bool) {
+        self.wire_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the recorded transmissions (call order) accumulated since
+    /// the last drain, leaving the recorder armed.
+    pub fn take_wire_sends(&mut self) -> Vec<WireSend> {
+        match self.wire_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Forgets all link occupancy, as if every in-flight serialization
+    /// had drained. The parallel executor calls this at unit boundaries
+    /// so each isolated unit records its *nominal* (residue-free) wire
+    /// schedule; the cross-unit residues are re-imposed by the replay.
+    pub fn clear_link_busy(&mut self) {
+        self.link_busy.clear();
     }
 
     /// Per-directed-link traffic table, populated only under an installed

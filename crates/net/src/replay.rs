@@ -1,0 +1,313 @@
+//! Deterministic link-schedule replay: the carry-over half of the
+//! conservative parallel executor.
+//!
+//! Under a routed [`Topology`], the only mutable wire state that couples
+//! two otherwise-independent traffic sources is the per-directed-link
+//! `busy_until` table: a message departing while a link is still
+//! serializing an earlier message queues behind it
+//! (`Fabric::route_and_charge`). A parallel executor that runs traffic
+//! sources in isolated worlds reproduces every *byte* of the lock-step
+//! schedule but misses exactly those queue waits — the residue one
+//! source's tail leaves on links the next source crosses.
+//!
+//! This module closes the gap without re-simulating anything. Each
+//! isolated unit records its routed transmissions ([`WireSend`], via
+//! `Fabric::record_wire_sends`) with link state cleared at unit start,
+//! so the recording is the unit's *nominal* schedule. [`LinkReplay`]
+//! then walks the units in the lock-step global order, re-running only
+//! the `route_and_charge` arithmetic against a carried busy table. For
+//! every transmission it recomputes the head-arrival lag and compares it
+//! to the recorded nominal lag; any surplus is a queue wait the
+//! lock-step world would have charged:
+//!
+//! * a **blocking** send's surplus stalls its caller, so it shifts every
+//!   later instant of the unit (and the unit's end) by the same amount —
+//!   the simulated kernel is otherwise time-shift invariant;
+//! * a **detached** send's surplus delays only that message's own link
+//!   occupancy, never the caller.
+//!
+//! Because the fabric processes each route atomically at send time, in
+//! call order, replaying sends in recorded order against the carried
+//! table reproduces the lock-step link schedule *exactly* — the
+//! correction is not an approximation. `docs/RUNTIME.md` gives the full
+//! argument.
+
+use std::collections::BTreeMap;
+
+use cor_ipc::NodeId;
+use cor_sim::{SimDuration, SimTime};
+
+use crate::topology::Topology;
+
+/// One routed transmission, as recorded by the fabric: absolute depart
+/// instant plus everything `route_and_charge` needs to re-derive its
+/// link walk (the route itself is recomputed from the topology, which is
+/// deterministic).
+#[derive(Debug, Clone, Copy)]
+pub struct WireSend {
+    /// Clock instant the send departed in the recording world.
+    pub depart: SimTime,
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node (the route's far end).
+    pub to: NodeId,
+    /// Wire bytes serialized onto every link of the route.
+    pub bytes: u64,
+    /// Detached sends never stall their caller.
+    pub detached: bool,
+    /// Nominal head-arrival lag beyond `depart` the recording world
+    /// charged: store-and-forward hop latency plus any *self*-queueing
+    /// behind the unit's own earlier traffic.
+    pub extra: SimDuration,
+}
+
+impl WireSend {
+    /// Rebases the absolute record to an offset from its unit's start.
+    pub fn rebase(self, unit_start: SimTime) -> UnitSend {
+        UnitSend {
+            offset: self.depart.since(unit_start),
+            from: self.from,
+            to: self.to,
+            bytes: self.bytes,
+            detached: self.detached,
+            extra: self.extra,
+        }
+    }
+}
+
+/// A recorded transmission expressed relative to its unit's start, the
+/// form [`LinkReplay::replay_unit`] consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct UnitSend {
+    /// Nominal depart offset from the unit's start.
+    pub offset: SimDuration,
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node (the route's far end).
+    pub to: NodeId,
+    /// Wire bytes serialized onto every link of the route.
+    pub bytes: u64,
+    /// Detached sends never stall their caller.
+    pub detached: bool,
+    /// Nominal head-arrival lag (see [`WireSend::extra`]).
+    pub extra: SimDuration,
+}
+
+/// Surplus head-arrival lag the replay found for one send over its
+/// nominal recording — a queue wait behind residue the isolated unit
+/// could not see.
+#[derive(Debug, Clone, Copy)]
+pub struct SendDelta {
+    /// The send's nominal depart offset within its unit.
+    pub offset: SimDuration,
+    /// The surplus wait (never negative: residues only push later).
+    pub delta: SimDuration,
+    /// Whether the delayed send was detached (surplus stays off the
+    /// caller's clock).
+    pub detached: bool,
+}
+
+/// Everything the replay corrected about one unit.
+#[derive(Debug, Default)]
+pub struct UnitCorrection {
+    /// Total caller-side stall: the unit's end (and every caller-side
+    /// instant after the last blocking surplus) lands this much later
+    /// than the nominal recording.
+    pub shift: SimDuration,
+    /// Every surplus wait found, in send call order.
+    pub deltas: Vec<SendDelta>,
+}
+
+impl UnitCorrection {
+    /// Correction to a caller-side interval `[start, end)` of the unit
+    /// (nominal offsets): blocking surpluses inside the interval push
+    /// its end; surpluses before it move both boundaries equally and
+    /// detached surpluses never touch the caller's clock.
+    pub fn span_delta(&self, start: SimDuration, end: SimDuration) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for d in &self.deltas {
+            if !d.detached && d.offset >= start && d.offset < end {
+                total += d.delta;
+            }
+        }
+        total
+    }
+}
+
+/// Replays unit wire schedules in lock-step global order, carrying the
+/// per-link `busy_until` table across unit boundaries exactly as the
+/// single sequential world would.
+pub struct LinkReplay<'a> {
+    topo: &'a Topology,
+    per_byte_ns: u64,
+    busy: BTreeMap<(NodeId, NodeId), SimTime>,
+    /// Absolute start instant of the next unit.
+    now: SimTime,
+}
+
+impl<'a> LinkReplay<'a> {
+    /// A replay starting with idle links at time zero; `per_byte_ns`
+    /// must match the recording world's `WireParams`.
+    pub fn new(topo: &'a Topology, per_byte_ns: u64) -> Self {
+        LinkReplay {
+            topo,
+            per_byte_ns,
+            busy: BTreeMap::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Replays the next unit of the global schedule: walks its recorded
+    /// sends in call order against the carried link state, mirroring
+    /// `Fabric::route_and_charge` arithmetic exactly (queue wait, then
+    /// cut-through hop latency, then occupancy), and advances the
+    /// schedule cursor by the unit's corrected length.
+    pub fn replay_unit(&mut self, nominal_len: SimDuration, sends: &[UnitSend]) -> UnitCorrection {
+        let start = self.now;
+        let mut shift = SimDuration::ZERO;
+        let mut deltas = Vec::new();
+        for s in sends {
+            // Blocking surpluses so far have stalled the caller, so
+            // every later send departs that much later.
+            let depart = start + s.offset + shift;
+            let occupancy =
+                SimDuration::from_micros(s.bytes.saturating_mul(self.per_byte_ns) / 1_000);
+            let route = self
+                .topo
+                .route(s.from, s.to)
+                .expect("a recorded send re-routes on the same topology");
+            let mut cursor = depart;
+            for (i, &link) in route.iter().enumerate() {
+                let busy = self.busy.get(&link).copied().unwrap_or(SimTime::ZERO);
+                if busy.saturating_since(cursor) > SimDuration::ZERO {
+                    cursor = busy;
+                }
+                if i > 0 {
+                    cursor += self.topo.hop_latency;
+                }
+                self.busy.insert(link, cursor + occupancy);
+            }
+            let extra = cursor.since(depart);
+            let delta = SimDuration::from_micros(
+                extra.as_micros().saturating_sub(s.extra.as_micros()),
+            );
+            if delta > SimDuration::ZERO {
+                deltas.push(SendDelta {
+                    offset: s.offset,
+                    delta,
+                    detached: s.detached,
+                });
+                if !s.detached {
+                    shift += delta;
+                }
+            }
+        }
+        self.now = start + nominal_len + shift;
+        UnitCorrection { shift, deltas }
+    }
+
+    /// Absolute start instant the next unit will replay at.
+    pub fn cursor(&self) -> SimTime {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring4() -> Topology {
+        Topology::ring(4)
+    }
+
+    fn send(offset_us: u64, from: u32, to: u32, bytes: u64, extra_us: u64) -> UnitSend {
+        UnitSend {
+            offset: SimDuration::from_micros(offset_us),
+            from: NodeId(from),
+            to: NodeId(to),
+            bytes,
+            detached: false,
+            extra: SimDuration::from_micros(extra_us),
+        }
+    }
+
+    #[test]
+    fn idle_links_reproduce_nominal_schedule() {
+        let topo = ring4();
+        let mut replay = LinkReplay::new(&topo, 62_000);
+        // One-hop send: extra is zero nominally; replay on idle links
+        // must agree, so the correction is empty.
+        let corr = replay.replay_unit(
+            SimDuration::from_millis(100),
+            &[send(10, 0, 1, 1_000, 0)],
+        );
+        assert_eq!(corr.shift, SimDuration::ZERO);
+        assert!(corr.deltas.is_empty());
+        assert_eq!(replay.cursor(), SimTime::from_micros(100_000));
+    }
+
+    #[test]
+    fn residue_from_previous_unit_charges_queue_wait() {
+        let topo = ring4();
+        let per_byte = 62_000;
+        let mut replay = LinkReplay::new(&topo, per_byte);
+        // Unit A occupies link (0,1) for 62ms starting at offset 0, and
+        // is declared over after only 10ms — leaving 52ms of residue.
+        let occ_us = 1_000 * per_byte / 1_000; // 62_000us
+        let a = replay.replay_unit(SimDuration::from_millis(10), &[send(0, 0, 1, 1_000, 0)]);
+        assert_eq!(a.shift, SimDuration::ZERO);
+        // Unit B crosses the same link immediately: the replay must
+        // charge exactly the leftover occupancy as queue wait.
+        let b = replay.replay_unit(SimDuration::from_millis(10), &[send(0, 0, 1, 8, 0)]);
+        let expect = occ_us - 10_000;
+        assert_eq!(b.shift, SimDuration::from_micros(expect));
+        assert_eq!(b.deltas.len(), 1);
+        // The blocking surplus pushes unit B's end by the same amount.
+        assert_eq!(
+            replay.cursor(),
+            SimTime::from_micros(10_000 + 10_000 + expect)
+        );
+    }
+
+    #[test]
+    fn detached_surplus_never_shifts_the_caller() {
+        let topo = ring4();
+        let per_byte = 62_000;
+        let mut replay = LinkReplay::new(&topo, per_byte);
+        replay.replay_unit(SimDuration::from_millis(10), &[send(0, 0, 1, 1_000, 0)]);
+        let mut d = send(0, 0, 1, 8, 0);
+        d.detached = true;
+        let b = replay.replay_unit(SimDuration::from_millis(10), &[d]);
+        assert_eq!(b.shift, SimDuration::ZERO);
+        assert_eq!(b.deltas.len(), 1);
+        assert!(b.deltas[0].detached);
+    }
+
+    #[test]
+    fn span_delta_counts_only_blocking_surpluses_inside_the_span() {
+        let corr = UnitCorrection {
+            shift: SimDuration::from_micros(30),
+            deltas: vec![
+                SendDelta {
+                    offset: SimDuration::from_micros(5),
+                    delta: SimDuration::from_micros(10),
+                    detached: false,
+                },
+                SendDelta {
+                    offset: SimDuration::from_micros(50),
+                    delta: SimDuration::from_micros(20),
+                    detached: false,
+                },
+                SendDelta {
+                    offset: SimDuration::from_micros(60),
+                    delta: SimDuration::from_micros(7),
+                    detached: true,
+                },
+            ],
+        };
+        let a = SimDuration::from_micros(40);
+        let b = SimDuration::from_micros(100);
+        // Only the blocking surplus at offset 50 lands inside [40, 100).
+        assert_eq!(corr.span_delta(a, b), SimDuration::from_micros(20));
+    }
+}
