@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cor-bench [--threads N] [--baseline] [--quick] [--label NAME] [--out PATH]
-//!           [--saturation base|optimized]
+//!           [--saturation base|optimized] [--fleet-storm]
+//!           [--profiler-overhead] [--latency]
 //! ```
 //!
 //! Runs the paper matrix (every representative under every studied
@@ -33,6 +34,18 @@
 //! non-zero if they exceed [`SPARSE_ALLOC_BUDGET`] — the regression gate
 //! for the zero-copy page pipeline (allocations must scale with pages
 //! *touched*, never with the 4 GB address-space size).
+//!
+//! With `--profiler-overhead`, the entry records the wall-clock delta of
+//! the serial matrix with the full typed journal on vs off (both passes
+//! warm, outputs asserted identical) — the measured cost of the
+//! observability layer itself.
+//!
+//! With `--latency`, nothing is timed at all: the run captures the
+//! *deterministic* latency baseline — blame-bucket totals and fault-span
+//! percentiles in integer virtual time for the fixed-seed matrix, fleet,
+//! and saturation runs — and writes it to the repo-root
+//! `LATENCY_baseline.json` (or `--out PATH`). CI regenerates the capture
+//! and diffs it against the committed file; exact match required.
 //!
 //! Trials run with the typed journal disabled (`COR_JOURNAL=off`) unless
 //! the caller sets the variable explicitly, so wall-clock numbers measure
@@ -76,6 +89,101 @@ fn peak_rss_kb() -> Option<u64> {
 /// default lands in the same place no matter the working directory.
 fn default_out() -> String {
     format!("{}/../../BENCH_wallclock.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The repo-root latency-baseline path (`--latency` mode).
+fn default_latency_out() -> String {
+    format!("{}/../../LATENCY_baseline.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Renders one blame-bucket array as a JSON object keyed by bucket name.
+fn json_blame(blame: &[u64; cor_trace::BUCKET_COUNT]) -> String {
+    let fields: Vec<String> = cor_trace::BlameBucket::ALL
+        .iter()
+        .map(|b| format!("\"{}\": {}", b.name(), blame[b.index()]))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// Captures the committed latency baseline: headline blame-bucket totals
+/// and fault-span percentiles for the fixed-seed matrix trials, the
+/// fleet blame cell, and the saturation gate cells. Every number is an
+/// *integer in virtual time* (µs, counts, bytes) — no wall-clock, no
+/// floats — so a fresh run on any machine, at any thread count, under
+/// either runtime, reproduces the file byte for byte. CI diffs a fresh
+/// capture against the committed `LATENCY_baseline.json`; any drift is a
+/// latency regression (or an intentional change that must regenerate the
+/// baseline).
+fn latency_baseline(threads: usize) -> String {
+    use cor_experiments::{fleet, saturation, trace};
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"unit\": \"virtual-time us\",\n");
+
+    // Matrix: the standard pure-IOU traced trial per paper workload.
+    out.push_str("  \"matrix\": [\n");
+    let workloads = cor_workloads::all();
+    for (i, w) in workloads.iter().enumerate() {
+        let t = trace::traced_trial(w, cor_sim::JournalLevel::Full);
+        let p = t.profile();
+        assert!(p.sums_exactly(), "{}: blame must sum exactly", w.name());
+        let h = p.histogram("imag-fault");
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"total_us\": {}, \"blame\": {}, \
+             \"fault_spans\": {}, \"fault_p50_us\": {}, \"fault_p99_us\": {}, \
+             \"fault_max_us\": {}}}{}\n",
+            w.name(),
+            p.total_us(),
+            json_blame(&p.total_blame()),
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.max(),
+            if i + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // Fleet: the fixed blame cell (16-node ring, low storm).
+    let spec = fleet::blame_cell_spec();
+    let (outcome, profile, links) = fleet::run_cell_profiled(spec);
+    assert!(profile.sums_exactly(), "fleet blame must sum exactly");
+    let link_wait_us: u64 = links.iter().map(|&(_, w)| w).sum();
+    out.push_str(&format!(
+        "  \"fleet\": {{\"cell\": \"{}/{}/{}/{}\", \"total_us\": {}, \"blame\": {}, \
+         \"storm_elapsed_us\": {}, \"migrations\": {}, \"faults\": {}, \
+         \"fault_p50_us\": {}, \"fault_p99_us\": {}, \"link_wait_us\": {}}},\n",
+        spec.nodes,
+        spec.topology,
+        spec.placement,
+        spec.storm.name,
+        profile.total_us(),
+        json_blame(&profile.total_blame()),
+        outcome.storm_elapsed.as_micros(),
+        outcome.migrations,
+        outcome.faults,
+        outcome.fault_p50_us,
+        outcome.fault_p99_us,
+        link_wait_us,
+    ));
+
+    // Saturation: the gate cells' virtual-time service percentiles.
+    let sat = saturation::saturation_outcomes_for(saturation::gate_cells(), &Pool::new(threads));
+    out.push_str("  \"saturation\": [\n");
+    for (i, o) in sat.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cell\": \"{}\", \"optimized\": {}, \"served\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"coalesced\": {}, \"wire_bytes\": {}}}{}\n",
+            o.spec.label(),
+            o.spec.optimized,
+            o.served,
+            o.p50_us,
+            o.p99_us,
+            o.coalesced,
+            o.wire_bytes,
+            if i + 1 < sat.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 struct CellTiming {
@@ -332,6 +440,7 @@ fn render_entry(
     frame_allocs_sparse: Option<u64>,
     saturation: Option<&SaturationSummary>,
     fleet_storm: Option<&FleetStormSummary>,
+    profiler_overhead: Option<(f64, f64)>,
     cells: &[CellTiming],
 ) -> String {
     let mut e = String::from("    {\n");
@@ -400,6 +509,15 @@ fn render_entry(
             json_f64(f.intra_sim_speedup_4t),
         ));
     }
+    if let Some((off_s, on_s)) = profiler_overhead {
+        e.push_str(&format!(
+            "      \"profiler_overhead\": {{\"trace_off_s\": {}, \"trace_on_s\": {}, \
+             \"overhead_ratio\": {}, \"csv_identical\": true}},\n",
+            json_f64(off_s),
+            json_f64(on_s),
+            json_f64(on_s / off_s),
+        ));
+    }
     e.push_str("      \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         e.push_str(&format!(
@@ -453,6 +571,9 @@ fn main() {
     let mut out = default_out();
     let mut saturation_mode: Option<bool> = None;
     let mut fleet_storm_flag = false;
+    let mut latency_mode = false;
+    let mut profiler_overhead_flag = false;
+    let mut out_explicit = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -486,7 +607,16 @@ fn main() {
                     std::process::exit(2);
                 };
                 out = path.clone();
+                out_explicit = true;
                 i += 2;
+            }
+            "--latency" => {
+                latency_mode = true;
+                i += 1;
+            }
+            "--profiler-overhead" => {
+                profiler_overhead_flag = true;
+                i += 1;
             }
             "--saturation" => {
                 match args.get(i + 1).map(String::as_str) {
@@ -508,13 +638,32 @@ fn main() {
                 eprintln!(
                     "usage: cor-bench [--threads N] [--baseline] [--quick] \
                      [--label NAME] [--out PATH] [--saturation base|optimized] \
-                     [--fleet-storm]"
+                     [--fleet-storm] [--profiler-overhead] [--latency]"
                 );
                 std::process::exit(2);
             }
         }
     }
     let threads = threads.unwrap_or_else(|| Pool::from_env().threads());
+
+    // `--latency` is a standalone capture: write (or overwrite) the
+    // deterministic virtual-time baseline and exit. CI diffs a fresh
+    // capture against the committed file — exact match required.
+    if latency_mode {
+        let path = if out_explicit {
+            out
+        } else {
+            default_latency_out()
+        };
+        let doc = latency_baseline(threads);
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote latency baseline to {path}");
+        return;
+    }
+
     let mut workloads = cor_workloads::all();
     if quick {
         // The sparse smoke set: the zero-copy pipeline's target workloads
@@ -583,6 +732,34 @@ fn main() {
         s
     });
 
+    // `--profiler-overhead`: wall-clock delta of the serial matrix with
+    // the full typed journal on vs off, both passes warm and in-process.
+    // The journal is a pure observer, so the CSVs must stay identical —
+    // only the wall-clock may move.
+    let profiler_overhead = profiler_overhead_flag.then(|| {
+        std::env::set_var("COR_JOURNAL", "full");
+        let _ = runner::matrix_csv(&mut Matrix::new(), &workloads);
+        std::env::set_var("COR_JOURNAL", "off");
+        let t0 = Instant::now();
+        let off_csv = runner::matrix_csv(&mut Matrix::new(), &workloads);
+        let trace_off_s = t0.elapsed().as_secs_f64();
+        std::env::set_var("COR_JOURNAL", "full");
+        let t0 = Instant::now();
+        let on_csv = runner::matrix_csv(&mut Matrix::new(), &workloads);
+        let trace_on_s = t0.elapsed().as_secs_f64();
+        std::env::set_var("COR_JOURNAL", "off");
+        assert_eq!(
+            off_csv, on_csv,
+            "the journal is a pure observer: matrix CSV must not change"
+        );
+        eprintln!(
+            "profiler overhead: trace-off {trace_off_s:.2}s, trace-on {trace_on_s:.2}s \
+             ({:+.1}%), output identical",
+            100.0 * (trace_on_s / trace_off_s - 1.0)
+        );
+        (trace_off_s, trace_on_s)
+    });
+
     let fleet_storm = fleet_storm_flag.then(|| {
         let f = run_fleet_storm();
         let ladder: Vec<String> = f
@@ -613,6 +790,7 @@ fn main() {
         frame_allocs_sparse,
         saturation.as_ref(),
         fleet_storm.as_ref(),
+        profiler_overhead,
         &cells,
     );
     if let Err(e) = write_report(&out, &entry) {

@@ -125,11 +125,26 @@ impl MigrationManager {
         pid: ProcessId,
         strategy: Strategy,
     ) -> Result<MigrationReport, KernelError> {
-        let requested_at = world.clock.now();
         // The whole migration is one milestone span; each phase below is
         // a fine-grained child, so a Full-level trace shows the
-        // excise/transfer/insert breakdown on the timeline.
+        // excise/transfer/insert breakdown on the timeline. Wire spans
+        // the fabric opens parent under the innermost active phase via
+        // the cross-journal hook, and the span closes even on the error
+        // paths so a failed migration never leaves a dangling interval.
         let mig_span = world.span_enter_milestone("migration", Some(self.node));
+        let result = self.migrate_inner(world, dest, pid, strategy);
+        world.span_exit(mig_span);
+        result
+    }
+
+    fn migrate_inner(
+        &self,
+        world: &mut World,
+        dest: &MigrationManager,
+        pid: ProcessId,
+        strategy: Strategy,
+    ) -> Result<MigrationReport, KernelError> {
+        let requested_at = world.clock.now();
         // The migration command itself is a control message.
         let req = Message::new(MsgKind::MigrateRequest, self.control_port).with_no_ious(true);
         world.send_from(self.node, req)?;
@@ -240,7 +255,6 @@ impl MigrationManager {
         world.send_from(dest.node, ack)?;
         world.settle()?;
         let _ = world.ports.dequeue(self.control_port)?;
-        world.span_exit(mig_span);
 
         debug_assert_eq!(new_pid, pid);
         Ok(MigrationReport {

@@ -199,6 +199,45 @@ pub(crate) fn spawn_proc(world: &mut World, node: NodeId) -> cor_kernel::Process
 /// Panics on internal simulation errors — a storm cell has no expected
 /// failure mode.
 pub fn run_cell(spec: FleetSpec) -> FleetOutcome {
+    run_cell_inner(spec).0
+}
+
+/// Like [`run_cell`], but also returns the cell's critical-path
+/// [`Profile`](cor_trace::Profile) (built from the world and fabric
+/// journals) and the per-directed-link queue waits in microseconds —
+/// the inputs of [`cor_trace::Profile::blame_csv`]. The actor runtime's
+/// merge reconstructs all three byte-identically.
+/// The fixed cell profiled by `experiments profile fleet` and the
+/// latency baseline: 16-node ring under the low storm with least-loaded
+/// placement — small enough to profile quickly, multi-hop enough that
+/// every blame bucket (queue wait, wire transit, retransmit backoff)
+/// is exercised.
+pub fn blame_cell_spec() -> FleetSpec {
+    FleetSpec {
+        nodes: 16,
+        topology: "ring",
+        placement: "least-loaded",
+        storm: STORM_LOW,
+    }
+}
+
+/// Measured queue wait per link, keyed by `(src, dst)` — the shape
+/// [`cor_trace::Profile::blame_csv`] takes for its per-link rows.
+pub type LinkWaits = Vec<((NodeId, NodeId), u64)>;
+
+pub fn run_cell_profiled(spec: FleetSpec) -> (FleetOutcome, cor_trace::Profile, LinkWaits) {
+    let (outcome, world) = run_cell_inner(spec);
+    let profile = cor_trace::Profile::from_journals(&world.journals());
+    let links = world
+        .fabric
+        .link_stats()
+        .iter()
+        .map(|(&l, s)| (l, s.queue_wait.as_micros()))
+        .collect();
+    (outcome, profile, links)
+}
+
+fn run_cell_inner(spec: FleetSpec) -> (FleetOutcome, World) {
     let topo = topology_for(spec.topology, spec.nodes);
     let wire = WireParams {
         topology: Some(topo),
@@ -297,7 +336,7 @@ pub fn run_cell(spec: FleetSpec) -> FleetOutcome {
     let max_link_bytes = links.values().map(|s| s.bytes).max().unwrap_or(0);
     let link_msgs: u64 = links.values().map(|s| s.msgs).sum();
     let remote_msgs = world.fabric.stats().msgs_remote;
-    FleetOutcome {
+    let outcome = FleetOutcome {
         spec,
         migrations,
         survived,
@@ -311,7 +350,8 @@ pub fn run_cell(spec: FleetSpec) -> FleetOutcome {
         link_bytes,
         max_link_bytes,
         mean_hops: link_msgs as f64 / remote_msgs.max(1) as f64,
-    }
+    };
+    (outcome, world)
 }
 
 /// Computes the given cells in deterministic order, fanning across

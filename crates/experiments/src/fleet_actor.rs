@@ -44,18 +44,18 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use cor_ipc::NodeId;
 use cor_kernel::placement::PlacementCtx;
-use cor_kernel::{CostModel, World};
+use cor_kernel::{CostModel, World, FABRIC_SPAN_BASE};
 use cor_migrate::{MigrationManager, Strategy};
-use cor_net::replay::{LinkReplay, UnitSend};
+use cor_net::replay::{LinkReplay, SendDelta, UnitSend};
 use cor_net::WireParams;
 use cor_pool::Pool;
 use cor_sim::runtime::{run_serial, NodeRuntime};
-use cor_sim::{JournalLevel, SimDuration};
-use cor_trace::LogHistogram;
+use cor_sim::{JournalLevel, SimDuration, SimTime};
+use cor_trace::{LogHistogram, ProfSpan, Profile, SpanId};
 
 use crate::fleet::{
     csv_for, placement_for, render_table, spawn_proc, topology_for, FleetOutcome, FleetSpec,
-    FLEET_SEED,
+    LinkWaits, FLEET_SEED,
 };
 
 /// Whether a wire configuration admits the parallel chain-sharded
@@ -152,6 +152,102 @@ struct UnitTrace {
     sends: Vec<UnitSend>,
     /// `(start offset, nominal duration)` per imag-fault span.
     spans: Vec<(SimDuration, SimDuration)>,
+    /// Full journal capture of the unit (profiled runs only).
+    cap: Option<UnitSpans>,
+}
+
+/// Where a captured span's parent lives, in unit-local coordinates:
+/// the i-th world span or j-th fabric span *of the same unit*. Every
+/// parent edge stays inside its unit — units start and end with both
+/// journals' open stacks empty — which is what lets the merge rebuild
+/// the global forest from per-unit captures.
+#[derive(Debug, Clone, Copy)]
+enum CapParent {
+    None,
+    World(usize),
+    Fabric(usize),
+}
+
+/// One journal span captured at a unit boundary, times rebased to the
+/// unit's start. `birth`/`death` are the journal's global creation and
+/// close stamps (shared counter across both journals), which encode
+/// "open at" relations the merge's queue-wait correction needs.
+#[derive(Debug, Clone, Copy)]
+struct CapturedSpan {
+    name: &'static str,
+    node: Option<NodeId>,
+    start: SimDuration,
+    end: Option<SimDuration>,
+    parent: CapParent,
+    birth: u64,
+    death: u64,
+}
+
+/// Both journals' spans for one unit, in creation order.
+struct UnitSpans {
+    world: Vec<CapturedSpan>,
+    fabric: Vec<CapturedSpan>,
+}
+
+/// A spawn-epoch unit: purely node-local (no wire schedule), captured
+/// only for its length and spans.
+struct SpawnUnit {
+    len: SimDuration,
+    spans: UnitSpans,
+}
+
+/// Current span counts of both journals — the cursors a unit capture
+/// starts from.
+fn journal_cursors(world: &World) -> (usize, usize) {
+    let w = world.journal.as_ref().map_or(0, |j| j.spans().len());
+    let f = world.fabric.journal.as_ref().map_or(0, |j| j.spans().len());
+    (w, f)
+}
+
+/// Captures every span both journals minted since the cursors, rebased
+/// to `started`. Unit boundaries must leave no span open; parents are
+/// decoded from raw span ids (world ids count from 1, fabric ids from
+/// `FABRIC_SPAN_BASE + 1`) into unit-local coordinates.
+fn capture_unit(world: &World, started: SimTime, wcur: usize, fcur: usize) -> UnitSpans {
+    let wj = world.journal.as_ref().expect("journal enabled");
+    let fj = world.fabric.journal.as_ref().expect("journal enabled");
+    assert_eq!(wj.open_len(), 0, "world spans close at unit boundaries");
+    assert_eq!(fj.open_len(), 0, "fabric spans close at unit boundaries");
+    let decode = |p: SpanId| -> CapParent {
+        if p.is_none() {
+            CapParent::None
+        } else if p.0 > FABRIC_SPAN_BASE {
+            let g = (p.0 - FABRIC_SPAN_BASE - 1) as usize;
+            assert!(g >= fcur, "parent edge crosses a unit boundary");
+            CapParent::Fabric(g - fcur)
+        } else {
+            let g = (p.0 - 1) as usize;
+            assert!(g >= wcur, "parent edge crosses a unit boundary");
+            CapParent::World(g - wcur)
+        }
+    };
+    let grab = |j: &cor_trace::Journal, cur: usize| -> Vec<CapturedSpan> {
+        let spans = &j.spans()[cur..];
+        let births = &j.births()[cur..];
+        let deaths = &j.deaths()[cur..];
+        spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| CapturedSpan {
+                name: s.name,
+                node: s.node,
+                start: s.start.since(started),
+                end: s.end.map(|e| e.since(started)),
+                parent: decode(s.parent),
+                birth: births[i],
+                death: deaths[i],
+            })
+            .collect()
+    };
+    UnitSpans {
+        world: grab(wj, wcur),
+        fabric: grab(fj, fcur),
+    }
 }
 
 /// What one shard measured about its chains. Counters are deltas that
@@ -159,6 +255,11 @@ struct UnitTrace {
 /// index, so gathering them across shards reconstructs the full global
 /// schedule regardless of the partition.
 struct ShardResult {
+    /// World-construction spans before any chain unit (profiled runs
+    /// only; identical in every shard, the merge keeps one).
+    prologue: Option<(SimDuration, UnitSpans)>,
+    /// Spawn-epoch unit per chain (profiled runs only).
+    spawn_units: Vec<(usize, SpawnUnit)>,
     /// Storm-phase unit per chain: `(global chain index, trace)`.
     mig_units: Vec<(usize, UnitTrace)>,
     /// Post-storm run unit per chain.
@@ -193,6 +294,7 @@ fn run_shard(
     spec: FleetSpec,
     chains: Vec<(usize, Chain)>,
     drain_set: &BTreeSet<NodeId>,
+    capture: bool,
 ) -> ShardResult {
     let topo = topology_for(spec.topology, spec.nodes);
     let wire = WireParams {
@@ -213,7 +315,16 @@ fn run_shard(
     let mut pids = vec![cor_kernel::ProcessId(u64::MAX); chains.len()];
     let mut mig_units: Vec<(usize, UnitTrace)> = Vec::with_capacity(chains.len());
     let mut run_units: Vec<(usize, UnitTrace)> = Vec::with_capacity(chains.len());
+    let mut spawn_units: Vec<(usize, SpawnUnit)> = Vec::new();
     let mut survived = 0u64;
+
+    // Everything the world build minted before the first chain unit is
+    // the prologue — identical in every shard (all managers exist in
+    // all shards), so the merge keeps one copy at absolute time zero.
+    let prologue = capture.then(|| {
+        let len = world.clock.now().since(SimTime::ZERO);
+        (len, capture_unit(&world, SimTime::ZERO, 0, 0))
+    });
 
     // Epoch 1: spawns. All events at the same instant, popping in
     // (node, seq) order — the lock-step spawn order restricted to this
@@ -224,7 +335,20 @@ fn run_shard(
     }
     run_serial(&mut rts, |_, _, _, ev| {
         if let Ev::Spawn(local) = ev {
-            pids[local] = spawn_proc(&mut world, chains[local].1.source);
+            let (global, c) = chains[local];
+            let started = world.clock.now();
+            let cursors = capture.then(|| journal_cursors(&world));
+            pids[local] = spawn_proc(&mut world, c.source);
+            if let Some((wc, fc)) = cursors {
+                let len = world.clock.now().since(started);
+                spawn_units.push((
+                    global,
+                    SpawnUnit {
+                        len,
+                        spans: capture_unit(&world, started, wc, fc),
+                    },
+                ));
+            }
         }
     });
 
@@ -250,6 +374,7 @@ fn run_shard(
             let (global, c) = chains[local];
             world.fabric.clear_link_busy();
             let started = world.clock.now();
+            let cursors = capture.then(|| journal_cursors(&world));
             managers[c.source.0 as usize]
                 .migrate_to(
                     &mut world,
@@ -265,12 +390,14 @@ fn run_shard(
                 .into_iter()
                 .map(|s| s.rebase(started))
                 .collect();
+            let cap = cursors.map(|(wc, fc)| capture_unit(&world, started, wc, fc));
             mig_units.push((
                 global,
                 UnitTrace {
                     len,
                     sends,
                     spans: Vec::new(),
+                    cap,
                 },
             ));
         }
@@ -294,6 +421,8 @@ fn run_shard(
             if let Some(journal) = &world.journal {
                 spans_seen = journal.spans().len();
             }
+            let fcur = capture
+                .then(|| world.fabric.journal.as_ref().map_or(0, |j| j.spans().len()));
             let report = world.run(c.dest, pids[local]).expect("post-storm run");
             if report.finished {
                 survived += 1;
@@ -315,7 +444,8 @@ fn run_shard(
                     }
                 }
             }
-            run_units.push((global, UnitTrace { len, sends, spans }));
+            let cap = fcur.map(|fc| capture_unit(&world, started, spans_seen, fc));
+            run_units.push((global, UnitTrace { len, sends, spans, cap }));
         }
     });
 
@@ -327,6 +457,8 @@ fn run_shard(
         .map(|(&(a, b), s)| ((a.0, b.0), (s.msgs, s.bytes)))
         .collect();
     ShardResult {
+        prologue,
+        spawn_units,
         mig_units,
         run_units,
         survived,
@@ -337,6 +469,135 @@ fn run_shard(
     }
 }
 
+/// A unit's spans with absolute times and queue-wait corrections
+/// applied, awaiting global index assignment.
+struct MergedSpan {
+    name: &'static str,
+    node: Option<NodeId>,
+    start: SimTime,
+    end: Option<SimTime>,
+    parent: CapParent,
+    birth: u64,
+    death: u64,
+}
+
+/// Places one unit's captured spans at its absolute start and re-imposes
+/// the queue waits the replay found. The k-th non-detached send's
+/// surplus `delta` pairs 1:1 with the unit's k-th `link-queue` span;
+/// the lock-step world would have discovered that wait at the span's
+/// close, so, per surplus:
+///
+/// * spans born *after* the link-queue span shift whole (start and
+///   end) — the kernel past that instant is time-shift invariant;
+/// * the link-queue span itself, and any span born before it but still
+///   open when it closed (`death` later), ends `delta` later;
+/// * spans already closed are untouched.
+///
+/// Surpluses compose in call order, exactly as the sequential world
+/// accumulates them.
+fn correct_unit(
+    cap: &UnitSpans,
+    start: SimTime,
+    deltas: &[SendDelta],
+) -> (Vec<MergedSpan>, Vec<MergedSpan>) {
+    let lift = |s: &CapturedSpan| MergedSpan {
+        name: s.name,
+        node: s.node,
+        start: start + s.start,
+        end: s.end.map(|e| start + e),
+        parent: s.parent,
+        birth: s.birth,
+        death: s.death,
+    };
+    let mut world: Vec<MergedSpan> = cap.world.iter().map(&lift).collect();
+    let mut fabric: Vec<MergedSpan> = cap.fabric.iter().map(&lift).collect();
+    let queues: Vec<usize> = cap
+        .fabric
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.name == "link-queue")
+        .map(|(i, _)| i)
+        .collect();
+    let blocking: Vec<SimDuration> = deltas
+        .iter()
+        .filter(|d| !d.detached)
+        .map(|d| d.delta)
+        .collect();
+    assert_eq!(
+        queues.len(),
+        blocking.len(),
+        "one link-queue span per non-detached routed send"
+    );
+    for (k, &delta) in blocking.iter().enumerate() {
+        if delta == SimDuration::ZERO {
+            continue;
+        }
+        let lq_birth = cap.fabric[queues[k]].birth;
+        let lq_death = cap.fabric[queues[k]].death;
+        for s in world.iter_mut().chain(fabric.iter_mut()) {
+            if s.birth > lq_birth {
+                s.start += delta;
+                if let Some(e) = &mut s.end {
+                    *e += delta;
+                }
+            } else if s.birth == lq_birth || s.death > lq_death {
+                if let Some(e) = &mut s.end {
+                    *e += delta;
+                }
+            }
+        }
+    }
+    (world, fabric)
+}
+
+/// Assembles corrected units (in lock-step journal order) into one
+/// profile, re-creating exactly the layout `Profile::from_journals`
+/// produces on the lock-step world: all world spans first (unit by
+/// unit), then all fabric spans, with parent edges remapped from
+/// unit-local coordinates to dense global indices.
+fn assemble(units: Vec<(Vec<MergedSpan>, Vec<MergedSpan>)>) -> Profile {
+    let mut w_off = Vec::with_capacity(units.len());
+    let mut f_off = Vec::with_capacity(units.len());
+    let (mut wt, mut ft) = (0usize, 0usize);
+    for (w, f) in &units {
+        w_off.push(wt);
+        wt += w.len();
+        f_off.push(ft);
+        ft += f.len();
+    }
+    let remap = |p: CapParent, u: usize| match p {
+        CapParent::None => None,
+        CapParent::World(i) => Some(w_off[u] + i),
+        CapParent::Fabric(j) => Some(wt + f_off[u] + j),
+    };
+    let mut spans = Vec::with_capacity(wt + ft);
+    for (u, (w, _)) in units.iter().enumerate() {
+        for s in w {
+            spans.push(ProfSpan {
+                source: "world",
+                name: s.name,
+                node: s.node,
+                start: s.start,
+                end: s.end,
+                parent: remap(s.parent, u),
+            });
+        }
+    }
+    for (u, (_, f)) in units.iter().enumerate() {
+        for s in f {
+            spans.push(ProfSpan {
+                source: "fabric",
+                name: s.name,
+                node: s.node,
+                start: s.start,
+                end: s.end,
+                parent: remap(s.parent, u),
+            });
+        }
+    }
+    Profile::from_spans(spans)
+}
+
 /// Merges shard measurements into the cell outcome. Counters merge by
 /// addition and a max over merged per-link sums. Timings go through the
 /// [`LinkReplay`]: unit traces are gathered by global index and replayed
@@ -344,16 +605,32 @@ fn run_shard(
 /// all runs in run order, one carried link table throughout — so every
 /// cross-unit queue wait lands on exactly the duration the sequential
 /// world charges. No step depends on shard count or merge order, which
-/// is what makes the CSV byte-identical at every thread count.
-fn merge(spec: FleetSpec, chains: &[Chain], shards: Vec<ShardResult>) -> FleetOutcome {
+/// is what makes the CSV byte-identical at every thread count. With
+/// `with_profile`, the same replay pass also rebuilds the lock-step
+/// span forest from the per-unit captures ([`correct_unit`] /
+/// [`assemble`]).
+fn merge_full(
+    spec: FleetSpec,
+    chains: &[Chain],
+    shards: Vec<ShardResult>,
+    with_profile: bool,
+) -> (FleetOutcome, Option<(Profile, LinkWaits)>) {
     let mut survived = 0u64;
     let mut drain_residents_after = 0u64;
     let mut wire_bytes = 0u64;
     let mut links: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
     let mut remote_msgs = 0u64;
+    let mut prologue: Option<(SimDuration, UnitSpans)> = None;
+    let mut spawn: BTreeMap<usize, SpawnUnit> = BTreeMap::new();
     let mut mig: BTreeMap<usize, UnitTrace> = BTreeMap::new();
     let mut run: BTreeMap<usize, UnitTrace> = BTreeMap::new();
     for s in shards {
+        if prologue.is_none() {
+            prologue = s.prologue;
+        }
+        for (g, u) in s.spawn_units {
+            spawn.insert(g, u);
+        }
         for (g, t) in s.mig_units {
             mig.insert(g, t);
         }
@@ -373,31 +650,67 @@ fn merge(spec: FleetSpec, chains: &[Chain], shards: Vec<ShardResult>) -> FleetOu
 
     // The lock-step schedule: migrations in storm order (ascending
     // global index), then runs in (destination, pid) order, links
-    // carried across every boundary — including storm → run.
+    // carried across every boundary — including storm → run. When
+    // profiling, the cursor is first walked through the prologue and
+    // the spawn units so every later unit's spans land at the lock-step
+    // world's absolute instants (spawns touch no links, so this cannot
+    // perturb the waits the replay finds — CSV outputs are unchanged).
     let topo = topology_for(spec.topology, spec.nodes);
     let per_byte_ns = WireParams::default().per_byte_ns;
     let mut replay = LinkReplay::new(&topo, per_byte_ns);
+    let mut units: Vec<(Vec<MergedSpan>, Vec<MergedSpan>)> = Vec::new();
+    if with_profile {
+        let (plen, pcap) = prologue.as_ref().expect("profiled shards capture spans");
+        units.push(correct_unit(pcap, SimTime::ZERO, &[]));
+        replay.replay_unit(*plen, &[]);
+        for su in spawn.values() {
+            let start = replay.cursor();
+            units.push(correct_unit(&su.spans, start, &[]));
+            replay.replay_unit(su.len, &[]);
+        }
+    }
     let migrations = mig.len() as u64;
     let mut storm_elapsed = SimDuration::ZERO;
     for t in mig.values() {
+        let start = replay.cursor();
         let corr = replay.replay_unit(t.len, &t.sends);
         storm_elapsed += t.len + corr.shift;
+        if with_profile {
+            let cap = t.cap.as_ref().expect("profiled shards capture spans");
+            units.push(correct_unit(cap, start, &corr.deltas));
+        }
     }
     let mut run_order: Vec<usize> = run.keys().copied().collect();
     run_order.sort_by_key(|&g| (chains[g].dest, chains[g].pid));
     let mut faults = LogHistogram::new();
     for g in run_order {
         let t = &run[&g];
+        let start = replay.cursor();
         let corr = replay.replay_unit(t.len, &t.sends);
-        for &(start, nominal) in &t.spans {
-            faults.record_duration(nominal + corr.span_delta(start, start + nominal));
+        for &(start_off, nominal) in &t.spans {
+            faults.record_duration(nominal + corr.span_delta(start_off, start_off + nominal));
+        }
+        if with_profile {
+            let cap = t.cap.as_ref().expect("profiled shards capture spans");
+            units.push(correct_unit(cap, start, &corr.deltas));
         }
     }
+
+    let profiled = if with_profile {
+        let link_waits = replay
+            .link_waits()
+            .iter()
+            .map(|(&l, &w)| (l, w.as_micros()))
+            .collect();
+        Some((assemble(units), link_waits))
+    } else {
+        None
+    };
 
     let link_bytes: u64 = links.values().map(|&(_, b)| b).sum();
     let max_link_bytes = links.values().map(|&(_, b)| b).max().unwrap_or(0);
     let link_msgs: u64 = links.values().map(|&(m, _)| m).sum();
-    FleetOutcome {
+    let outcome = FleetOutcome {
         spec,
         migrations,
         survived,
@@ -411,13 +724,38 @@ fn merge(spec: FleetSpec, chains: &[Chain], shards: Vec<ShardResult>) -> FleetOu
         link_bytes,
         max_link_bytes,
         mean_hops: link_msgs as f64 / remote_msgs.max(1) as f64,
-    }
+    };
+    (outcome, profiled)
 }
 
 /// Runs one cell under the actor runtime, fanning `shards` worlds
 /// across `pool`. Byte-identical to [`crate::fleet::run_cell`] for any
 /// `shards >= 1` at any thread count.
 pub fn run_cell_actor(spec: FleetSpec, pool: &Pool, shards: usize) -> FleetOutcome {
+    run_cell_actor_inner(spec, pool, shards, false).0
+}
+
+/// Runs one cell under the actor runtime with full span capture:
+/// returns the outcome plus the merged critical-path profile and the
+/// per-directed-link queue waits (µs) — all three byte-identical to
+/// [`crate::fleet::run_cell_profiled`] on the lock-step runtime, for
+/// any shard partition at any thread count.
+pub fn run_cell_actor_profiled(
+    spec: FleetSpec,
+    pool: &Pool,
+    shards: usize,
+) -> (FleetOutcome, Profile, LinkWaits) {
+    let (outcome, profiled) = run_cell_actor_inner(spec, pool, shards, true);
+    let (profile, links) = profiled.expect("capture was requested");
+    (outcome, profile, links)
+}
+
+fn run_cell_actor_inner(
+    spec: FleetSpec,
+    pool: &Pool,
+    shards: usize,
+    capture: bool,
+) -> (FleetOutcome, Option<(Profile, LinkWaits)>) {
     let plan = plan_cell(spec);
     let shards = shards.clamp(1, plan.chains.len().max(1));
     // Round-robin chains over shards, preserving global order inside
@@ -429,10 +767,10 @@ pub fn run_cell_actor(spec: FleetSpec, pool: &Pool, shards: usize) -> FleetOutco
     let drain_set = &plan.drain_set;
     let jobs: Vec<_> = parts
         .into_iter()
-        .map(|part| move || run_shard(spec, part, drain_set))
+        .map(|part| move || run_shard(spec, part, drain_set, capture))
         .collect();
     let results = pool.run(jobs);
-    merge(spec, &plan.chains, results)
+    merge_full(spec, &plan.chains, results, capture)
 }
 
 /// Computes the given cells under the actor runtime. Cells run one
@@ -531,6 +869,41 @@ mod tests {
         for threads in [1, 2, 4] {
             let actor = csv_for(&actor_outcomes_for(gate_cells(), &Pool::new(threads)));
             assert_eq!(actor, lockstep, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn actor_profile_is_byte_identical_to_lockstep() {
+        // The full observability surface — blame tables (with per-link
+        // queue waits), folded flamegraph, and the exported span set —
+        // must come out byte-for-byte the same whether the cell ran
+        // lock-step or sharded. The ring/least-loaded cell exercises
+        // the queue-wait correction (non-zero surpluses shift and
+        // stretch spans); the torus cells exercise multi-hop routes.
+        for (topology, placement) in [("ring", "least-loaded"), ("torus", "round-robin")] {
+            let spec = FleetSpec {
+                nodes: 16,
+                topology,
+                placement,
+                storm: STORM_LOW,
+            };
+            let (l_out, l_prof, l_links) = crate::fleet::run_cell_profiled(spec);
+            assert!(l_prof.sums_exactly());
+            let l_csv = csv_for(&[l_out]);
+            for shards in [1, 2, 5] {
+                let (a_out, a_prof, a_links) =
+                    run_cell_actor_profiled(spec, &Pool::new(2), shards);
+                let tag = format!("{topology}/{placement} at {shards} shards");
+                assert_eq!(csv_for(&[a_out]), l_csv, "{tag}");
+                assert_eq!(a_links, l_links, "{tag}");
+                assert_eq!(
+                    a_prof.blame_csv(&a_links),
+                    l_prof.blame_csv(&l_links),
+                    "{tag}"
+                );
+                assert_eq!(a_prof.folded(), l_prof.folded(), "{tag}");
+                assert_eq!(a_prof.jsonl(), l_prof.jsonl(), "{tag}");
+            }
         }
     }
 

@@ -22,6 +22,9 @@
 //!   trace [name] [--jsonl] [--summary]   Perfetto/JSONL trace of one trial
 //!   journal [name]     human-readable journal narrative of one trial
 //!   metrics [name]     per-node metrics report of one trial
+//!   profile [name|fleet]    blame totals + critical paths (virtual time)
+//!   blame-csv [name|fleet]  per-node/per-link blame decomposition as CSV
+//!   flamegraph [name|fleet] folded stacks (flamegraph.pl / inferno input)
 //!   all         everything above, in order
 //! ```
 //!
@@ -166,6 +169,44 @@ fn main() {
             }
             return;
         }
+        "profile" | "blame-csv" | "flamegraph" => {
+            let target = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .unwrap_or("Minprog");
+            let (profile, links, root) = if target == "fleet" {
+                let spec = fleet::blame_cell_spec();
+                let (_, p, l) = match runtime {
+                    cor_kernel::RuntimeKind::Lockstep => fleet::run_cell_profiled(spec),
+                    cor_kernel::RuntimeKind::Actor => fleet_actor::run_cell_actor_profiled(
+                        spec,
+                        &pool,
+                        pool.threads().max(1),
+                    ),
+                };
+                (p, l, "migration")
+            } else {
+                let w = match trace::workload_by_name(target) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                };
+                let t = trace::traced_trial(&w, trace::journal_level_from_env(JournalLevel::Full));
+                (t.profile(), t.link_waits(), "migration")
+            };
+            assert!(
+                profile.sums_exactly(),
+                "blame buckets must sum exactly to each span's duration"
+            );
+            match cmd {
+                "profile" => emit(profile.report(root)),
+                "blame-csv" => print!("{}", profile.blame_csv(&links)),
+                _ => print!("{}", profile.folded()),
+            }
+        }
         "journal" => emit(summary::trace_demo(
             args.get(1).map(String::as_str).unwrap_or("Minprog"),
         )),
@@ -226,7 +267,9 @@ fn main() {
                  replication, replication-csv, fleet, fleet-csv, saturation, saturation-csv, \
                  cow-study, sensitivity, modern, \
                  trace [name] [--jsonl] [--summary], \
-                 journal [name], metrics [name], policy, csv, check, all"
+                 journal [name], metrics [name], profile [name|fleet], \
+                 blame-csv [name|fleet], flamegraph [name|fleet], \
+                 policy, csv, check, all"
             );
             std::process::exit(2);
         }

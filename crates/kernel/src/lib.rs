@@ -54,4 +54,4 @@ pub use placement::{LeastLoaded, LocalityAware, Placement, PlacementCtx, RoundRo
 pub use process::{ExecStats, Pcb, Process, ProcessId, RunStatus};
 pub use program::{Op, Trace};
 pub use runtime::RuntimeKind;
-pub use world::{DrainMode, DrainPolicy, ExecReport, World};
+pub use world::{DrainMode, DrainPolicy, ExecReport, World, FABRIC_SPAN_BASE};

@@ -11,7 +11,7 @@ use cor_ipc::NodeId;
 use cor_mem::space::SegmentId;
 use cor_mem::{Fault, PageNum, PageRange, PageState, VAddr};
 use cor_sim::SimTime;
-use cor_trace::{SpanId, TraceEvent};
+use cor_trace::TraceEvent;
 
 use crate::error::KernelError;
 use crate::process::ProcessId;
@@ -162,6 +162,10 @@ impl World {
         // recovery-ladder errors included — so a trace is never left with
         // a dangling fault interval.
         let span = self.span_enter("imag-fault", Some(node));
+        // Fabric spans opened outside the round trip (replica reads,
+        // failover fetches) parent under the fault via the cross-journal
+        // hook, which span_enter/span_exit keep synced to the innermost
+        // open world span.
         let result = self.imaginary_fault_inner(node, pid, page, seg, offset);
         self.span_exit(span);
         result
@@ -201,12 +205,10 @@ impl World {
         // journey back. Wire spans opened by the fabric parent under it
         // via the cross-journal hook.
         let rt_span = self.span_enter("cor-roundtrip", Some(node));
-        self.fabric.set_trace_parent(rt_span);
         let round_trip = self
             .send_from(node, req)
             .and_then(|_| self.settle())
             .map(|_| ());
-        self.fabric.set_trace_parent(SpanId::NONE);
         self.span_exit(rt_span);
         if let Err(err) = round_trip {
             return self.crash_recover_or_orphan(node, pid, page, seg, offset, count, err);

@@ -178,8 +178,16 @@ impl World {
     /// constructed, so instrumented hot paths cost one branch. At
     /// [`JournalLevel::Summary`] only lifecycle milestones are kept.
     pub fn enable_journal_at(&mut self, level: JournalLevel) {
-        self.journal = Some(Journal::with_level_and_base(level, 0));
-        self.fabric.journal = Some(Journal::with_level_and_base(level, FABRIC_SPAN_BASE));
+        let mut world_j = Journal::with_level_and_base(level, 0);
+        let mut fabric_j = Journal::with_level_and_base(level, FABRIC_SPAN_BASE);
+        // One birth counter across both journals: spans carry a global
+        // creation order, which the parallel fleet merge uses to decide
+        // which spans a late-discovered queue wait pushes later in time.
+        let births = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        world_j.set_birth_counter(births.clone());
+        fabric_j.set_birth_counter(births);
+        self.journal = Some(world_j);
+        self.fabric.journal = Some(fabric_j);
     }
 
     /// The two journals as a named slice for the exporters in
@@ -258,19 +266,23 @@ impl World {
     /// only at [`JournalLevel::Full`]). Close with [`World::span_exit`];
     /// the returned id is [`SpanId::NONE`] (a no-op to close) when muted.
     pub fn span_enter(&mut self, name: &'static str, node: Option<NodeId>) -> SpanId {
-        match &mut self.journal {
+        let id = match &mut self.journal {
             Some(j) => j.span_start(self.clock.now(), name, node),
             None => SpanId::NONE,
-        }
+        };
+        self.sync_trace_parent();
+        id
     }
 
     /// Opens a milestone span (recorded at [`JournalLevel::Summary`] and
     /// above): migration phases and scheduling slices.
     pub fn span_enter_milestone(&mut self, name: &'static str, node: Option<NodeId>) -> SpanId {
-        match &mut self.journal {
+        let id = match &mut self.journal {
             Some(j) => j.milestone_span_start(self.clock.now(), name, node),
             None => SpanId::NONE,
-        }
+        };
+        self.sync_trace_parent();
+        id
     }
 
     /// Closes a span opened by [`World::span_enter`] at the current
@@ -279,6 +291,18 @@ impl World {
         if let Some(j) = &mut self.journal {
             j.span_end(self.clock.now(), id);
         }
+        self.sync_trace_parent();
+    }
+
+    /// Keeps the fabric's cross-journal parent hook pointing at the
+    /// world journal's innermost open span: wire spans the fabric opens
+    /// while (say) a `core-transfer` or `cor-roundtrip` phase is active
+    /// nest under that phase — not under some outer milestone they
+    /// time-overlap with siblings of — so child durations never exceed
+    /// their parent's and blame decompositions stay exact.
+    fn sync_trace_parent(&mut self) {
+        let top = self.journal.as_ref().map_or(SpanId::NONE, |j| j.open_top());
+        self.fabric.set_trace_parent(top);
     }
 
     /// Adds a machine (starting its NetMsgServer and pager).

@@ -52,6 +52,10 @@ struct PendingRelay {
     /// Pages the waiter asked for, so a covering (possibly wider) reply
     /// can carve out exactly the slice this waiter needs.
     count: u64,
+    /// When the waiter was parked behind an already-in-flight upstream
+    /// fetch (`None` for the waiter whose own request went upstream);
+    /// unparking records the interval as a `coalesce-park` span.
+    parked_at: Option<SimTime>,
 }
 
 /// One interned page in a node's reply-dedup table, stamped for LRU
@@ -565,7 +569,12 @@ impl Fabric {
                 .retry_timeout
                 .saturating_mul(1u64 << (attempts - 1).min(16));
             if !detached {
+                // The blame-visible backoff wait, a child of the attempt
+                // span (detached retransmissions happen off the caller's
+                // clock and get no span).
+                let backoff_span = self.span_start(clock.now(), "retry-backoff", from);
                 clock.advance(backoff);
+                self.span_end(clock.now(), backoff_span);
             }
             self.reliability.timeout_stalls.incr();
             self.reliability.stall_time += backoff;
@@ -590,7 +599,11 @@ impl Fabric {
         // still-busy link queues the delivery. `None` (the default) keeps
         // the seed-era point-to-point behaviour byte-identical.
         if self.params.topology.is_some() {
-            self.route_and_charge(clock, from, dest_home, wire_bytes, kind, detached)?;
+            if let Err(e) = self.route_and_charge(clock, from, dest_home, wire_bytes, kind, detached)
+            {
+                self.span_end(clock.now(), send_span);
+                return Err(e);
+            }
         }
         // Link-layer sequence bookkeeping (only maintained under faults:
         // a perfect wire cannot duplicate).
@@ -672,11 +685,17 @@ impl Fabric {
                     right.right,
                     cor_ipc::Right::Receive | cor_ipc::Right::Ownership
                 ) {
-                    ports.relocate(right.port, dest_home)?;
+                    if let Err(e) = ports.relocate(right.port, dest_home) {
+                        self.span_end(clock.now(), send_span);
+                        return Err(e.into());
+                    }
                 }
             }
         }
-        self.create_standins(ports, segs, dest_home, &mut msg)?;
+        if let Err(e) = self.create_standins(ports, segs, dest_home, &mut msg) {
+            self.span_end(clock.now(), send_span);
+            return Err(e);
+        }
         // Content dedup on the receiving NetMsgServer: a reply page whose
         // bytes this node already holds (retransmitted/duplicate COR
         // replies under chaos, repeated zero or constant pages) installs
@@ -711,8 +730,14 @@ impl Fabric {
             });
             self.limbo.push(msg);
         } else {
-            ports.enqueue(msg.dest, msg)?;
-            self.flush_limbo(ports)?;
+            let delivered = ports
+                .enqueue(msg.dest, msg)
+                .map_err(NetError::from)
+                .and_then(|()| self.flush_limbo(ports));
+            if let Err(e) = delivered {
+                self.span_end(clock.now(), send_span);
+                return Err(e);
+            }
         }
         // Count the carried message against both endpoints last, so an
         // `AfterMessages` trigger reached by this very delivery purges it
@@ -1117,12 +1142,13 @@ impl Fabric {
             // final renamed reply still pairs with the faulter's request.
             let my_port = nms.port;
             let key = (fwd.orig_seg, fwd.orig_base + offset);
-            let relay = PendingRelay {
+            let mut relay = PendingRelay {
                 final_reply: reply,
                 stand_in: seg,
                 stand_in_offset: offset,
                 seq,
                 count,
+                parked_at: None,
             };
             if self.params.coalesce {
                 // CCNx-style pending-interest table: if a fetch wide
@@ -1131,6 +1157,9 @@ impl Fabric {
                 // piggyback on the upstream reply instead of re-sending.
                 let waiters = nms.pending.entry(key).or_default();
                 let in_flight = waiters.iter().any(|w| w.count >= count);
+                if in_flight {
+                    relay.parked_at = Some(clock.now());
+                }
                 waiters.push(relay);
                 if in_flight {
                     self.stats.coalesced_requests += 1;
@@ -1235,6 +1264,13 @@ impl Fabric {
         }
         if !matched.is_empty() {
             for (o, relay) in matched {
+                if let (Some(parked), Some(j)) = (relay.parked_at, &mut self.journal) {
+                    // Coalesced waiters spent this interval parked in the
+                    // pending-interest table; recorded as a root span
+                    // because the parking started before whatever span is
+                    // currently open.
+                    j.closed_span(parked, clock.now(), "coalesce-park", Some(node), SpanId::NONE);
+                }
                 let lo = (o - offset) as usize;
                 let hi = lo + relay.count as usize;
                 let mut sub = cor_mem::page::frame_pool::take(relay.count as usize);
@@ -1711,6 +1747,10 @@ impl Fabric {
         let cpu = self.params.handling_cpu(payload);
         let now = clock.now();
         let mut total = 0u64;
+        // Fire-and-forget on the clock, so this span is zero-duration:
+        // it marks *that* replication happened on the trace without
+        // blaming the foreground path for off-clock traffic.
+        let rep_span = self.span_start(now, "replicate", primary);
         for &replica in &targets {
             let nms = self
                 .nodes
@@ -1723,7 +1763,12 @@ impl Fabric {
             self.charge_cpu(primary, cpu);
             self.charge_cpu(replica, cpu);
             if self.params.topology.is_some() {
-                self.route_and_charge(clock, primary, replica, wire_bytes, MsgKind::Rimas, true)?;
+                if let Err(e) =
+                    self.route_and_charge(clock, primary, replica, wire_bytes, MsgKind::Rimas, true)
+                {
+                    self.span_end(clock.now(), rep_span);
+                    return Err(e);
+                }
             }
             self.reliability.replicated_pages.add(pages);
             total += pages;
@@ -1733,6 +1778,7 @@ impl Fabric {
                 pages,
             });
         }
+        self.span_end(clock.now(), rep_span);
         self.replica_homes.insert(seg, targets);
         Ok(total)
     }
@@ -1850,13 +1896,22 @@ impl Fabric {
                 .collect::<Option<Vec<_>>>()?
         };
         let start = clock.now();
+        // The replica round trip gets its own blame span: `failover` when
+        // it substitutes for a down primary, `replicate` when a live
+        // replica merely serves the read nearer. Link spans the routed
+        // charge opens nest under it.
+        let name: &'static str = if primary_down { "failover" } else { "replicate" };
+        let span = self.span_start(start, name, requester);
         if replica == requester {
             clock.advance(self.params.local_delivery);
         } else {
             // Request out, replica NMS service, reply back — the same
             // shape as the round trip it replaces, with real message
             // sizes.
-            let my_port = self.nodes.get(&requester)?.port;
+            let Some(my_port) = self.nodes.get(&requester).map(|n| n.port) else {
+                self.span_end(clock.now(), span);
+                return None;
+            };
             let req_payload =
                 protocol::imag_read_request(my_port, my_port, oseg, ooff, count).wire_size();
             let reply_payload =
@@ -1876,26 +1931,32 @@ impl Fabric {
             self.charge_cpu(requester, cpu);
             self.charge_cpu(replica, cpu);
             if self.params.topology.is_some() {
-                self.route_and_charge(
-                    clock,
-                    requester,
-                    replica,
-                    req_bytes,
-                    MsgKind::ImagReadRequest,
-                    false,
-                )
-                .ok()?;
-                self.route_and_charge(
-                    clock,
-                    replica,
-                    requester,
-                    reply_bytes,
-                    MsgKind::ImagReadReply,
-                    false,
-                )
-                .ok()?;
+                let routed = self
+                    .route_and_charge(
+                        clock,
+                        requester,
+                        replica,
+                        req_bytes,
+                        MsgKind::ImagReadRequest,
+                        false,
+                    )
+                    .and_then(|()| {
+                        self.route_and_charge(
+                            clock,
+                            replica,
+                            requester,
+                            reply_bytes,
+                            MsgKind::ImagReadReply,
+                            false,
+                        )
+                    });
+                if routed.is_err() {
+                    self.span_end(clock.now(), span);
+                    return None;
+                }
             }
         }
+        self.span_end(clock.now(), span);
         let elapsed = clock.now().since(start);
         if primary_down {
             self.reliability.failover_fetches.incr();
@@ -2135,6 +2196,7 @@ impl Fabric {
             SimDuration::from_micros(wire_bytes.saturating_mul(self.params.per_byte_ns) / 1_000);
         let depart = clock.now();
         let mut cursor = depart;
+        let mut wait_total = SimDuration::ZERO;
         for (i, &link) in route.iter().enumerate() {
             let busy = self.link_busy.get(&link).copied().unwrap_or(SimTime::ZERO);
             let wait = busy.saturating_since(cursor);
@@ -2151,6 +2213,7 @@ impl Fabric {
             s.msgs += 1;
             s.bytes += wire_bytes;
             s.queue_wait += wait;
+            wait_total += wait;
         }
         let extra = cursor.since(depart);
         if let Some(log) = self.wire_log.as_mut() {
@@ -2163,8 +2226,22 @@ impl Fabric {
                 extra,
             });
         }
-        if !detached && extra > SimDuration::ZERO {
-            clock.advance(extra);
+        if !detached {
+            // The traversal's sub-spans, zero-duration included: queue
+            // wait behind busy links, then hop transit. Every
+            // non-detached routed send emits exactly one pair (the
+            // parallel merge relies on the 1:1 correspondence with the
+            // recorded wire log to re-impose cross-unit queueing on the
+            // span tree); detached sends never stall the caller and get
+            // none.
+            let queued = depart + wait_total;
+            let lq = self.span_start(depart, "link-queue", from);
+            self.span_end(queued, lq);
+            let lt = self.span_start(queued, "link-transit", from);
+            self.span_end(depart + extra, lt);
+            if extra > SimDuration::ZERO {
+                clock.advance(extra);
+            }
         }
         if hops > 1 {
             self.note(clock.now(), || TraceEvent::NetRoute {

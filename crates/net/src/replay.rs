@@ -93,9 +93,11 @@ pub struct UnitSend {
     pub extra: SimDuration,
 }
 
-/// Surplus head-arrival lag the replay found for one send over its
-/// nominal recording — a queue wait behind residue the isolated unit
-/// could not see.
+/// The replay's verdict on one send: the surplus head-arrival lag found
+/// over its nominal recording — a queue wait behind residue the isolated
+/// unit could not see. One entry per recorded send, zero surpluses
+/// included, so the k-th non-detached entry corresponds 1:1 to the k-th
+/// `link-queue` span the recording unit's journal holds.
 #[derive(Debug, Clone, Copy)]
 pub struct SendDelta {
     /// The send's nominal depart offset within its unit.
@@ -141,6 +143,10 @@ pub struct LinkReplay<'a> {
     topo: &'a Topology,
     per_byte_ns: u64,
     busy: BTreeMap<(NodeId, NodeId), SimTime>,
+    /// True accumulated queue wait per directed link across every unit
+    /// replayed so far — exactly what the lock-step fabric's
+    /// `link_stats` would have charged.
+    link_waits: BTreeMap<(NodeId, NodeId), SimDuration>,
     /// Absolute start instant of the next unit.
     now: SimTime,
 }
@@ -153,6 +159,7 @@ impl<'a> LinkReplay<'a> {
             topo,
             per_byte_ns,
             busy: BTreeMap::new(),
+            link_waits: BTreeMap::new(),
             now: SimTime::ZERO,
         }
     }
@@ -179,27 +186,27 @@ impl<'a> LinkReplay<'a> {
             let mut cursor = depart;
             for (i, &link) in route.iter().enumerate() {
                 let busy = self.busy.get(&link).copied().unwrap_or(SimTime::ZERO);
-                if busy.saturating_since(cursor) > SimDuration::ZERO {
+                let wait = busy.saturating_since(cursor);
+                if wait > SimDuration::ZERO {
                     cursor = busy;
                 }
                 if i > 0 {
                     cursor += self.topo.hop_latency;
                 }
                 self.busy.insert(link, cursor + occupancy);
+                *self.link_waits.entry(link).or_default() += wait;
             }
             let extra = cursor.since(depart);
             let delta = SimDuration::from_micros(
                 extra.as_micros().saturating_sub(s.extra.as_micros()),
             );
-            if delta > SimDuration::ZERO {
-                deltas.push(SendDelta {
-                    offset: s.offset,
-                    delta,
-                    detached: s.detached,
-                });
-                if !s.detached {
-                    shift += delta;
-                }
+            deltas.push(SendDelta {
+                offset: s.offset,
+                delta,
+                detached: s.detached,
+            });
+            if !s.detached {
+                shift += delta;
             }
         }
         self.now = start + nominal_len + shift;
@@ -209,6 +216,12 @@ impl<'a> LinkReplay<'a> {
     /// Absolute start instant the next unit will replay at.
     pub fn cursor(&self) -> SimTime {
         self.now
+    }
+
+    /// True queue wait accumulated per directed link across every unit
+    /// replayed so far, in directed-link order.
+    pub fn link_waits(&self) -> &BTreeMap<(NodeId, NodeId), SimDuration> {
+        &self.link_waits
     }
 }
 
@@ -242,7 +255,9 @@ mod tests {
             &[send(10, 0, 1, 1_000, 0)],
         );
         assert_eq!(corr.shift, SimDuration::ZERO);
-        assert!(corr.deltas.is_empty());
+        // One verdict per send, surplus zero on idle links.
+        assert_eq!(corr.deltas.len(), 1);
+        assert_eq!(corr.deltas[0].delta, SimDuration::ZERO);
         assert_eq!(replay.cursor(), SimTime::from_micros(100_000));
     }
 
@@ -262,10 +277,17 @@ mod tests {
         let expect = occ_us - 10_000;
         assert_eq!(b.shift, SimDuration::from_micros(expect));
         assert_eq!(b.deltas.len(), 1);
+        assert_eq!(b.deltas[0].delta, SimDuration::from_micros(expect));
         // The blocking surplus pushes unit B's end by the same amount.
         assert_eq!(
             replay.cursor(),
             SimTime::from_micros(10_000 + 10_000 + expect)
+        );
+        // The replay's per-link tally carries the true wait: unit A
+        // queued nothing, unit B queued `expect` on (0,1).
+        assert_eq!(
+            replay.link_waits().get(&(NodeId(0), NodeId(1))).copied(),
+            Some(SimDuration::from_micros(expect))
         );
     }
 

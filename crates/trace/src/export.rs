@@ -353,7 +353,9 @@ pub fn jsonl(journals: &[(&str, &Journal)]) -> String {
                     Some(e) => {
                         let _ = write!(out, "{}", e.as_micros());
                     }
-                    None => out.push_str("null"),
+                    // Spans abandoned by an error path (or still open at
+                    // export time) are flagged explicitly.
+                    None => out.push_str("null,\"abandoned\":true"),
                 }
                 out.push_str("}\n");
             }
@@ -449,11 +451,14 @@ pub fn perfetto(journals: &[(&str, &Journal)], end_us: u64) -> String {
                 let pid = perfetto_pid(s.node);
                 let ts = s.start.as_micros();
                 let dur = s.end.map(|e| e.as_micros()).unwrap_or(end_us).saturating_sub(ts);
+                // Abandoned/open spans render closed at the trace end but
+                // carry an explicit flag for the profiler and the UI.
+                let abandoned = if s.end.is_none() { ",\"abandoned\":true" } else { "" };
                 push(
                     &mut out,
                     &mut first,
                     format!(
-                        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":1,\"ts\":{ts},\"dur\":{dur},\"args\":{{\"source\":\"{}\",\"span\":{},\"parent\":{}}}}}",
+                        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":1,\"ts\":{ts},\"dur\":{dur},\"args\":{{\"source\":\"{}\",\"span\":{},\"parent\":{}{abandoned}}}}}",
                         escape(s.name),
                         escape(source),
                         s.id.0,
@@ -547,6 +552,14 @@ mod tests {
         let _leaked = j.span_start(SimTime::from_millis(1), "exec", Some(NodeId(0)));
         let doc = perfetto(&[("world", &j)], 9_000);
         assert!(doc.contains("\"ts\":1000,\"dur\":8000"));
+        assert!(doc.contains("\"abandoned\":true"), "open span is flagged");
+        let doc = jsonl(&[("world", &j)]);
+        assert!(doc.contains("\"end_us\":null,\"abandoned\":true"));
+
+        // Closed spans never carry the flag.
+        let j = sample();
+        assert!(!perfetto(&[("world", &j)], 9_000).contains("abandoned"));
+        assert!(!jsonl(&[("world", &j)]).contains("abandoned"));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! lifecycle milestones only, `Full` keeps every per-page event and every
 //! fine-grained span.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use cor_ipc::NodeId;
 pub use cor_sim::JournalLevel;
 use cor_sim::SimTime;
@@ -78,6 +81,20 @@ pub struct Journal {
     /// Offset added to span indices when minting ids, so journals
     /// exported together keep disjoint id ranges.
     span_base: u64,
+    /// Per-span birth stamps, aligned with `spans`. When a shared
+    /// [`Journal::set_birth_counter`] is installed, stamps are globally
+    /// ordered across every journal sharing the counter (the actor
+    /// runtime's span merge needs creation order across the world and
+    /// fabric journals); otherwise they fall back to the local index.
+    births: Vec<u64>,
+    /// Per-span death stamps from the same counter ([`u64::MAX`] while
+    /// open). Together with `births` they recover which spans were open
+    /// at any recorded moment: span S was open when span K was created
+    /// iff `births[S] < births[K] && deaths[S] > deaths[K]`.
+    deaths: Vec<u64>,
+    birth_counter: Option<Arc<AtomicU64>>,
+    /// Fallback stamp sequence when no shared counter is installed.
+    local_stamp: u64,
 }
 
 impl Journal {
@@ -190,9 +207,8 @@ impl Journal {
             return SpanId::NONE;
         }
         let parent = self.open.last().copied().unwrap_or(fallback_parent);
-        let id = SpanId(self.span_base + self.spans.len() as u64 + 1);
-        self.spans.push(Span {
-            id,
+        let id = self.push_span(Span {
+            id: SpanId::NONE,
             parent,
             name,
             node,
@@ -201,6 +217,95 @@ impl Journal {
         });
         self.open.push(id);
         id
+    }
+
+    fn push_span(&mut self, mut span: Span) -> SpanId {
+        let id = SpanId(self.span_base + self.spans.len() as u64 + 1);
+        span.id = id;
+        let birth = self.next_stamp();
+        // Spans appended pre-closed (see [`Journal::closed_span`]) die
+        // at birth; open spans get their death stamp in `set_end`.
+        let death = if span.end.is_some() {
+            self.next_stamp()
+        } else {
+            u64::MAX
+        };
+        self.spans.push(span);
+        self.births.push(birth);
+        self.deaths.push(death);
+        id
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        match &self.birth_counter {
+            Some(c) => c.fetch_add(1, Ordering::Relaxed),
+            None => {
+                let v = self.local_stamp;
+                self.local_stamp += 1;
+                v
+            }
+        }
+    }
+
+    /// Appends an already-closed span with an explicit interval and
+    /// parent, without touching the open-span stack. This is for
+    /// intervals reconstructed after the fact (the coalescing relay's
+    /// `coalesce-park`, which is only known at unpark time and does not
+    /// nest inside whatever happens to be open then). Recorded only at
+    /// [`JournalLevel::Full`]; returns [`SpanId::NONE`] otherwise.
+    pub fn closed_span(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        name: &'static str,
+        node: Option<NodeId>,
+        parent: SpanId,
+    ) -> SpanId {
+        if self.level != JournalLevel::Full {
+            return SpanId::NONE;
+        }
+        self.push_span(Span {
+            id: SpanId::NONE,
+            parent,
+            name,
+            node,
+            start,
+            end: Some(end),
+        })
+    }
+
+    /// Installs a birth-stamp counter shared with other journals, so
+    /// span creation order is recoverable across them. Stamps already
+    /// taken keep their local values; install before recording.
+    pub fn set_birth_counter(&mut self, counter: Arc<AtomicU64>) {
+        self.birth_counter = Some(counter);
+    }
+
+    /// Per-span birth stamps, aligned with [`Journal::spans`].
+    pub fn births(&self) -> &[u64] {
+        &self.births
+    }
+
+    /// Per-span death stamps, aligned with [`Journal::spans`]
+    /// ([`u64::MAX`] while the span is open). Birth and death stamps
+    /// draw from the same sequence, so `births[a] < births[k] &&
+    /// deaths[a] > deaths[k]` says span `a` was open for span `k`'s
+    /// whole lifetime.
+    pub fn deaths(&self) -> &[u64] {
+        &self.deaths
+    }
+
+    /// Depth of the open-span stack (0 when every span is closed) — a
+    /// cheap boundary assertion for code that slices the span table
+    /// into self-contained units.
+    pub fn open_len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// The innermost open span, or [`SpanId::NONE`] when none is — what
+    /// a sibling journal's cross-journal parent hook should point at.
+    pub fn open_top(&self) -> SpanId {
+        self.open.last().copied().unwrap_or(SpanId::NONE)
     }
 
     /// Closes span `id` at instant `at`. Any spans opened under it that
@@ -227,10 +332,15 @@ impl Journal {
         let Some(idx) = id.0.checked_sub(self.span_base + 1) else {
             return;
         };
-        if let Some(span) = self.spans.get_mut(idx as usize) {
-            if span.end.is_none() {
-                span.end = Some(at);
-            }
+        let idx = idx as usize;
+        if self
+            .spans
+            .get(idx)
+            .is_some_and(|span| span.end.is_none())
+        {
+            let death = self.next_stamp();
+            self.spans[idx].end = Some(at);
+            self.deaths[idx] = death;
         }
     }
 
@@ -287,6 +397,9 @@ impl Journal {
         self.events.clear();
         self.spans.clear();
         self.open.clear();
+        self.births.clear();
+        self.deaths.clear();
+        self.local_stamp = 0;
     }
 }
 
@@ -417,6 +530,69 @@ mod tests {
         assert_eq!(a.span(ia).unwrap().name, "x");
         assert_eq!(b.span(ib).unwrap().name, "y");
         assert!(a.span(ib).is_none());
+    }
+
+    #[test]
+    fn closed_span_bypasses_the_stack() {
+        let mut j = Journal::new();
+        let outer = j.span_start(SimTime::from_millis(5), "a", None);
+        assert_eq!(j.open_len(), 1);
+        // A backdated interval: starts before the open span, parented
+        // explicitly at the root, and never appears on the stack.
+        let s = j.closed_span(
+            SimTime::ZERO,
+            SimTime::from_millis(3),
+            "coalesce-park",
+            Some(NodeId(2)),
+            SpanId::NONE,
+        );
+        assert!(!s.is_none());
+        assert_eq!(j.open_len(), 1, "closed_span must not push");
+        j.record(SimTime::from_millis(6), fault(1));
+        assert_eq!(j.events()[0].span, outer, "attribution unaffected");
+        j.span_end(SimTime::from_millis(7), outer);
+        assert_eq!(j.open_len(), 0);
+        let park = j.span(s).unwrap();
+        assert_eq!(park.parent, SpanId::NONE);
+        assert_eq!(park.end, Some(SimTime::from_millis(3)));
+
+        let muted = Journal::with_level(JournalLevel::Summary)
+            .closed_span(SimTime::ZERO, SimTime::ZERO, "x", None, SpanId::NONE);
+        assert!(muted.is_none());
+    }
+
+    #[test]
+    fn shared_birth_counter_orders_across_journals() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut a = Journal::with_level_and_base(JournalLevel::Full, 0);
+        let mut b = Journal::with_level_and_base(JournalLevel::Full, 1 << 32);
+        a.set_birth_counter(Arc::clone(&counter));
+        b.set_birth_counter(Arc::clone(&counter));
+
+        let s0 = a.span_start(SimTime::ZERO, "w0", None);
+        let s1 = b.span_start(SimTime::ZERO, "f0", None);
+        let s2 = a.span_start(SimTime::ZERO, "w1", None);
+        a.span_end(SimTime::ZERO, s2);
+        a.span_end(SimTime::ZERO, s0);
+        b.span_end(SimTime::ZERO, s1);
+        assert_eq!(a.births(), &[0, 2]);
+        assert_eq!(b.births(), &[1]);
+        // Deaths draw from the same sequence, in close order: w1 first,
+        // then w0, then f0. So w0 (born before f0, dead after it) was
+        // open for f0's whole lifetime; w1 was not.
+        assert_eq!(a.deaths(), &[4, 3]);
+        assert_eq!(b.deaths(), &[5]);
+
+        // Without a counter, births fall back to a local sequence; a
+        // pre-closed span dies at birth.
+        let mut c = Journal::new();
+        c.span_start(SimTime::ZERO, "x", None);
+        c.closed_span(SimTime::ZERO, SimTime::ZERO, "y", None, SpanId::NONE);
+        assert_eq!(c.births(), &[0, 1]);
+        assert_eq!(c.deaths(), &[u64::MAX, 2]);
     }
 
     #[test]

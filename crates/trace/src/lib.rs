@@ -14,6 +14,9 @@
 //!   snapshotable at any `SimTime`.
 //! - [`export`] — JSONL event streams and Chrome/Perfetto
 //!   `trace.json` on a virtual-time clock.
+//! - [`profile`] — the critical-path profiler: exact per-span blame
+//!   decomposition into seven latency buckets, per-node/per-link blame
+//!   tables, and folded-stack virtual-time flamegraphs.
 //!
 //! Recording costs one branch when the journal is
 //! [`JournalLevel::Off`] and never allocates per event (all variants
@@ -24,10 +27,12 @@ pub mod event;
 pub mod export;
 pub mod journal;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 
 pub use cor_sim::JournalLevel;
 pub use event::TraceEvent;
 pub use journal::{Journal, JournalEvent};
 pub use metrics::{LinkMetrics, LogHistogram, MetricsRegistry, NodeMetrics};
+pub use profile::{BlameBucket, CriticalPath, CriticalStep, ProfSpan, Profile, BUCKET_COUNT};
 pub use span::{Span, SpanId};

@@ -134,6 +134,22 @@ impl LogHistogram {
     pub fn p99(&self) -> u64 {
         self.percentile(0.99)
     }
+
+    /// Merges another histogram into this one. Buckets, counts, and
+    /// sums add; min/max take the extremes — so merging per-node
+    /// histograms in any order reproduces the pooled histogram exactly.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// The metric series of one node (or of the global `wire` pseudo-node).
@@ -366,6 +382,78 @@ mod tests {
         let empty = LogHistogram::new();
         assert_eq!(empty.p50(), 0);
         assert_eq!(empty.min(), 0);
+    }
+
+    #[test]
+    fn log_histogram_empty_and_single_sample_edges() {
+        let empty = LogHistogram::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.max(), 0);
+        assert_eq!(empty.mean(), 0);
+        for p in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.percentile(p), 0, "empty histogram reports 0");
+        }
+
+        let mut one = LogHistogram::new();
+        one.record(37);
+        assert_eq!(one.count(), 1);
+        assert_eq!((one.min(), one.max(), one.mean()), (37, 37, 37));
+        for p in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(one.percentile(p), 37, "single sample: every percentile is it");
+        }
+
+        let mut zero = LogHistogram::new();
+        zero.record(0);
+        assert_eq!((zero.p50(), zero.min(), zero.max()), (0, 0, 0));
+    }
+
+    #[test]
+    fn log_histogram_top_bucket_saturation() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        // The top bucket's nominal upper bound would overflow; the
+        // percentile clamps to the observed maximum instead.
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        assert_eq!(h.p50(), u64::MAX, "clamped to observed range");
+        assert_eq!(h.min(), 1u64 << 63);
+        // The sum saturates rather than wrapping.
+        assert_eq!(h.mean(), u64::MAX / 3);
+    }
+
+    #[test]
+    fn log_histogram_merge_matches_pooled() {
+        let samples_a = [0u64, 1, 3, 900, 64, 65];
+        let samples_b = [2u64, 4096, 7, 0];
+        let mut pooled = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for &v in &samples_a {
+            a.record(v);
+            pooled.record(v);
+        }
+        for &v in &samples_b {
+            b.record(v);
+            pooled.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut with_empty = ab.clone();
+        with_empty.merge(&LogHistogram::new());
+        for h in [&ab, &ba, &with_empty] {
+            assert_eq!(h.count(), pooled.count());
+            assert_eq!(h.min(), pooled.min());
+            assert_eq!(h.max(), pooled.max());
+            assert_eq!(h.mean(), pooled.mean());
+            for p in [0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                assert_eq!(h.percentile(p), pooled.percentile(p));
+            }
+        }
     }
 
     #[test]

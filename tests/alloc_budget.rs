@@ -110,6 +110,33 @@ fn coalesced_relay_path_is_allocation_free() {
 }
 
 #[test]
+fn profile_analysis_allocates_no_frames() {
+    // Profile analysis is pure arithmetic over the journals: building the
+    // blame decomposition, walking every critical path, and rendering the
+    // CSV / folded-stack / JSONL exports must never touch the frame pool.
+    // A profiler that clones page frames to attribute latency would
+    // perturb the very allocation budget it reports on.
+    use cor_experiments::trace::traced_trial;
+    use cor_sim::JournalLevel;
+
+    let w = cor_workloads::by_name("Lisp-T").expect("workload exists");
+    let t = traced_trial(&w, JournalLevel::Full);
+    alloc_stats::reset();
+    let p = t.profile();
+    assert!(p.sums_exactly());
+    let paths: u64 = p.roots().map(|r| p.critical_path(r).total_us).sum();
+    assert!(paths > 0, "critical paths must attribute real time");
+    let links = t.link_waits();
+    let rendered = p.blame_csv(&links).len() + p.folded().len() + p.jsonl().len();
+    assert!(rendered > 0);
+    assert_eq!(
+        alloc_stats::frame_allocs(),
+        0,
+        "profile analysis touched the frame pool"
+    );
+}
+
+#[test]
 fn actor_inbox_steady_state_reuses_pooled_slots() {
     // The actor runtime's event loop must be allocation-free at steady
     // state: after a warm-up burst sizes the slab, every post/poll cycle

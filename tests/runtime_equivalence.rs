@@ -18,6 +18,7 @@ use cor::sim::{LedgerCategory, SimTime};
 use cor_experiments::fleet::{csv_for, run_cell, FleetSpec, STORM_LOW};
 use cor_experiments::fleet_actor::run_cell_actor;
 use cor_experiments::runner::run_trial_with_runtime;
+use cor_experiments::trace::traced_trial_with_runtime;
 use cor_pool::Pool;
 use cor_sim::runtime::{run_serial, NodeRuntime};
 use proptest::prelude::*;
@@ -161,6 +162,29 @@ proptest! {
         }
     }
 
+    /// Law: the exported trace of a journaled trial — the JSONL span
+    /// stream, the Perfetto document, and the profile built on top of
+    /// them — is byte-identical between runtimes for every workload.
+    /// This is what makes `--trace-out` under `--runtime actor` safe.
+    #[test]
+    fn traced_exports_are_runtime_invariant(widx in 0usize..6) {
+        let workloads = cor_workloads::all();
+        let w = &workloads[widx % workloads.len()];
+        let level = cor::sim::JournalLevel::Full;
+        let lockstep = traced_trial_with_runtime(w, level, RuntimeKind::Lockstep);
+        let actor = traced_trial_with_runtime(w, level, RuntimeKind::Actor);
+        prop_assert_eq!(lockstep.jsonl(), actor.jsonl());
+        prop_assert_eq!(lockstep.perfetto(), actor.perfetto());
+        let (lp, ap) = (lockstep.profile(), actor.profile());
+        prop_assert!(lp.sums_exactly());
+        prop_assert_eq!(
+            lp.blame_csv(&lockstep.link_waits()),
+            ap.blame_csv(&actor.link_waits())
+        );
+        prop_assert_eq!(lp.folded(), ap.folded());
+        prop_assert_eq!(lp.jsonl(), ap.jsonl());
+    }
+
     /// Law: a fleet storm cell rendered to CSV is byte-identical between
     /// the lock-step loop and the sharded parallel executor, for any
     /// shard count and any pool width ∈ {1, 2, 4, 8}.
@@ -182,5 +206,29 @@ proptest! {
         let lockstep = csv_for(&[run_cell(spec)]);
         let actor = csv_for(&[run_cell_actor(spec, &Pool::new(threads), shards)]);
         prop_assert_eq!(lockstep, actor, "shards={} threads={}", shards, threads);
+    }
+}
+
+/// Law: the profiled fleet cell — blame CSV, folded flamegraph, span
+/// JSONL — is byte-identical between the lock-step executor and the
+/// sharded parallel executor at every pool width ∈ {1, 2, 4, 8}.
+#[test]
+fn fleet_profiles_are_runtime_invariant() {
+    use cor_experiments::fleet::{blame_cell_spec, run_cell_profiled};
+    use cor_experiments::fleet_actor::run_cell_actor_profiled;
+
+    let spec = blame_cell_spec();
+    let (_, l_prof, l_links) = run_cell_profiled(spec);
+    assert!(l_prof.sums_exactly());
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        let (_, a_prof, a_links) = run_cell_actor_profiled(spec, &pool, threads.max(2));
+        assert_eq!(
+            l_prof.blame_csv(&l_links),
+            a_prof.blame_csv(&a_links),
+            "threads={threads}"
+        );
+        assert_eq!(l_prof.folded(), a_prof.folded(), "threads={threads}");
+        assert_eq!(l_prof.jsonl(), a_prof.jsonl(), "threads={threads}");
     }
 }

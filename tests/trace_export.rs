@@ -179,6 +179,69 @@ fn span_parents_exist_and_precede_children() {
 }
 
 #[test]
+fn mid_fault_crash_abandons_no_spans_silently() {
+    // Regression for the error-path span leak: a source crash in the
+    // middle of the destination's fault-heavy read-back kills faults
+    // mid-flight (`OrphanedProcess`). Every span opened on that path must
+    // still be closed at its enclosing scope — the exports must never
+    // contain an unclosed, unflagged span, and the profile must still
+    // decompose exactly.
+    use cor::kernel::program::Trace;
+    use cor::kernel::{KernelError, World};
+    use cor::mem::{AddressSpace, PageNum, VAddr, PAGE_SIZE};
+    use cor::migrate::{MigrationManager, Strategy};
+    use cor::net::{CrashPlan, CrashTrigger};
+
+    let pages = 16u64;
+    let (mut world, a, b) = World::testbed();
+    world.enable_journal();
+    let src = MigrationManager::new(&mut world, a);
+    let dst = MigrationManager::new(&mut world, b);
+    let mut space = AddressSpace::new();
+    space.validate(VAddr(0), pages * PAGE_SIZE).unwrap();
+    let mut tb = Trace::builder();
+    for i in 0..pages {
+        tb.write(PageNum(i).base(), 64);
+    }
+    tb.read(VAddr(0), pages * PAGE_SIZE);
+    let pid = world
+        .create_process(a, "doomed", space, tb.terminate())
+        .unwrap();
+    world.run_for(a, pid, pages as usize).unwrap();
+    src.migrate_to(&mut world, &dst, pid, Strategy::PureIou { prefetch: 0 })
+        .unwrap();
+    // Kill the source right now: the very first owed-page fault at the
+    // destination dies against a crashed home.
+    let now = world.clock.now();
+    world.fabric.params.crashes = Some(CrashPlan::new(7).killing(a, CrashTrigger::AtTime(now)));
+    let err = world.run(b, pid).expect_err("read-back must orphan");
+    assert!(
+        matches!(err, KernelError::OrphanedProcess { .. }),
+        "expected OrphanedProcess, got {err:?}"
+    );
+
+    // Error paths close spans at their enclosing scope: no span is left
+    // open, in either journal.
+    for (name, j) in world.journals() {
+        assert_eq!(j.open_len(), 0, "{name}: open spans leaked past the error");
+        for s in j.spans() {
+            assert!(
+                s.end.is_some(),
+                "{name}: span {:?} ({}) abandoned without a close",
+                s.id,
+                s.name
+            );
+        }
+    }
+    // Consequently the exports carry no abandoned flags, and the blame
+    // decomposition still sums exactly.
+    let jsonl = cor::trace::export::jsonl(&world.journals());
+    assert!(!jsonl.contains("\"abandoned\""), "no abandoned spans expected");
+    let profile = cor::trace::Profile::from_journals(&world.journals());
+    assert!(profile.sums_exactly(), "crash path broke exact blame sums");
+}
+
+#[test]
 fn journal_off_records_nothing_and_changes_nothing() {
     let w = cor::workloads::minprog::workload();
     let off = traced_trial(&w, JournalLevel::Off);
